@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Design-knob ablations beyond the paper's Figure 11: how ccAI's
+ * overhead responds to each architectural parameter DESIGN.md calls
+ * out — bounce-chunk size, metadata batch size, crypto thread
+ * count, and the PCIe-SC engine throughput. Each sweep varies one
+ * knob with everything else at the prototype default, on the
+ * Llama-2-7B fix-token workload (batch 24, where the knobs matter).
+ */
+
+#include "bench_util.hh"
+
+using namespace ccai;
+using namespace ccai::bench;
+
+namespace
+{
+
+llm::InferenceConfig
+workload()
+{
+    llm::InferenceConfig cfg;
+    cfg.model = llm::ModelSpec::llama2_7b();
+    cfg.batch = 24;
+    cfg.inTokens = 128;
+    return cfg;
+}
+
+void
+report(const std::string &label, const PlatformConfig &secureCfg,
+       double vanilla_e2e)
+{
+    PlatformConfig cfg = secureCfg;
+    cfg.secure = true;
+    double secure_e2e = runInference(cfg, workload()).e2eSeconds;
+    std::printf("%-22s %11.3fs %9.2f%%\n", label.c_str(), secure_e2e,
+                100.0 * (secure_e2e - vanilla_e2e) / vanilla_e2e);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    LogConfig::Quiet quiet;
+    std::printf("=== Design-knob ablations (Llama2-7b, tok=128, "
+                "batch=24) ===\n");
+
+    PlatformConfig vanilla;
+    vanilla.secure = false;
+    double base = runInference(vanilla, workload()).e2eSeconds;
+    std::printf("\nvanilla baseline: %.3fs\n", base);
+
+    std::printf("\nBounce chunk size (Adaptor + device burst "
+                "alignment)\n%-22s %12s %10s\n", "config", "ccAI E2E",
+                "overhead");
+    for (std::uint64_t chunk_kb : {64u, 128u, 256u, 512u}) {
+        PlatformConfig cfg;
+        cfg.adaptorConfig.chunkBytes = chunk_kb * kKiB;
+        report(std::to_string(chunk_kb) + "KiB-chunk", cfg, base);
+    }
+
+    std::printf("\nMetadata batch size (records per flush)\n%-22s "
+                "%12s %10s\n", "config", "ccAI E2E", "overhead");
+    for (std::uint32_t batch : {4u, 16u, 32u, 128u}) {
+        PlatformConfig cfg;
+        cfg.scConfig.metaBatchSize = batch;
+        report(std::to_string(batch) + "-rec-batch", cfg, base);
+    }
+
+    std::printf("\nAdaptor crypto threads (parallel security ops, "
+                "§5)\n%-22s %12s %10s\n", "config", "ccAI E2E",
+                "overhead");
+    for (int threads : {1, 2, 4, 8}) {
+        PlatformConfig cfg;
+        cfg.adaptorConfig.cryptoThreads = threads;
+        report(std::to_string(threads) + "-thread", cfg, base);
+    }
+
+    std::printf("\nPCIe-SC AES-GCM engine throughput\n%-22s %12s "
+                "%10s\n", "config", "ccAI E2E", "overhead");
+    for (double gbps : {8.0, 16.0, 32.0, 64.0}) {
+        PlatformConfig cfg;
+        cfg.scConfig.engineTiming.gcmBytesPerSec = gbps * 1e9;
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.0fGB/s-engine", gbps);
+        report(label, cfg, base);
+    }
+
+    std::printf("\nD2H staging slot size (drain-stall threshold)\n"
+                "%-22s %12s %10s\n", "config", "ccAI E2E", "overhead");
+    for (std::uint64_t slot_mb : {1u, 2u, 4u, 8u}) {
+        PlatformConfig cfg;
+        cfg.adaptorConfig.d2hSlotBytes = slot_mb * kMiB;
+        report(std::to_string(slot_mb) + "MiB-slot", cfg, base);
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 10 reproduction (RQ4): E2E latency overhead across the
+ * five xPU devices. Per the paper, the A100/RTX4090Ti/S60 run
+ * Llama2-7b and the memory-limited T4/N150d run OPT-1.3b; all runs
+ * use token size 512 and batch 1.
+ */
+
+#include "bench_util.hh"
+
+using namespace ccai;
+using namespace ccai::bench;
+
+int
+main()
+{
+    LogConfig::Quiet quiet;
+
+    std::printf("=== Figure 10: E2E latency across xPUs (tok=512, "
+                "batch=1) ===\n");
+    printHeader("E2E Latency by device", "E2E");
+
+    struct Point
+    {
+        const xpu::XpuSpec &device;
+        const llm::ModelSpec &model;
+    };
+    const Point points[] = {
+        {xpu::XpuSpec::a100(), llm::ModelSpec::llama2_7b()},
+        {xpu::XpuSpec::t4(), llm::ModelSpec::opt1b3()},
+        {xpu::XpuSpec::rtx4090Ti(), llm::ModelSpec::llama2_7b()},
+        {xpu::XpuSpec::enflameS60(), llm::ModelSpec::llama2_7b()},
+        {xpu::XpuSpec::tenstorrentN150d(), llm::ModelSpec::opt1b3()},
+    };
+
+    for (const Point &point : points) {
+        llm::InferenceConfig cfg;
+        cfg.model = point.model;
+        cfg.batch = 1;
+        cfg.inTokens = 512;
+
+        PlatformConfig base;
+        base.xpuSpec = point.device;
+        Row row{point.device.name + "(" + point.model.name + ")",
+                runComparison(cfg, base)};
+        std::printf("%-22s %12.3fs %12.3fs %9.2f%%\n",
+                    row.label.c_str(),
+                    row.result.vanilla.e2eSeconds,
+                    row.result.secure.e2eSeconds,
+                    row.result.e2eOverheadPct());
+        std::fflush(stdout);
+        std::fprintf(stderr, "fig10: %s done\n",
+                     point.device.name.c_str());
+    }
+    return 0;
+}

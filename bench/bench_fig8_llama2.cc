@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 8 reproduction (RQ3): Llama-2-7B-Chat on the A100 model,
+ * vanilla vs ccAI, across six panels:
+ *   (a) fix-batch (=1) E2E latency over token sizes 64..2048
+ *   (b) fix-token (=128) E2E latency over batch sizes 1..96
+ *   (c/d) the same sweeps for TPS
+ *   (e/f) the same sweeps for TTFT
+ */
+
+#include "bench_util.hh"
+
+using namespace ccai;
+using namespace ccai::bench;
+
+int
+main()
+{
+    LogConfig::Quiet quiet;
+
+    const std::vector<std::uint32_t> token_sweep = {64,  128, 256,
+                                                    512, 1024, 2048};
+    const std::vector<std::uint32_t> batch_sweep = {1,  3,  6, 12,
+                                                    24, 48, 96};
+
+    std::vector<Row> fix_batch, fix_token;
+
+    for (std::uint32_t tokens : token_sweep) {
+        llm::InferenceConfig cfg;
+        cfg.model = llm::ModelSpec::llama2_7b();
+        cfg.batch = 1;
+        cfg.inTokens = tokens;
+        fix_batch.push_back(
+            {std::to_string(tokens) + "-tok", runComparison(cfg)});
+        std::fprintf(stderr, "fig8: fix-batch %u-tok done\n", tokens);
+    }
+    for (std::uint32_t batch : batch_sweep) {
+        llm::InferenceConfig cfg;
+        cfg.model = llm::ModelSpec::llama2_7b();
+        cfg.batch = batch;
+        cfg.inTokens = 128;
+        fix_token.push_back(
+            {std::to_string(batch) + "-bat", runComparison(cfg)});
+        std::fprintf(stderr, "fig8: fix-token %u-bat done\n", batch);
+    }
+
+    std::printf("=== Figure 8: Llama-2-7B-Chat on A100 (vanilla vs "
+                "ccAI) ===\n");
+
+    printHeader("(a) Fix-batch (batch=1) E2E Latency", "E2E");
+    for (const Row &row : fix_batch)
+        printE2eRow(row);
+
+    printHeader("(b) Fix-token (tok=128) E2E Latency", "E2E");
+    for (const Row &row : fix_token)
+        printE2eRow(row);
+
+    printHeader("(c) Fix-batch TPS", "TPS");
+    for (const Row &row : fix_batch)
+        printTpsRow(row);
+
+    printHeader("(d) Fix-token TPS", "TPS");
+    for (const Row &row : fix_token)
+        printTpsRow(row);
+
+    printHeader("(e) Fix-batch TTFT", "TTFT");
+    for (const Row &row : fix_batch)
+        printTtftRow(row);
+
+    printHeader("(f) Fix-token TTFT", "TTFT");
+    for (const Row &row : fix_token)
+        printTtftRow(row);
+
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 9 reproduction (RQ4): E2E latency overhead across the nine
+ * LLMs (OPT-1.3b through Babel-83b), token size 512, batch 1, on
+ * the A100 model. Heavy models are quantized per the paper (INT8
+ * for Deepseek-r1-32b, INT4 for the 70b models, INT2 for Babel).
+ */
+
+#include "bench_util.hh"
+
+using namespace ccai;
+using namespace ccai::bench;
+
+int
+main()
+{
+    LogConfig::Quiet quiet;
+
+    std::printf("=== Figure 9: E2E latency across LLMs (tok=512, "
+                "batch=1, A100) ===\n");
+    printHeader("E2E Latency by model", "E2E");
+
+    for (const llm::ModelSpec &model : llm::ModelSpec::all()) {
+        llm::InferenceConfig cfg;
+        cfg.model = model;
+        cfg.batch = 1;
+        cfg.inTokens = 512;
+        Row row{model.name + "/" + llm::quantName(model.quant),
+                runComparison(cfg)};
+        std::printf("%-24s %11.3fs %11.3fs %9.2f%%\n",
+                    row.label.c_str(),
+                    row.result.vanilla.e2eSeconds,
+                    row.result.secure.e2eSeconds,
+                    row.result.e2eOverheadPct());
+        std::fflush(stdout);
+        std::fprintf(stderr, "fig9: %s done\n", model.name.c_str());
+    }
+    return 0;
+}

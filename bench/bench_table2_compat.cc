@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 2 reproduction (RQ1): the compatibility comparison between
+ * ccAI and eighteen prior confidential-xPU designs, plus the check
+ * that ccAI's row is the only fully-compatible one.
+ */
+
+#include <cstdio>
+
+#include "ccai/compat_matrix.hh"
+
+using namespace ccai;
+
+int
+main()
+{
+    std::printf("=== Table 2 (RQ1): compatibility comparison ===\n\n");
+    std::printf("%s", renderCompatMatrix().c_str());
+
+    int fully_compatible = 0;
+    std::string who;
+    for (const CompatRow &row : compatMatrix()) {
+        if (row.fullyCompatible()) {
+            ++fully_compatible;
+            who = row.name;
+        }
+    }
+    std::printf("\nFully compatible designs (no app/xPU-SW/xPU-HW "
+                "changes, general xPU, general TVM, no PL-SW "
+                "changes): %d (%s)\n",
+                fully_compatible, who.c_str());
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 3 reproduction (RQ2): TCB addition of ccAI. Software LoC is
+ * counted live from this repository's Adaptor (src/tvm) and trust
+ * (src/trust) sources; hardware usage comes from the PCIe-SC's FPGA
+ * resource model. The paper's prototype reference numbers are
+ * printed alongside.
+ */
+
+#include <cstdio>
+
+#include "ccai/tcb_report.hh"
+
+using namespace ccai;
+
+int
+main(int argc, char **argv)
+{
+    std::string src_root = CCAI_SOURCE_ROOT "/src";
+    if (argc > 1)
+        src_root = argv[1];
+
+    std::printf("=== Table 3 (RQ2): TCB addition breakdown ===\n\n");
+    auto rows = tcbBreakdown(src_root);
+    std::printf("%s", renderTcbReport(rows).c_str());
+
+    std::printf("\nPaper prototype reference: Adaptor 2.1K LoC, Trust "
+                "Modules 1.0K LoC;\nPCIe-SC 218.6K ALUTs / 195.7K "
+                "Regs / 630 BRAMs total.\n");
+    std::printf("(Software LoC above is measured live from %s;\n"
+                " hardware numbers derive from the FPGA resource "
+                "model.)\n",
+                src_root.c_str());
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark binaries: series
+ * printing in the paper's format and quiet-log scoping.
+ */
+
+#ifndef CCAI_BENCH_BENCH_UTIL_HH
+#define CCAI_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ccai/experiment.hh"
+
+namespace ccai::bench
+{
+
+/** One row of a vanilla-vs-ccAI series. */
+struct Row
+{
+    std::string label;
+    ComparisonResult result;
+};
+
+inline void
+printHeader(const std::string &title, const std::string &metric)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-14s %14s %14s %10s\n", "config",
+                ("vanilla " + metric).c_str(),
+                ("ccAI " + metric).c_str(), "overhead");
+    std::printf("%s\n", std::string(56, '-').c_str());
+}
+
+inline void
+printE2eRow(const Row &row)
+{
+    std::printf("%-14s %13.3fs %13.3fs %9.2f%%\n", row.label.c_str(),
+                row.result.vanilla.e2eSeconds,
+                row.result.secure.e2eSeconds,
+                row.result.e2eOverheadPct());
+}
+
+inline void
+printTpsRow(const Row &row)
+{
+    std::printf("%-14s %14.1f %14.1f %9.2f%%\n", row.label.c_str(),
+                row.result.vanilla.tps, row.result.secure.tps,
+                row.result.tpsOverheadPct());
+}
+
+inline void
+printTtftRow(const Row &row)
+{
+    std::printf("%-14s %13.4fs %13.4fs %9.2f%%\n", row.label.c_str(),
+                row.result.vanilla.ttftSeconds,
+                row.result.secure.ttftSeconds,
+                row.result.ttftOverheadPct());
+}
+
+} // namespace ccai::bench
+
+#endif // CCAI_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Security demonstration (the paper's §8.2 analysis, live): runs
+ * the threat model's attacks against a ccAI platform and shows each
+ * defense firing — and, for contrast, what the same bus attacker
+ * sees on an unprotected vanilla machine.
+ *
+ *   $ ./attack_demo
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "attack/bus_tap.hh"
+#include "ccai/platform.hh"
+
+using namespace ccai;
+using namespace ccai::pcie;
+namespace mm = ccai::pcie::memmap;
+
+namespace
+{
+
+bool
+leaks(const std::vector<Tlp> &captured, const Bytes &secret)
+{
+    Bytes probe(secret.begin(),
+                secret.begin() + std::min<size_t>(16, secret.size()));
+    for (const Tlp &tlp : captured) {
+        if (tlp.data.size() < probe.size())
+            continue;
+        if (std::search(tlp.data.begin(), tlp.data.end(),
+                        probe.begin(),
+                        probe.end()) != tlp.data.end())
+            return true;
+    }
+    return false;
+}
+
+void
+banner(const char *title)
+{
+    std::printf("\n--- %s ---\n", title);
+}
+
+} // namespace
+
+int
+main()
+{
+    LogConfig::Quiet quiet;
+    sim::Rng rng(0xA77AC);
+    Bytes secret = rng.bytes(4096);
+
+    banner("1. Bus snooping on a ccAI-protected platform");
+    {
+        Platform p(PlatformConfig{.secure = true,
+                                  .attachBusTap = true});
+        p.establishTrust();
+        p.runtime().memcpyH2D(mm::kXpuVram.base, secret,
+                              secret.size(), [] {});
+        p.run();
+        std::printf("tap captured %zu packets; plaintext leaked: "
+                    "%s\n",
+                    p.busTap()->captured().size(),
+                    leaks(p.busTap()->captured(), secret) ? "YES"
+                                                          : "no");
+        std::printf("device received the correct plaintext: %s\n",
+                    p.xpu().vram().read(0, secret.size()) == secret
+                        ? "yes"
+                        : "NO");
+    }
+
+    banner("2. The same snoop against a vanilla (unprotected) machine");
+    {
+        // No PCIe-SC: the staging buffer and bus carry plaintext.
+        Platform p(PlatformConfig{.secure = false});
+        p.establishTrust();
+        p.runtime().memcpyH2D(mm::kXpuVram.base, secret,
+                              secret.size(), [] {});
+        p.run();
+        // A vanilla attacker can read the DMA staging area directly.
+        Bytes staging =
+            p.hostMemory().read(mm::kTvmPrivate.base, secret.size());
+        std::printf("plaintext visible in unprotected DMA staging: "
+                    "%s\n",
+                    staging == secret ? "YES (this is the problem "
+                                        "ccAI solves)"
+                                      : "no");
+    }
+
+    banner("3. Ciphertext tampering is detected");
+    {
+        Platform p(PlatformConfig{.secure = true,
+                                  .attachBusTap = true});
+        p.establishTrust();
+        p.busTap()->setMode(attack::TapMode::TamperPayload);
+        p.busTap()->setTargetFilter([](const Tlp &tlp) {
+            return tlp.type == TlpType::Completion &&
+                   tlp.data.size() >= 1024;
+        });
+        p.runtime().memcpyH2D(mm::kXpuVram.base, secret,
+                              secret.size(), [] {});
+        p.run();
+        std::printf("tampered packets: %llu, integrity failures "
+                    "flagged by PCIe-SC: %llu\n",
+                    (unsigned long long)p.busTap()->tampered(),
+                    (unsigned long long)p.pcieSc()
+                        ->stats()
+                        .counter("a2_integrity_failures")
+                        .value());
+        std::printf("corrupted data reached the device: %s\n",
+                    p.xpu().vram().read(0, secret.size()) ==
+                            Bytes(secret.size(), 0)
+                        ? "no (blocked)"
+                        : "YES");
+    }
+
+    banner("4. Command replay is rejected");
+    {
+        Platform p(PlatformConfig{.secure = true,
+                                  .attachBusTap = true});
+        p.establishTrust();
+        p.busTap()->setMode(attack::TapMode::Replay);
+        p.busTap()->setTargetFilter([](const Tlp &tlp) {
+            return tlp.type == TlpType::MemWrite &&
+                   mm::kXpuMmio.contains(tlp.address);
+        });
+        p.runtime().launchKernel(1 * kTicksPerMs);
+        p.run();
+        std::printf("kernels executed: %llu (the replayed copy was "
+                    "dropped; A3 failures: %llu)\n",
+                    (unsigned long long)p.xpu()
+                        .stats()
+                        .counter("kernels")
+                        .value(),
+                    (unsigned long long)p.pcieSc()
+                        ->stats()
+                        .counter("a3_integrity_failures")
+                        .value());
+    }
+
+    banner("5. Malicious peer device probing the platform");
+    {
+        Platform p(PlatformConfig{.secure = true});
+        p.establishTrust();
+        attack::MaliciousDevice evil(p.system(), "evil");
+        DuplexLink link(p.system(), "sw_evil", &p.rootSwitch(), &evil,
+                        LinkConfig{});
+        int port = p.rootSwitch().addPort(&link.downstream());
+        p.rootSwitch().mapRoutingId(wellknown::kMaliciousDevice, port);
+        evil.connectUpstream(&link.upstream());
+
+        p.hostMemory().write(mm::kTvmPrivate.base, secret);
+        evil.dmaReadHost(mm::kTvmPrivate.base, 4096);
+        evil.probeXpu(mm::kXpuMmio.base, 8);
+        p.run();
+        std::printf("device exfiltrated %zu packets; completer "
+                    "aborts received: %llu\n",
+                    evil.loot().size(),
+                    (unsigned long long)evil.aborts());
+        std::printf("IOMMU blocks: %llu, Packet Filter blocks: "
+                    "%llu\n",
+                    (unsigned long long)p.rootComplex()
+                        .stats()
+                        .counter("iommu_blocked")
+                        .value(),
+                    (unsigned long long)p.pcieSc()->filter().blocked());
+    }
+
+    banner("6. Physical chassis tampering is measured");
+    {
+        Platform p(PlatformConfig{.secure = true});
+        p.establishTrust();
+        Bytes sealed_pcr = p.blade()->pcrs().value(
+            trust::pcridx::kSealingStatus);
+        p.sealing()->injectReading(0, 20.0); // pressure drop
+        p.sealing()->pollOnce();
+        std::printf("tamper detected: %s; sealing PCR changed: %s\n",
+                    p.sealing()->tamperDetected() ? "yes" : "NO",
+                    p.blade()->pcrs().value(
+                        trust::pcridx::kSealingStatus) != sealed_pcr
+                        ? "yes (remote verifier will notice)"
+                        : "NO");
+    }
+
+    std::printf("\nAll six adversary classes handled per the threat "
+                "model (§2.2/§8.2).\n");
+    return 0;
+}

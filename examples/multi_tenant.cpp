@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Multi-tenant confidential serving (the paper's §9 extension): two
+ * mutually-distrusting tenants share one xPU behind one PCIe-SC.
+ * The controller tells them apart by PCIe requester ID and keeps an
+ * isolated secure channel per tenant — separate AES-GCM keys, chunk
+ * tables, and bounce/metadata windows — so each tenant's prompts
+ * and results are opaque to the other.
+ *
+ *   $ ./multi_tenant
+ */
+
+#include <cstdio>
+
+#include "ccai/platform.hh"
+
+using namespace ccai;
+using namespace ccai::pcie;
+namespace mm = ccai::pcie::memmap;
+
+int
+main()
+{
+    LogConfig::Quiet quiet;
+
+    PlatformConfig cfg{.secure = true};
+    cfg.maxTenants = 2;
+    Platform platform(cfg);
+    if (!platform.establishTrust().ok())
+        return 1;
+
+    // Tenant B joins with its own requester ID and key negotiation.
+    Platform::Tenant &b = platform.addTenant(Bdf{0x00, 0x04, 0x0});
+    std::printf("two tenants established (%zu sessions on the "
+                "PCIe-SC)\n",
+                platform.pcieSc()->tenantCount());
+
+    sim::Rng rng(0x7E4A47);
+    Bytes secret_a = rng.bytes(64 * kKiB);
+    Bytes secret_b = rng.bytes(64 * kKiB);
+    Bytes got_a, got_b;
+
+    // Both tenants work the shared device concurrently.
+    platform.runtime().memcpyH2D(
+        mm::kXpuVram.base, secret_a, secret_a.size(), [&] {
+            platform.runtime().launchKernel(1 * kTicksPerMs);
+            platform.runtime().memcpyD2H(
+                mm::kXpuVram.base, secret_a.size(), false,
+                [&](Bytes d) { got_a = std::move(d); });
+        });
+    b.runtime->memcpyH2D(
+        mm::kXpuVram.base + kGiB, secret_b, secret_b.size(), [&] {
+            b.runtime->launchKernel(1 * kTicksPerMs);
+            b.runtime->memcpyD2H(
+                mm::kXpuVram.base + kGiB, secret_b.size(), false,
+                [&](Bytes d) { got_b = std::move(d); });
+        });
+    platform.run();
+
+    std::printf("tenant A round trip: %s\n",
+                got_a == secret_a ? "ok" : "FAILED");
+    std::printf("tenant B round trip: %s\n",
+                got_b == secret_b ? "ok" : "FAILED");
+
+    // Isolation: what sits in tenant A's bounce window is
+    // ciphertext under A's keys; B's keys cannot open it.
+    Addr a_window = platform.adaptor()->config().d2hWindow.base;
+    Bytes a_ciphertext =
+        platform.hostMemory().read(a_window, secret_a.size());
+    bool leaked = a_ciphertext == secret_a;
+    auto *b_keys = b.adaptor->keyManager();
+    auto opened =
+        b_keys->cipherForEpoch(trust::StreamDir::DeviceToHost, 0)
+            .open(b_keys->nextIv(trust::StreamDir::DeviceToHost),
+                  a_ciphertext, Bytes(16, 0));
+    std::printf("tenant A's results plaintext-visible to B: %s; "
+                "decryptable with B's keys: %s\n",
+                leaked ? "YES" : "no",
+                opened.has_value() ? "YES" : "no");
+
+    // Tenant B leaves; A keeps running. Device scrubbed only when
+    // the last tenant ends.
+    b.adaptor->endTask(true);
+    platform.run();
+    std::printf("tenant B ended; sessions left: %zu, device "
+                "scrubbed: %s\n",
+                platform.pcieSc()->tenantCount(),
+                platform.xpu().envState().clean() ? "yes" : "not yet");
+    platform.adaptor()->endTask(true);
+    platform.run();
+    std::printf("owner ended; device scrubbed: %s\n",
+                platform.xpu().envState().clean() ? "yes" : "NO");
+    return 0;
+}

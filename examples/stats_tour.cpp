@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Observability tour: runs a small confidential workload and dumps
+ * every component's statistics (gem5-style), so you can see exactly
+ * what the fabric, the PCIe-SC, the Adaptor and the device did —
+ * packet counts per security class, integrity checks, records,
+ * doorbells, interrupts, wire bytes.
+ *
+ *   $ ./stats_tour
+ */
+
+#include <cstdio>
+
+#include "ccai/platform.hh"
+
+using namespace ccai;
+namespace mm = ccai::pcie::memmap;
+
+int
+main()
+{
+    LogConfig::Quiet quiet;
+    Platform platform(PlatformConfig{.secure = true});
+    if (!platform.establishTrust().ok())
+        return 1;
+
+    sim::Rng rng(0x57A75);
+    Bytes data = rng.bytes(512 * kKiB);
+    platform.runtime().memcpyH2D(mm::kXpuVram.base, data, data.size(),
+                                 [&] {
+        platform.runtime().launchKernel(1 * kTicksPerMs);
+        platform.runtime().memcpyD2H(mm::kXpuVram.base, data.size(),
+                                     false, [](Bytes) {});
+    });
+    platform.run();
+
+    std::printf("One 512 KiB confidential round trip + one kernel; "
+                "simulated time %.3f ms.\n\n",
+                ticksToSeconds(platform.system().now()) * 1e3);
+    std::printf("%s", platform.system().dumpStats().c_str());
+
+    std::printf("\nPCR event log of the HRoT-Blade:\n");
+    for (const trust::MeasurementEvent &ev :
+         platform.blade()->pcrs().eventLog()) {
+        std::printf("  PCR[%2zu] <- %s\n", ev.pcrIndex,
+                    ev.description.c_str());
+    }
+    return 0;
+}

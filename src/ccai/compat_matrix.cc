@@ -1,0 +1,135 @@
+#include "compat_matrix.hh"
+
+#include <sstream>
+
+namespace ccai
+{
+
+const char *
+changeReqName(ChangeReq req)
+{
+    switch (req) {
+      case ChangeReq::No:
+        return "No";
+      case ChangeReq::Yes:
+        return "Yes";
+      case ChangeReq::Optional:
+        return "Optional";
+      case ChangeReq::CustomApi:
+        return "Customized API";
+    }
+    return "?";
+}
+
+const char *
+designTypeName(DesignType type)
+{
+    switch (type) {
+      case DesignType::CpuTeeBased:
+        return "CPU TEE-based";
+      case DesignType::PlSwAssisted:
+        return "PL-SW-assisted";
+      case DesignType::Hardware:
+        return "Hardware";
+      case DesignType::IsolatedPlatform:
+        return "Isolated Platform";
+      case DesignType::TdispBased:
+        return "TDISP-based";
+      case DesignType::Ccai:
+        return "ccAI";
+    }
+    return "?";
+}
+
+bool
+CompatRow::fullyCompatible() const
+{
+    return appChanges == ChangeReq::No &&
+           xpuSwChanges == ChangeReq::No &&
+           xpuHwChanges == ChangeReq::No &&
+           supportedXpu == "General xPU" &&
+           supportedTee == "General TVM" && plSwChanges == "No";
+}
+
+const std::vector<CompatRow> &
+compatMatrix()
+{
+    using CR = ChangeReq;
+    using DT = DesignType;
+    static const std::vector<CompatRow> rows = {
+        // CPU TEE-based designs
+        {"ACAI", DT::CpuTeeBased, CR::No, CR::Yes, CR::No,
+         "TDISP-compliant xPU", "Arm CCA", "RMM, Monitor"},
+        {"Cronus", DT::CpuTeeBased, CR::No, CR::Yes, CR::No,
+         "General xPU", "Arm SEL2", "S-Hyp, Monitor"},
+        {"CURE", DT::CpuTeeBased, CR::No, CR::Yes, CR::No, "GPU",
+         "Customized RISC-V TEE", "Monitor, CPU Firmware"},
+        {"HIX", DT::CpuTeeBased, CR::CustomApi, CR::Yes, CR::No, "GPU",
+         "Intel SGX", "CPU Firmware"},
+        {"Portal", DT::CpuTeeBased, CR::No, CR::Yes, CR::No, "GPU",
+         "Arm CCA", "RMM, Monitor"},
+        {"HyperTEE", DT::CpuTeeBased, CR::CustomApi, CR::Yes, CR::No,
+         "DNN Accelerator", "Customized RISC-V TEE", "Monitor"},
+        // Privileged-software-assisted designs
+        {"CAGE", DT::PlSwAssisted, CR::No, CR::Yes, CR::No, "GPU",
+         "Arm CCA", "Monitor"},
+        {"Honeycomb", DT::PlSwAssisted, CR::No, CR::Yes, CR::No, "GPU",
+         "AMD SEV", "SVSM, Monitor"},
+        {"MyTEE", DT::PlSwAssisted, CR::No, CR::Yes, CR::No, "GPU",
+         "Customized Arm TEE", "Monitor"},
+        // Hardware designs
+        {"ITX", DT::Hardware, CR::CustomApi, CR::Yes, CR::Yes, "IPU",
+         "General TVM", "No"},
+        {"NVIDIA H100", DT::Hardware, CR::No, CR::Yes, CR::Yes, "GPU",
+         "Intel TDX, AMD SEV", "No"},
+        {"Graviton", DT::Hardware, CR::No, CR::Yes, CR::Yes, "GPU",
+         "Intel SGX", "No"},
+        {"ShEF", DT::Hardware, CR::CustomApi, CR::Yes, CR::Yes,
+         "FPGA-Acc.", "General TVM", "No"},
+        // Isolated platform
+        {"HETEE", DT::IsolatedPlatform, CR::CustomApi, CR::No, CR::No,
+         "General xPU", "Customized proxy TEE", "No"},
+        // TDISP-based designs
+        {"Intel TDX Connect", DT::TdispBased, CR::No, CR::Optional,
+         CR::Optional, "TDISP-compliant xPU", "Intel TDX",
+         "TDX Connect"},
+        {"ARM RME-DA", DT::TdispBased, CR::No, CR::Optional,
+         CR::Optional, "TDISP-compliant xPU", "Arm CCA", "RMM"},
+        {"AMD SEV-TIO", DT::TdispBased, CR::No, CR::Optional,
+         CR::Optional, "TDISP-compliant xPU", "AMD SEV",
+         "SEV Firmware"},
+        // This work
+        {"ccAI", DT::Ccai, CR::No, CR::No, CR::No, "General xPU",
+         "General TVM", "No"},
+    };
+    return rows;
+}
+
+std::string
+renderCompatMatrix()
+{
+    std::ostringstream os;
+    os << "Table 2: Compatibility comparison (user transparency / "
+          "multi-type xPU support / heterogeneous cloud support)\n";
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-18s %-18s %-15s %-11s %-11s %-22s %-22s %-20s\n",
+                  "Design", "Type", "App Changes", "xPU SW", "xPU HW",
+                  "Supported xPU", "Supported TEE/TVM", "PL-SW Changes");
+    os << line;
+    for (const CompatRow &row : compatMatrix()) {
+        std::snprintf(line, sizeof(line),
+                      "%-18s %-18s %-15s %-11s %-11s %-22s %-22s %-20s\n",
+                      row.name.c_str(), designTypeName(row.type),
+                      changeReqName(row.appChanges),
+                      changeReqName(row.xpuSwChanges),
+                      changeReqName(row.xpuHwChanges),
+                      row.supportedXpu.c_str(),
+                      row.supportedTee.c_str(),
+                      row.plSwChanges.c_str());
+        os << line;
+    }
+    return os.str();
+}
+
+} // namespace ccai

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compatibility comparison data (paper Table 2, RQ1): a structured
+ * encoding of the design properties of ccAI and the eighteen prior
+ * systems it is compared against, plus a renderer that reproduces
+ * the table. The data is behavioural, not just a printout: the test
+ * suite asserts ccAI's row is the only one that is fully "green"
+ * (no app changes, no xPU software/hardware changes, general xPU,
+ * general TVM, no privileged-software changes).
+ */
+
+#ifndef CCAI_CCAI_COMPAT_MATRIX_HH
+#define CCAI_CCAI_COMPAT_MATRIX_HH
+
+#include <string>
+#include <vector>
+
+namespace ccai
+{
+
+/** Values for the "changes required" columns. */
+enum class ChangeReq
+{
+    No,
+    Yes,
+    Optional,
+    CustomApi, ///< "Customized API" — worse than No for transparency
+};
+
+/** Design family (Table 2's "Design Type" column). */
+enum class DesignType
+{
+    CpuTeeBased,
+    PlSwAssisted,
+    Hardware,
+    IsolatedPlatform,
+    TdispBased,
+    Ccai,
+};
+
+/** One row of the comparison. */
+struct CompatRow
+{
+    std::string name;
+    DesignType type;
+    ChangeReq appChanges;
+    ChangeReq xpuSwChanges;
+    ChangeReq xpuHwChanges;
+    std::string supportedXpu;
+    std::string supportedTee;
+    std::string plSwChanges; ///< host privileged-software changes
+
+    /** True when every compatibility dimension is the green value. */
+    bool fullyCompatible() const;
+};
+
+/** The full comparison table. */
+const std::vector<CompatRow> &compatMatrix();
+
+/** Render the matrix as the paper-style text table. */
+std::string renderCompatMatrix();
+
+const char *changeReqName(ChangeReq req);
+const char *designTypeName(DesignType type);
+
+} // namespace ccai
+
+#endif // CCAI_CCAI_COMPAT_MATRIX_HH

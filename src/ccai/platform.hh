@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Platform assembly: builds a complete simulated machine — either
+ * the ccAI-protected topology (root complex <-> switch <-> PCIe-SC
+ * <-> xPU, plus Adaptor and trust infrastructure) or the vanilla
+ * baseline (same machine without the PCIe-SC and Adaptor). This is
+ * the top-level entry point of the library: examples and benchmarks
+ * construct a Platform, establish trust, and run workloads through
+ * the ccrt runtime.
+ */
+
+#ifndef CCAI_CCAI_PLATFORM_HH
+#define CCAI_CCAI_PLATFORM_HH
+
+#include <memory>
+
+#include "attack/bus_tap.hh"
+#include "llm/inference.hh"
+#include "sc/pcie_sc.hh"
+#include "trust/attestation.hh"
+#include "trust/sealing.hh"
+#include "trust/secure_boot.hh"
+#include "tvm/runtime.hh"
+#include "xpu/xpu_device.hh"
+
+namespace ccai
+{
+
+/** How the machine is built. */
+struct PlatformConfig
+{
+    /** true: ccAI topology; false: vanilla baseline. */
+    bool secure = true;
+    xpu::XpuSpec xpuSpec = xpu::XpuSpec::a100();
+    /** Host-side PCIe (root complex <-> switch <-> SC). */
+    pcie::LinkConfig hostLink;
+    /** PCIe-SC's internal bus to the xPU. */
+    pcie::LinkConfig internalLink;
+    sc::PcieScConfig scConfig;
+    tvm::AdaptorConfig adaptorConfig;
+    tvm::AdaptorTiming adaptorTiming;
+    tvm::TvmTiming tvmTiming;
+    std::uint64_t seed = 0x5EED;
+    /**
+     * Splice a physical bus attacker (attack::BusTap) into the
+     * host-side PCIe segment between the root switch and the
+     * PCIe-SC — the segment the paper's threat model exposes to
+     * snooping/tampering. Secure platforms only.
+     */
+    bool attachBusTap = false;
+    /**
+     * Tenant slots (paper §9 multi-user support): the bounce and
+     * metadata regions are partitioned into this many per-tenant
+     * windows. Slot 0 is the owner TVM; additional tenants join via
+     * Platform::addTenant().
+     */
+    std::uint32_t maxTenants = 1;
+};
+
+/** Outcome of Platform::establishTrust(). */
+struct TrustReport
+{
+    bool secureBootOk = false;
+    bool attestationOk = false;
+    bool sealed = false;
+    std::string failure;
+
+    bool
+    ok() const
+    {
+        return secureBootOk && attestationOk && sealed;
+    }
+};
+
+/**
+ * The assembled machine.
+ */
+class Platform
+{
+  public:
+    explicit Platform(const PlatformConfig &config = {});
+    ~Platform();
+
+    sim::System &system() { return sys_; }
+    const PlatformConfig &config() const { return config_; }
+
+    tvm::Tvm &tvm() { return *tvm_; }
+    tvm::Runtime &runtime() { return *runtime_; }
+    tvm::XpuDriver &driver() { return *driver_; }
+    xpu::XpuDevice &xpu() { return *xpu_; }
+    pcie::RootComplex &rootComplex() { return *rc_; }
+    pcie::HostMemory &hostMemory() { return mem_; }
+    pcie::Switch &rootSwitch() { return *switch_; }
+
+    /** nullptr on a vanilla platform. */
+    sc::PcieSc *pcieSc() { return sc_.get(); }
+    tvm::Adaptor *adaptor() { return adaptor_.get(); }
+    trust::HrotBlade *blade() { return blade_.get(); }
+    trust::HrotBlade *cpuHrot() { return cpuHrot_.get(); }
+    /** nullptr unless attachBusTap was set. */
+    attack::BusTap *busTap() { return busTap_.get(); }
+    trust::ChassisSealing *sealing() { return sealing_.get(); }
+    trust::RootCa *rootCa() { return ca_.get(); }
+
+    /**
+     * Run the full trust-establishment sequence (§6): secure boot of
+     * the PCIe-SC from encrypted flash, measurement of the TVM
+     * stack, chassis sealing, remote attestation by a user verifier,
+     * TVM<->PCIe-SC key negotiation, and policy installation. On a
+     * vanilla platform this is a no-op that reports success.
+     */
+    TrustReport establishTrust();
+
+    /**
+     * A co-resident tenant with its own TVM, Adaptor, driver and
+     * runtime, isolated from the owner by the PCIe-SC's per-tenant
+     * sessions (paper §9).
+     */
+    struct Tenant
+    {
+        pcie::Bdf bdf;
+        std::unique_ptr<tvm::Tvm> tvm;
+        std::unique_ptr<tvm::Adaptor> adaptor;
+        std::unique_ptr<tvm::XpuDriver> driver;
+        std::unique_ptr<tvm::Runtime> runtime;
+    };
+
+    /**
+     * Attach an additional tenant after establishTrust(): negotiates
+     * its own session keys with the PCIe-SC, carves its bounce and
+     * metadata windows, and extends the packet policy with its
+     * requester ID. Requires a secure platform with a free slot.
+     */
+    Tenant &addTenant(pcie::Bdf bdf);
+
+    const std::vector<std::unique_ptr<Tenant>> &tenants() const
+    {
+        return tenants_;
+    }
+
+    /** Drive the event loop until it drains. */
+    void run() { sys_.run(); }
+
+    /** The link feeding the switch (bandwidth stress tests). */
+    void setHostLinkConfig(const pcie::LinkConfig &config);
+
+  private:
+    void buildTopology();
+    pcie::AddrRange tenantSlice(pcie::AddrRange region,
+                                std::uint32_t slot) const;
+    void installPolicyForAllTenants();
+
+    PlatformConfig config_;
+    sim::System sys_;
+    sim::Rng rng_;
+    pcie::HostMemory mem_;
+
+    std::unique_ptr<pcie::RootComplex> rc_;
+    std::unique_ptr<tvm::Tvm> tvm_;
+    std::unique_ptr<pcie::Switch> switch_;
+    std::unique_ptr<sc::PcieSc> sc_;
+    std::unique_ptr<xpu::XpuDevice> xpu_;
+    std::unique_ptr<pcie::DuplexLink> rcSwitchLink_;
+    std::unique_ptr<pcie::DuplexLink> switchScLink_;
+    std::unique_ptr<pcie::DuplexLink> scXpuLink_;
+    std::unique_ptr<pcie::DuplexLink> switchXpuLink_; // vanilla
+    std::unique_ptr<attack::BusTap> busTap_;
+    std::unique_ptr<pcie::DuplexLink> tapScLink_;
+
+    std::unique_ptr<tvm::Adaptor> adaptor_;
+    std::unique_ptr<tvm::XpuDriver> driver_;
+    std::unique_ptr<tvm::Runtime> runtime_;
+
+    std::unique_ptr<trust::RootCa> ca_;
+    std::unique_ptr<trust::HrotBlade> cpuHrot_;
+    std::unique_ptr<trust::HrotBlade> blade_;
+    std::unique_ptr<trust::ChassisSealing> sealing_;
+
+    std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+} // namespace ccai
+
+#endif // CCAI_CCAI_PLATFORM_HH

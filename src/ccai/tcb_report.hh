@@ -1,0 +1,51 @@
+/**
+ * @file
+ * TCB-addition accounting (paper Table 3, RQ2): how much software
+ * (TVM-side lines of code) and hardware (FPGA fabric) ccAI adds to
+ * the trusted computing base. Software LoC is measured live from
+ * this repository's Adaptor and trust sources when available, with
+ * the prototype's reference numbers as fallback; hardware usage
+ * comes from the ResourceModel.
+ */
+
+#ifndef CCAI_CCAI_TCB_REPORT_HH
+#define CCAI_CCAI_TCB_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sc/resource_model.hh"
+
+namespace ccai
+{
+
+/** One row of the TCB breakdown. */
+struct TcbRow
+{
+    std::string side;      ///< "TVM" or "PCIe-SC"
+    std::string component;
+    std::uint64_t loc = 0; ///< software lines of code
+    std::uint64_t aluts = 0;
+    std::uint64_t regs = 0;
+    std::uint64_t brams = 0;
+};
+
+/**
+ * Count non-blank lines of the .cc/.hh files under @p dir.
+ * Returns 0 when the directory is unavailable (installed builds).
+ */
+std::uint64_t countSourceLines(const std::string &dir);
+
+/** Assemble the Table 3 breakdown. @p srcRoot locates this repo's
+ * sources for live LoC measurement ("" = use reference numbers). */
+std::vector<TcbRow> tcbBreakdown(const std::string &srcRoot = "");
+
+/** Sum of a breakdown. */
+TcbRow tcbTotal(const std::vector<TcbRow> &rows);
+
+/** Render the paper-style table. */
+std::string renderTcbReport(const std::vector<TcbRow> &rows);
+
+} // namespace ccai
+
+#endif // CCAI_CCAI_TCB_REPORT_HH

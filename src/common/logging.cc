@@ -1,0 +1,87 @@
+#include "logging.hh"
+
+#include <cstdarg>
+
+namespace ccai
+{
+
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+void
+logRecord(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (level < LogConfig::threshold())
+        return;
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::logRecord(LogLevel::Error, "panic", msg);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::logRecord(LogLevel::Error, "fatal", msg);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::logRecord(LogLevel::Warn, "warn", msg);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::logRecord(LogLevel::Info, "info", msg);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    detail::logRecord(LogLevel::Debug, "debug", msg);
+}
+
+} // namespace ccai

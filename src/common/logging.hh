@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Logging and error-reporting primitives in the gem5 idiom.
+ *
+ * panic()  -- internal invariant violated; a bug in the simulator.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, invalid arguments).
+ * warn()   -- something is off but execution can continue.
+ * inform() -- status message, no connotation of incorrect behaviour.
+ */
+
+#ifndef CCAI_COMMON_LOGGING_HH
+#define CCAI_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccai
+{
+
+/** Severity of a log record. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Global log configuration. The threshold suppresses records below it;
+ * benchmarks raise it to Warn so figure output stays clean.
+ */
+class LogConfig
+{
+  public:
+    static LogLevel &
+    threshold()
+    {
+        static LogLevel level = LogLevel::Info;
+        return level;
+    }
+
+    /** RAII helper that silences Info/Debug records in a scope. */
+    class Quiet
+    {
+      public:
+        Quiet() : saved_(threshold()) { threshold() = LogLevel::Warn; }
+        ~Quiet() { threshold() = saved_; }
+
+      private:
+        LogLevel saved_;
+    };
+};
+
+namespace detail
+{
+
+void logRecord(LogLevel level, const char *tag, const std::string &msg);
+
+std::string vformat(const char *fmt, va_list ap);
+
+} // namespace detail
+
+/** Report a simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious condition; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose debugging output, suppressed unless threshold is Debug. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exception thrown by simulation components on protocol/security
+ * violations that tests want to observe rather than die on.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** panic() unless the condition holds. */
+#define ccai_assert(cond)                                                  \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ccai::panic("assertion '%s' failed at %s:%d", #cond,         \
+                          __FILE__, __LINE__);                             \
+        }                                                                  \
+    } while (0)
+
+} // namespace ccai
+
+#endif // CCAI_COMMON_LOGGING_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by all modules.
+ */
+
+#ifndef CCAI_COMMON_TYPES_HH
+#define CCAI_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ccai
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Guest/device physical address. */
+using Addr = std::uint64_t;
+
+/** Raw byte buffer used for packet payloads and memory contents. */
+using Bytes = std::vector<std::uint8_t>;
+
+constexpr Tick kTicksPerPs = 1;
+constexpr Tick kTicksPerNs = 1000 * kTicksPerPs;
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert seconds (double) to ticks. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kTicksPerSec));
+}
+
+/** Convert ticks to seconds (double). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+} // namespace ccai
+
+#endif // CCAI_COMMON_TYPES_HH

@@ -1,0 +1,246 @@
+#include "aes.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::crypto
+{
+
+namespace
+{
+
+/** Generate the AES S-box at startup from the finite-field inverse. */
+struct Tables
+{
+    std::uint8_t sbox[256];
+    std::uint8_t inv_sbox[256];
+
+    static std::uint8_t
+    gmul(std::uint8_t a, std::uint8_t b)
+    {
+        std::uint8_t p = 0;
+        for (int i = 0; i < 8; ++i) {
+            if (b & 1)
+                p ^= a;
+            bool hi = a & 0x80;
+            a <<= 1;
+            if (hi)
+                a ^= 0x1b;
+            b >>= 1;
+        }
+        return p;
+    }
+
+    Tables()
+    {
+        // Multiplicative inverse table via exhaustive search (256^2
+        // is trivial at startup), then affine transform per FIPS-197.
+        std::uint8_t inv[256] = {0};
+        for (int a = 1; a < 256; ++a) {
+            for (int b = 1; b < 256; ++b) {
+                if (gmul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)) == 1) {
+                    inv[a] = static_cast<std::uint8_t>(b);
+                    break;
+                }
+            }
+        }
+        for (int i = 0; i < 256; ++i) {
+            std::uint8_t x = inv[i];
+            std::uint8_t y = x;
+            for (int j = 0; j < 4; ++j) {
+                y = static_cast<std::uint8_t>((y << 1) | (y >> 7));
+                x ^= y;
+            }
+            x ^= 0x63;
+            sbox[i] = x;
+            inv_sbox[x] = static_cast<std::uint8_t>(i);
+        }
+    }
+};
+
+const Tables &
+tables()
+{
+    static Tables t;
+    return t;
+}
+
+std::uint32_t
+subWord(std::uint32_t w)
+{
+    const Tables &t = tables();
+    return (std::uint32_t(t.sbox[(w >> 24) & 0xff]) << 24) |
+           (std::uint32_t(t.sbox[(w >> 16) & 0xff]) << 16) |
+           (std::uint32_t(t.sbox[(w >> 8) & 0xff]) << 8) |
+           std::uint32_t(t.sbox[w & 0xff]);
+}
+
+std::uint32_t
+rotWord(std::uint32_t w)
+{
+    return (w << 8) | (w >> 24);
+}
+
+std::uint8_t
+xtime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+}
+
+std::uint8_t
+mul(std::uint8_t x, std::uint8_t y)
+{
+    return Tables::gmul(x, y);
+}
+
+} // namespace
+
+Aes::Aes(const Bytes &key)
+{
+    int nk;
+    switch (key.size()) {
+      case 16:
+        nk = 4;
+        rounds_ = 10;
+        break;
+      case 24:
+        nk = 6;
+        rounds_ = 12;
+        break;
+      case 32:
+        nk = 8;
+        rounds_ = 14;
+        break;
+      default:
+        fatal("AES key must be 16/24/32 bytes, got %zu", key.size());
+    }
+
+    int total = 4 * (rounds_ + 1);
+    for (int i = 0; i < nk; ++i) {
+        roundKeys_[i] = (std::uint32_t(key[4 * i]) << 24) |
+                        (std::uint32_t(key[4 * i + 1]) << 16) |
+                        (std::uint32_t(key[4 * i + 2]) << 8) |
+                        std::uint32_t(key[4 * i + 3]);
+    }
+    std::uint32_t rcon = 0x01000000;
+    for (int i = nk; i < total; ++i) {
+        std::uint32_t temp = roundKeys_[i - 1];
+        if (i % nk == 0) {
+            temp = subWord(rotWord(temp)) ^ rcon;
+            rcon = std::uint32_t(xtime(
+                       static_cast<std::uint8_t>(rcon >> 24)))
+                   << 24;
+        } else if (nk > 6 && i % nk == 4) {
+            temp = subWord(temp);
+        }
+        roundKeys_[i] = roundKeys_[i - nk] ^ temp;
+    }
+}
+
+void
+Aes::encryptBlock(std::uint8_t b[kAesBlockSize]) const
+{
+    const Tables &t = tables();
+    std::uint8_t s[16];
+    for (int i = 0; i < 16; ++i)
+        s[i] = b[i];
+
+    auto add_round_key = [&](int round) {
+        for (int c = 0; c < 4; ++c) {
+            std::uint32_t w = roundKeys_[4 * round + c];
+            s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+            s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+            s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+            s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+        }
+    };
+
+    add_round_key(0);
+    for (int round = 1; round <= rounds_; ++round) {
+        // SubBytes
+        for (auto &v : s)
+            v = t.sbox[v];
+        // ShiftRows
+        std::uint8_t tmp[16];
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                tmp[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        for (int i = 0; i < 16; ++i)
+            s[i] = tmp[i];
+        // MixColumns (all but last round)
+        if (round != rounds_) {
+            for (int c = 0; c < 4; ++c) {
+                std::uint8_t *col = s + 4 * c;
+                std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2],
+                             a3 = col[3];
+                col[0] = static_cast<std::uint8_t>(
+                    xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+                col[1] = static_cast<std::uint8_t>(
+                    a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+                col[2] = static_cast<std::uint8_t>(
+                    a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+                col[3] = static_cast<std::uint8_t>(
+                    (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+            }
+        }
+        add_round_key(round);
+    }
+
+    for (int i = 0; i < 16; ++i)
+        b[i] = s[i];
+}
+
+void
+Aes::decryptBlock(std::uint8_t b[kAesBlockSize]) const
+{
+    const Tables &t = tables();
+    std::uint8_t s[16];
+    for (int i = 0; i < 16; ++i)
+        s[i] = b[i];
+
+    auto add_round_key = [&](int round) {
+        for (int c = 0; c < 4; ++c) {
+            std::uint32_t w = roundKeys_[4 * round + c];
+            s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+            s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+            s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+            s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+        }
+    };
+
+    add_round_key(rounds_);
+    for (int round = rounds_ - 1; round >= 0; --round) {
+        // InvShiftRows
+        std::uint8_t tmp[16];
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                tmp[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        for (int i = 0; i < 16; ++i)
+            s[i] = tmp[i];
+        // InvSubBytes
+        for (auto &v : s)
+            v = t.inv_sbox[v];
+        add_round_key(round);
+        // InvMixColumns (all but final iteration)
+        if (round != 0) {
+            for (int c = 0; c < 4; ++c) {
+                std::uint8_t *col = s + 4 * c;
+                std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2],
+                             a3 = col[3];
+                col[0] = static_cast<std::uint8_t>(
+                    mul(a0, 14) ^ mul(a1, 11) ^ mul(a2, 13) ^ mul(a3, 9));
+                col[1] = static_cast<std::uint8_t>(
+                    mul(a0, 9) ^ mul(a1, 14) ^ mul(a2, 11) ^ mul(a3, 13));
+                col[2] = static_cast<std::uint8_t>(
+                    mul(a0, 13) ^ mul(a1, 9) ^ mul(a2, 14) ^ mul(a3, 11));
+                col[3] = static_cast<std::uint8_t>(
+                    mul(a0, 11) ^ mul(a1, 13) ^ mul(a2, 9) ^ mul(a3, 14));
+            }
+        }
+    }
+
+    for (int i = 0; i < 16; ++i)
+        b[i] = s[i];
+}
+
+} // namespace ccai::crypto

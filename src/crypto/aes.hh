@@ -1,0 +1,52 @@
+/**
+ * @file
+ * AES-128/192/256 block cipher (FIPS-197), software implementation.
+ *
+ * Simulation-grade: correct and test-vector verified, but not
+ * hardened against timing side channels (table lookups are used).
+ */
+
+#ifndef CCAI_CRYPTO_AES_HH
+#define CCAI_CRYPTO_AES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ccai::crypto
+{
+
+/** AES block size in bytes. */
+constexpr size_t kAesBlockSize = 16;
+
+/**
+ * Key-expanded AES cipher. Supports 128-, 192- and 256-bit keys;
+ * provides single-block encrypt/decrypt. Streaming modes (CTR, GCM)
+ * are layered on top in gcm.hh.
+ */
+class Aes
+{
+  public:
+    /** Expand @p key (16, 24 or 32 bytes). */
+    explicit Aes(const Bytes &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(std::uint8_t block[kAesBlockSize]) const;
+
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(std::uint8_t block[kAesBlockSize]) const;
+
+    /** Number of rounds for the configured key size (10/12/14). */
+    int rounds() const { return rounds_; }
+
+  private:
+    /** Round keys: (rounds+1) x 4 32-bit words. */
+    std::array<std::uint32_t, 60> roundKeys_{};
+    int rounds_ = 0;
+};
+
+} // namespace ccai::crypto
+
+#endif // CCAI_CRYPTO_AES_HH

@@ -1,0 +1,240 @@
+#include "bigint.hh"
+
+#include <algorithm>
+
+#include "common/bytes_util.hh"
+#include "common/logging.hh"
+
+namespace ccai::crypto
+{
+
+BigInt::BigInt(std::uint64_t v)
+{
+    while (v) {
+        limbs_.push_back(static_cast<std::uint32_t>(v));
+        v >>= 32;
+    }
+}
+
+void
+BigInt::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+BigInt
+BigInt::fromBytes(const Bytes &be)
+{
+    BigInt out;
+    for (std::uint8_t b : be) {
+        // out = out * 256 + b
+        std::uint64_t carry = b;
+        for (auto &limb : out.limbs_) {
+            std::uint64_t v = (std::uint64_t(limb) << 8) | carry;
+            limb = static_cast<std::uint32_t>(v);
+            carry = v >> 32;
+        }
+        while (carry) {
+            out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+            carry >>= 32;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::fromHexString(const std::string &hex)
+{
+    std::string padded = hex;
+    if (padded.size() % 2)
+        padded.insert(padded.begin(), '0');
+    return fromBytes(fromHex(padded));
+}
+
+Bytes
+BigInt::toBytes(size_t pad_to) const
+{
+    Bytes out;
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint32_t limb = limbs_[i];
+        for (int j = 0; j < 4; ++j) {
+            out.push_back(static_cast<std::uint8_t>(limb));
+            limb >>= 8;
+        }
+    }
+    while (!out.empty() && out.back() == 0)
+        out.pop_back();
+    while (out.size() < pad_to)
+        out.push_back(0);
+    std::reverse(out.begin(), out.end());
+    if (out.empty() && pad_to == 0)
+        out.push_back(0);
+    return out;
+}
+
+std::string
+BigInt::toHexString() const
+{
+    return toHex(toBytes());
+}
+
+size_t
+BigInt::bitLength() const
+{
+    if (limbs_.empty())
+        return 0;
+    std::uint32_t top = limbs_.back();
+    size_t bits = (limbs_.size() - 1) * 32;
+    while (top) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+bool
+BigInt::bit(size_t i) const
+{
+    size_t limb = i / 32;
+    if (limb >= limbs_.size())
+        return false;
+    return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int
+BigInt::cmp(const BigInt &o) const
+{
+    if (limbs_.size() != o.limbs_.size())
+        return limbs_.size() < o.limbs_.size() ? -1 : 1;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != o.limbs_[i])
+            return limbs_[i] < o.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigInt
+BigInt::operator+(const BigInt &o) const
+{
+    BigInt out;
+    size_t n = std::max(limbs_.size(), o.limbs_.size());
+    out.limbs_.resize(n, 0);
+    std::uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        std::uint64_t v = carry;
+        if (i < limbs_.size())
+            v += limbs_[i];
+        if (i < o.limbs_.size())
+            v += o.limbs_[i];
+        out.limbs_[i] = static_cast<std::uint32_t>(v);
+        carry = v >> 32;
+    }
+    if (carry)
+        out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+    return out;
+}
+
+BigInt
+BigInt::operator-(const BigInt &o) const
+{
+    ccai_assert(*this >= o);
+    BigInt out;
+    out.limbs_.resize(limbs_.size(), 0);
+    std::int64_t borrow = 0;
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        std::int64_t v = std::int64_t(limbs_[i]) - borrow;
+        if (i < o.limbs_.size())
+            v -= o.limbs_[i];
+        if (v < 0) {
+            v += (std::int64_t(1) << 32);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_[i] = static_cast<std::uint32_t>(v);
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::operator*(const BigInt &o) const
+{
+    if (isZero() || o.isZero())
+        return BigInt();
+    BigInt out;
+    out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        for (size_t j = 0; j < o.limbs_.size(); ++j) {
+            std::uint64_t v = std::uint64_t(limbs_[i]) * o.limbs_[j] +
+                              out.limbs_[i + j] + carry;
+            out.limbs_[i + j] = static_cast<std::uint32_t>(v);
+            carry = v >> 32;
+        }
+        size_t k = i + o.limbs_.size();
+        while (carry) {
+            std::uint64_t v = std::uint64_t(out.limbs_[k]) + carry;
+            out.limbs_[k] = static_cast<std::uint32_t>(v);
+            carry = v >> 32;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::operator%(const BigInt &m) const
+{
+    if (m.isZero())
+        fatal("BigInt: modulo by zero");
+    if (*this < m)
+        return *this;
+
+    // Shift-subtract long division keeping only the remainder.
+    BigInt rem;
+    for (size_t i = bitLength(); i-- > 0;) {
+        // rem = rem * 2 + bit(i)
+        std::uint32_t carry = bit(i) ? 1 : 0;
+        for (auto &limb : rem.limbs_) {
+            std::uint32_t next = limb >> 31;
+            limb = (limb << 1) | carry;
+            carry = next;
+        }
+        if (carry)
+            rem.limbs_.push_back(carry);
+        if (rem >= m)
+            rem = rem - m;
+    }
+    return rem;
+}
+
+BigInt
+BigInt::addMod(const BigInt &o, const BigInt &m) const
+{
+    return (*this + o) % m;
+}
+
+BigInt
+BigInt::mulMod(const BigInt &o, const BigInt &m) const
+{
+    return (*this * o) % m;
+}
+
+BigInt
+BigInt::powMod(const BigInt &e, const BigInt &m) const
+{
+    BigInt result(1);
+    BigInt base = *this % m;
+    for (size_t i = e.bitLength(); i-- > 0;) {
+        result = result.mulMod(result, m);
+        if (e.bit(i))
+            result = result.mulMod(base, m);
+    }
+    return result;
+}
+
+} // namespace ccai::crypto

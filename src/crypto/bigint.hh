@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integer used by the trust
+ * establishment protocols (Diffie-Hellman key exchange and
+ * Schnorr-style attestation signatures). Supports the handful of
+ * operations modular exponentiation needs.
+ */
+
+#ifndef CCAI_CRYPTO_BIGINT_HH
+#define CCAI_CRYPTO_BIGINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccai::crypto
+{
+
+/**
+ * Unsigned big integer, little-endian limbs of 32 bits. Not
+ * performance-tuned; group sizes in the simulation are 256 bits so
+ * schoolbook algorithms are ample.
+ */
+class BigInt
+{
+  public:
+    BigInt() = default;
+    BigInt(std::uint64_t v);
+
+    /** Parse big-endian bytes. */
+    static BigInt fromBytes(const Bytes &be);
+
+    /** Parse a hex string (big-endian). */
+    static BigInt fromHexString(const std::string &hex);
+
+    /** Serialize to big-endian bytes, optionally zero-padded. */
+    Bytes toBytes(size_t pad_to = 0) const;
+
+    std::string toHexString() const;
+
+    bool isZero() const { return limbs_.empty(); }
+    size_t bitLength() const;
+    bool bit(size_t i) const;
+
+    bool operator==(const BigInt &o) const { return limbs_ == o.limbs_; }
+    bool operator!=(const BigInt &o) const { return !(*this == o); }
+    bool operator<(const BigInt &o) const { return cmp(o) < 0; }
+    bool operator<=(const BigInt &o) const { return cmp(o) <= 0; }
+    bool operator>(const BigInt &o) const { return cmp(o) > 0; }
+    bool operator>=(const BigInt &o) const { return cmp(o) >= 0; }
+
+    BigInt operator+(const BigInt &o) const;
+    /** Subtraction; requires *this >= o. */
+    BigInt operator-(const BigInt &o) const;
+    BigInt operator*(const BigInt &o) const;
+    BigInt operator%(const BigInt &m) const;
+
+    /** (this + o) mod m */
+    BigInt addMod(const BigInt &o, const BigInt &m) const;
+    /** (this * o) mod m */
+    BigInt mulMod(const BigInt &o, const BigInt &m) const;
+    /** this^e mod m via square-and-multiply. */
+    BigInt powMod(const BigInt &e, const BigInt &m) const;
+
+  private:
+    int cmp(const BigInt &o) const;
+    void trim();
+
+    std::vector<std::uint32_t> limbs_; ///< little-endian, no leading 0s
+};
+
+} // namespace ccai::crypto
+
+#endif // CCAI_CRYPTO_BIGINT_HH

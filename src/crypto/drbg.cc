@@ -1,0 +1,69 @@
+#include "drbg.hh"
+
+namespace ccai::crypto
+{
+
+Drbg::Drbg(const Bytes &seed, const std::string &personalization)
+    : k_(32, 0x00), v_(32, 0x01)
+{
+    Bytes material = seed;
+    material.insert(material.end(), personalization.begin(),
+                    personalization.end());
+    update(material);
+}
+
+void
+Drbg::update(const Bytes &provided)
+{
+    Bytes input = v_;
+    input.push_back(0x00);
+    input.insert(input.end(), provided.begin(), provided.end());
+    k_ = hmacSha256(k_, input);
+    v_ = hmacSha256(k_, v_);
+    if (!provided.empty()) {
+        input = v_;
+        input.push_back(0x01);
+        input.insert(input.end(), provided.begin(), provided.end());
+        k_ = hmacSha256(k_, input);
+        v_ = hmacSha256(k_, v_);
+    }
+}
+
+void
+Drbg::reseed(const Bytes &entropy)
+{
+    update(entropy);
+}
+
+Bytes
+Drbg::generate(size_t n)
+{
+    Bytes out;
+    while (out.size() < n) {
+        v_ = hmacSha256(k_, v_);
+        out.insert(out.end(), v_.begin(), v_.end());
+    }
+    out.resize(n);
+    update({});
+    return out;
+}
+
+Bytes
+Drbg::generateIv()
+{
+    return generate(12);
+}
+
+Bytes
+Drbg::generateKey128()
+{
+    return generate(16);
+}
+
+Bytes
+Drbg::generateKey256()
+{
+    return generate(32);
+}
+
+} // namespace ccai::crypto

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic random bit generator (HMAC-DRBG flavoured) used by
+ * the trust modules when generating nonces, IVs and session keys.
+ * Seeded explicitly so that whole-system simulations replay
+ * bit-identically.
+ */
+
+#ifndef CCAI_CRYPTO_DRBG_HH
+#define CCAI_CRYPTO_DRBG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "crypto/sha256.hh"
+
+namespace ccai::crypto
+{
+
+/**
+ * HMAC-SHA256 based DRBG (simplified from SP 800-90A): the internal
+ * (K, V) state is updated on every generate call, and callers may mix
+ * in additional entropy with reseed().
+ */
+class Drbg
+{
+  public:
+    /** Instantiate from seed material and a personalization string. */
+    explicit Drbg(const Bytes &seed,
+                  const std::string &personalization = "ccai-drbg");
+
+    /** Mix additional entropy into the state. */
+    void reseed(const Bytes &entropy);
+
+    /** Produce @p n pseudo-random bytes. */
+    Bytes generate(size_t n);
+
+    /** Convenience: a fresh 96-bit GCM IV. */
+    Bytes generateIv();
+
+    /** Convenience: a fresh 128-bit key. */
+    Bytes generateKey128();
+
+    /** Convenience: a fresh 256-bit key. */
+    Bytes generateKey256();
+
+  private:
+    void update(const Bytes &provided);
+
+    Bytes k_;
+    Bytes v_;
+};
+
+} // namespace ccai::crypto
+
+#endif // CCAI_CRYPTO_DRBG_HH

@@ -1,0 +1,128 @@
+#include "gcm.hh"
+
+#include <cstring>
+
+#include "common/bytes_util.hh"
+#include "common/logging.hh"
+
+namespace ccai::crypto
+{
+
+AesGcm::AesGcm(const Bytes &key) : aes_(key)
+{
+    std::memset(h_, 0, sizeof(h_));
+    aes_.encryptBlock(h_);
+}
+
+void
+AesGcm::gmul(std::uint8_t x[16], const std::uint8_t y[16]) const
+{
+    // Bitwise GF(2^128) multiplication, right-shift variant from
+    // SP 800-38D section 6.3. z = x * y.
+    std::uint8_t z[16] = {0};
+    std::uint8_t v[16];
+    std::memcpy(v, y, 16);
+
+    for (int i = 0; i < 128; ++i) {
+        int byte = i / 8;
+        int bit = 7 - (i % 8);
+        if ((x[byte] >> bit) & 1) {
+            for (int j = 0; j < 16; ++j)
+                z[j] ^= v[j];
+        }
+        bool lsb = v[15] & 1;
+        for (int j = 15; j > 0; --j)
+            v[j] = static_cast<std::uint8_t>((v[j] >> 1) |
+                                             ((v[j - 1] & 1) << 7));
+        v[0] >>= 1;
+        if (lsb)
+            v[0] ^= 0xe1;
+    }
+    std::memcpy(x, z, 16);
+}
+
+Bytes
+AesGcm::ghash(const Bytes &aad, const Bytes &ciphertext) const
+{
+    std::uint8_t y[16] = {0};
+
+    auto absorb = [&](const Bytes &data) {
+        size_t off = 0;
+        while (off < data.size()) {
+            std::uint8_t block[16] = {0};
+            size_t take = std::min<size_t>(16, data.size() - off);
+            std::memcpy(block, data.data() + off, take);
+            for (int j = 0; j < 16; ++j)
+                y[j] ^= block[j];
+            gmul(y, h_);
+            off += take;
+        }
+    };
+
+    absorb(aad);
+    absorb(ciphertext);
+
+    std::uint8_t len_block[16];
+    storeBe64(len_block, aad.size() * 8);
+    storeBe64(len_block + 8, ciphertext.size() * 8);
+    for (int j = 0; j < 16; ++j)
+        y[j] ^= len_block[j];
+    gmul(y, h_);
+
+    return Bytes(y, y + 16);
+}
+
+Bytes
+AesGcm::ctrKeystreamApply(const Bytes &iv, const Bytes &input,
+                          std::uint32_t initial_counter) const
+{
+    ccai_assert(iv.size() == kGcmIvSize);
+    Bytes out = input;
+    std::uint8_t counter_block[16];
+    std::memcpy(counter_block, iv.data(), 12);
+    std::uint32_t ctr = initial_counter;
+
+    size_t off = 0;
+    while (off < out.size()) {
+        storeBe32(counter_block + 12, ctr++);
+        std::uint8_t ks[16];
+        std::memcpy(ks, counter_block, 16);
+        aes_.encryptBlock(ks);
+        size_t take = std::min<size_t>(16, out.size() - off);
+        for (size_t j = 0; j < take; ++j)
+            out[off + j] ^= ks[j];
+        off += take;
+    }
+    return out;
+}
+
+Sealed
+AesGcm::seal(const Bytes &iv, const Bytes &plaintext,
+             const Bytes &aad) const
+{
+    Sealed result;
+    result.ciphertext = ctrKeystreamApply(iv, plaintext, 2);
+
+    Bytes s = ghash(aad, result.ciphertext);
+    // Tag = E_K(J0) xor S, where J0 = IV || 0^31 1.
+    Bytes tag_mask = ctrKeystreamApply(iv, Bytes(16, 0), 1);
+    for (int i = 0; i < 16; ++i)
+        s[i] ^= tag_mask[i];
+    result.tag = std::move(s);
+    return result;
+}
+
+std::optional<Bytes>
+AesGcm::open(const Bytes &iv, const Bytes &ciphertext, const Bytes &tag,
+             const Bytes &aad) const
+{
+    Bytes s = ghash(aad, ciphertext);
+    Bytes tag_mask = ctrKeystreamApply(iv, Bytes(16, 0), 1);
+    for (int i = 0; i < 16; ++i)
+        s[i] ^= tag_mask[i];
+    if (!constantTimeEqual(s, tag))
+        return std::nullopt;
+    return ctrKeystreamApply(iv, ciphertext, 2);
+}
+
+} // namespace ccai::crypto

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * AES-GCM authenticated encryption (NIST SP 800-38D) built on the AES
+ * block cipher: CTR-mode keystream plus GHASH authentication.
+ *
+ * This is the algorithm the paper's PCIe-SC AES-GCM-SHA engine and
+ * the TVM-side Adaptor both run; having one shared functional
+ * implementation lets tests check that what the Adaptor encrypts, the
+ * PCIe-SC decrypts bit-exactly (and vice versa for results).
+ */
+
+#ifndef CCAI_CRYPTO_GCM_HH
+#define CCAI_CRYPTO_GCM_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aes.hh"
+
+namespace ccai::crypto
+{
+
+constexpr size_t kGcmTagSize = 16;
+constexpr size_t kGcmIvSize = 12;
+
+/** Output of an AEAD seal operation. */
+struct Sealed
+{
+    Bytes ciphertext;
+    Bytes tag; ///< 16-byte authentication tag.
+};
+
+/**
+ * AES-GCM context bound to one key. The 96-bit IV is supplied per
+ * operation; callers (the workload key manager) are responsible for
+ * never reusing an IV under the same key.
+ */
+class AesGcm
+{
+  public:
+    explicit AesGcm(const Bytes &key);
+
+    /**
+     * Encrypt and authenticate.
+     *
+     * @param iv 12-byte initialization vector.
+     * @param plaintext data to protect.
+     * @param aad additional authenticated (but not encrypted) data;
+     *            ccAI binds packet-header attributes here.
+     */
+    Sealed seal(const Bytes &iv, const Bytes &plaintext,
+                const Bytes &aad = {}) const;
+
+    /**
+     * Verify and decrypt. Returns std::nullopt when the tag check
+     * fails (tampered ciphertext, wrong AAD, or wrong IV).
+     */
+    std::optional<Bytes> open(const Bytes &iv, const Bytes &ciphertext,
+                              const Bytes &tag,
+                              const Bytes &aad = {}) const;
+
+    /** GHASH over aad||ciphertext with length block (exposed for
+     * the AuthTagManager's incremental verification tests). */
+    Bytes ghash(const Bytes &aad, const Bytes &ciphertext) const;
+
+  private:
+    Bytes ctrKeystreamApply(const Bytes &iv, const Bytes &input,
+                            std::uint32_t initial_counter) const;
+    void gmul(std::uint8_t x[16], const std::uint8_t y[16]) const;
+
+    Aes aes_;
+    std::uint8_t h_[16]; ///< GHASH subkey = AES_K(0^128).
+};
+
+} // namespace ccai::crypto
+
+#endif // CCAI_CRYPTO_GCM_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4) with streaming interface, plus HMAC-SHA256 and
+ * a simple HKDF-style key derivation.
+ */
+
+#ifndef CCAI_CRYPTO_SHA256_HH
+#define CCAI_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ccai::crypto
+{
+
+constexpr size_t kSha256DigestSize = 32;
+
+/** Streaming SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Restore initial state. */
+    void reset();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, size_t len);
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+
+    /** Finish and return the 32-byte digest. */
+    Bytes finalize();
+
+    /** One-shot convenience. */
+    static Bytes digest(const Bytes &data);
+    static Bytes digest(const std::string &data);
+
+  private:
+    void processBlock(const std::uint8_t block[64]);
+
+    std::array<std::uint32_t, 8> state_{};
+    std::uint64_t totalLen_ = 0;
+    std::uint8_t buffer_[64] = {};
+    size_t bufferLen_ = 0;
+};
+
+/** HMAC-SHA256 (RFC 2104). */
+Bytes hmacSha256(const Bytes &key, const Bytes &message);
+
+/**
+ * Derive @p length bytes of key material from input keying material,
+ * salt and context info (HKDF-like extract+expand on HMAC-SHA256).
+ */
+Bytes kdf(const Bytes &ikm, const Bytes &salt, const std::string &info,
+          size_t length);
+
+} // namespace ccai::crypto
+
+#endif // CCAI_CRYPTO_SHA256_HH

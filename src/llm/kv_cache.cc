@@ -1,0 +1,61 @@
+#include "kv_cache.hh"
+
+#include <algorithm>
+
+namespace ccai::llm
+{
+
+KvCacheManager::KvCacheManager(const ModelSpec &model,
+                               std::uint64_t capBytes)
+    : model_(model), capBytes_(capBytes)
+{
+}
+
+void
+KvCacheManager::onPrefill(std::uint32_t batch, std::uint32_t tokens)
+{
+    batch_ = batch;
+    totalBytes_ += std::uint64_t(batch) * tokens *
+                   model_.kvBytesPerToken();
+}
+
+std::uint64_t
+KvCacheManager::residentBytes() const
+{
+    if (capBytes_ == 0)
+        return totalBytes_;
+    return std::min(totalBytes_, capBytes_);
+}
+
+std::uint64_t
+KvCacheManager::spilledBytes() const
+{
+    return totalBytes_ - residentBytes();
+}
+
+double
+KvCacheManager::spillFraction() const
+{
+    if (totalBytes_ == 0)
+        return 0.0;
+    return double(spilledBytes()) / double(totalBytes_);
+}
+
+KvSwapPlan
+KvCacheManager::onDecodeStep()
+{
+    totalBytes_ += std::uint64_t(batch_) * model_.kvBytesPerToken();
+
+    KvSwapPlan plan;
+    if (capBytes_ == 0 || totalBytes_ <= capBytes_)
+        return plan;
+
+    // Every step attends over the full window, so the spilled
+    // fraction must be streamed in from host memory and the newly
+    // produced blocks streamed out to make room.
+    plan.refillBytes = spilledBytes();
+    plan.evictBytes = spilledBytes();
+    return plan;
+}
+
+} // namespace ccai::llm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * KV-cache manager with host swapping (paper §8.6). The cache lives
+ * in xPU memory; when a memory-utilization cap forces part of it
+ * out, the manager schedules swap traffic (device-to-host eviction
+ * and host-to-device refill) that the inference engine issues per
+ * decode step through the runtime.
+ */
+
+#ifndef CCAI_LLM_KV_CACHE_HH
+#define CCAI_LLM_KV_CACHE_HH
+
+#include <cstdint>
+
+#include "llm/model_spec.hh"
+
+namespace ccai::llm
+{
+
+/** Swap traffic required for one decode step. */
+struct KvSwapPlan
+{
+    std::uint64_t evictBytes = 0; ///< D2H
+    std::uint64_t refillBytes = 0; ///< H2D
+    bool
+    any() const
+    {
+        return evictBytes > 0 || refillBytes > 0;
+    }
+};
+
+/**
+ * Tracks the resident/spilled split of the KV cache and produces
+ * per-step swap plans.
+ */
+class KvCacheManager
+{
+  public:
+    /**
+     * @param model model whose KV layout is tracked.
+     * @param capBytes device bytes available to the cache (after
+     *        the utilization cap); 0 means unconstrained.
+     */
+    KvCacheManager(const ModelSpec &model, std::uint64_t capBytes);
+
+    /** Register the prompt tokens of a batch (prefill). */
+    void onPrefill(std::uint32_t batch, std::uint32_t tokens);
+
+    /**
+     * Advance one decode step (each sequence appends one token) and
+     * return the swap traffic this step incurs. When the cache
+     * exceeds its cap, each step must stream the spilled fraction of
+     * the attention window through host memory.
+     */
+    KvSwapPlan onDecodeStep();
+
+    std::uint64_t residentBytes() const;
+    std::uint64_t totalBytes() const { return totalBytes_; }
+    std::uint64_t spilledBytes() const;
+    double spillFraction() const;
+
+  private:
+    const ModelSpec &model_;
+    std::uint64_t capBytes_;
+    std::uint64_t totalBytes_ = 0;
+    std::uint32_t batch_ = 0;
+};
+
+} // namespace ccai::llm
+
+#endif // CCAI_LLM_KV_CACHE_HH

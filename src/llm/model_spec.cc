@@ -1,0 +1,207 @@
+#include "model_spec.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::llm
+{
+
+double
+quantBytesPerParam(Quant q)
+{
+    switch (q) {
+      case Quant::FP16:
+        return 2.0;
+      case Quant::INT8:
+        return 1.0;
+      case Quant::INT4:
+        return 0.5;
+      case Quant::INT2:
+        return 0.25;
+    }
+    return 2.0;
+}
+
+const char *
+quantName(Quant q)
+{
+    switch (q) {
+      case Quant::FP16:
+        return "FP16";
+      case Quant::INT8:
+        return "INT8";
+      case Quant::INT4:
+        return "INT4";
+      case Quant::INT2:
+        return "INT2";
+    }
+    return "?";
+}
+
+std::uint64_t
+ModelSpec::weightBytes() const
+{
+    return static_cast<std::uint64_t>(params * quantBytesPerParam(quant));
+}
+
+std::uint64_t
+ModelSpec::kvBytesPerToken() const
+{
+    // K and V, fp16, scaled by the grouped-query ratio.
+    return static_cast<std::uint64_t>(2.0 * layers * hidden * 2 *
+                                      kvRatio);
+}
+
+std::uint64_t
+ModelSpec::logitsBytes() const
+{
+    return static_cast<std::uint64_t>(vocab) * 2; // fp16
+}
+
+const ModelSpec &
+ModelSpec::opt1b3()
+{
+    static const ModelSpec m{.name = "OPT-1.3b",
+                             .params = 1.3e9,
+                             .layers = 24,
+                             .hidden = 2048,
+                             .vocab = 50272,
+                             .kvRatio = 1.0,
+                             .quant = Quant::FP16,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const ModelSpec &
+ModelSpec::bloom3b()
+{
+    static const ModelSpec m{.name = "BLOOM-3b",
+                             .params = 3.0e9,
+                             .layers = 30,
+                             .hidden = 2560,
+                             .vocab = 250880,
+                             .kvRatio = 1.0,
+                             .quant = Quant::FP16,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const ModelSpec &
+ModelSpec::deepseekLlm7b()
+{
+    static const ModelSpec m{.name = "Deepseek-llm-7b",
+                             .params = 7.0e9,
+                             .layers = 30,
+                             .hidden = 4096,
+                             .vocab = 102400,
+                             .kvRatio = 1.0,
+                             .quant = Quant::FP16,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const ModelSpec &
+ModelSpec::llama2_7b()
+{
+    static const ModelSpec m{.name = "Llama2-7b",
+                             .params = 7.0e9,
+                             .layers = 32,
+                             .hidden = 4096,
+                             .vocab = 32000,
+                             .kvRatio = 1.0,
+                             .quant = Quant::FP16,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const ModelSpec &
+ModelSpec::llama3_8b()
+{
+    static const ModelSpec m{.name = "Llama3-8b",
+                             .params = 8.0e9,
+                             .layers = 32,
+                             .hidden = 4096,
+                             .vocab = 128256,
+                             .kvRatio = 0.25, // GQA: 8 kv / 32 heads
+                             .quant = Quant::FP16,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const ModelSpec &
+ModelSpec::deepseekR1_32b()
+{
+    static const ModelSpec m{.name = "Deepseek-r1-32b",
+                             .params = 32.0e9,
+                             .layers = 64,
+                             .hidden = 5120,
+                             .vocab = 152064,
+                             .kvRatio = 0.2,
+                             .quant = Quant::INT8,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const ModelSpec &
+ModelSpec::deepseekR1_70b()
+{
+    static const ModelSpec m{.name = "Deepseek-r1-70b",
+                             .params = 70.0e9,
+                             .layers = 80,
+                             .hidden = 8192,
+                             .vocab = 128256,
+                             .kvRatio = 0.125,
+                             .quant = Quant::INT4,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const ModelSpec &
+ModelSpec::llama3_70b()
+{
+    static const ModelSpec m{.name = "Llama3-70b",
+                             .params = 70.0e9,
+                             .layers = 80,
+                             .hidden = 8192,
+                             .vocab = 128256,
+                             .kvRatio = 0.125,
+                             .quant = Quant::INT4,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const ModelSpec &
+ModelSpec::babel83b()
+{
+    static const ModelSpec m{.name = "Babel-83b",
+                             .params = 83.0e9,
+                             .layers = 80,
+                             .hidden = 8192,
+                             .vocab = 152064,
+                             .kvRatio = 0.125,
+                             .quant = Quant::INT2,
+                             .kernelsPerLayer = 2};
+    return m;
+}
+
+const std::vector<ModelSpec> &
+ModelSpec::all()
+{
+    static const std::vector<ModelSpec> models = {
+        opt1b3(),         bloom3b(),       deepseekLlm7b(),
+        llama2_7b(),      llama3_8b(),     deepseekR1_32b(),
+        deepseekR1_70b(), llama3_70b(),    babel83b(),
+    };
+    return models;
+}
+
+const ModelSpec &
+ModelSpec::byName(const std::string &name)
+{
+    for (const ModelSpec &m : all()) {
+        if (m.name == name)
+            return m;
+    }
+    fatal("unknown model '%s'", name.c_str());
+}
+
+} // namespace ccai::llm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * LLM model zoo: the nine models the paper evaluates (§8.3/§8.4),
+ * described by the architecture parameters the inference cost model
+ * needs. Parameter counts, layer/hidden/vocab sizes and quantization
+ * levels follow the published model cards; the paper's Figure 9
+ * quantizes the heavy models (INT8/INT4/INT2) to fit the A100.
+ */
+
+#ifndef CCAI_LLM_MODEL_SPEC_HH
+#define CCAI_LLM_MODEL_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccai::llm
+{
+
+/** Weight quantization level. */
+enum class Quant
+{
+    FP16,
+    INT8,
+    INT4,
+    INT2,
+};
+
+/** Bytes per weight for a quantization level. */
+double quantBytesPerParam(Quant q);
+const char *quantName(Quant q);
+
+/** Architecture description of one LLM. */
+struct ModelSpec
+{
+    std::string name;
+    double params = 0.0; ///< total parameter count
+    int layers = 0;
+    int hidden = 0;
+    int vocab = 0;
+    /** KV heads / attention heads ratio (GQA reduces KV traffic). */
+    double kvRatio = 1.0;
+    Quant quant = Quant::FP16;
+    /** Modelled kernel launches per transformer layer per step. */
+    int kernelsPerLayer = 2;
+
+    /** Total weight bytes on device. */
+    std::uint64_t weightBytes() const;
+
+    /** KV-cache bytes per token per sequence (K and V, fp16). */
+    std::uint64_t kvBytesPerToken() const;
+
+    /** Logits bytes per sequence per decode step (fp16). */
+    std::uint64_t logitsBytes() const;
+
+    static const ModelSpec &opt1b3();
+    static const ModelSpec &bloom3b();
+    static const ModelSpec &deepseekLlm7b();
+    static const ModelSpec &llama2_7b();
+    static const ModelSpec &llama3_8b();
+    static const ModelSpec &deepseekR1_32b();
+    static const ModelSpec &deepseekR1_70b();
+    static const ModelSpec &llama3_70b();
+    static const ModelSpec &babel83b();
+
+    /** Figure 9's model list, in the paper's order. */
+    static const std::vector<ModelSpec> &all();
+
+    static const ModelSpec &byName(const std::string &name);
+};
+
+} // namespace ccai::llm
+
+#endif // CCAI_LLM_MODEL_SPEC_HH

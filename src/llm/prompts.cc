@@ -1,0 +1,61 @@
+#include "prompts.hh"
+
+namespace ccai::llm
+{
+
+namespace
+{
+
+const char *kWords[] = {
+    "please",  "explain", "the",     "system",  "design",  "of",
+    "a",       "secure",  "compute", "pipeline","and",     "compare",
+    "it",      "with",    "existing","methods", "in",      "detail",
+    "cloud",   "device",  "memory",  "packet",  "channel", "model",
+};
+
+} // namespace
+
+PromptSampler::PromptSampler(std::uint64_t seed) : rng_(seed) {}
+
+Prompt
+PromptSampler::fixedLength(std::uint32_t tokens)
+{
+    Prompt p;
+    p.tokens.reserve(tokens);
+    for (std::uint32_t i = 0; i < tokens; ++i) {
+        std::uint32_t id = static_cast<std::uint32_t>(
+            rng_.uniform(0, vocabCap_ - 1));
+        p.tokens.push_back(id);
+        if (i)
+            p.text += ' ';
+        p.text += kWords[id % (sizeof(kWords) / sizeof(kWords[0]))];
+    }
+    return p;
+}
+
+Prompt
+PromptSampler::variableLength(std::uint32_t minTokens,
+                              std::uint32_t maxTokens)
+{
+    std::uint32_t len = static_cast<std::uint32_t>(
+        rng_.uniform(minTokens, maxTokens));
+    return fixedLength(len);
+}
+
+std::vector<Prompt>
+PromptSampler::batch(std::uint32_t count, std::uint32_t tokens)
+{
+    std::vector<Prompt> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        out.push_back(fixedLength(tokens));
+    return out;
+}
+
+std::uint64_t
+PromptSampler::batchBytes(std::uint32_t count, std::uint32_t tokens)
+{
+    return std::uint64_t(count) * tokens * 4;
+}
+
+} // namespace ccai::llm

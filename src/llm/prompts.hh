@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic prompt workload generator. The paper samples chat
+ * prompts adapted from public chat/commonsense datasets; since no
+ * datasets ship with this repository, the sampler synthesizes token
+ * sequences with matching length statistics: fixed-length prompts
+ * for the token/batch sweeps and variable-length prompts (4-924
+ * tokens) for the KV-cache stress test (§8.6).
+ */
+
+#ifndef CCAI_LLM_PROMPTS_HH
+#define CCAI_LLM_PROMPTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace ccai::llm
+{
+
+/** One sampled request. */
+struct Prompt
+{
+    std::vector<std::uint32_t> tokens;
+    std::string text; ///< human-readable synthetic text (examples)
+
+    std::uint32_t length() const
+    {
+        return static_cast<std::uint32_t>(tokens.size());
+    }
+};
+
+/**
+ * Deterministic prompt sampler.
+ */
+class PromptSampler
+{
+  public:
+    explicit PromptSampler(std::uint64_t seed = 0xCAFE);
+
+    /** A prompt with exactly @p tokens tokens. */
+    Prompt fixedLength(std::uint32_t tokens);
+
+    /**
+     * A prompt with length drawn uniformly from [minTokens,
+     * maxTokens] (the 4-924 spread of the KV-cache test).
+     */
+    Prompt variableLength(std::uint32_t minTokens,
+                          std::uint32_t maxTokens);
+
+    /** A batch of fixed-length prompts. */
+    std::vector<Prompt> batch(std::uint32_t count,
+                              std::uint32_t tokens);
+
+    /** Serialized token-id bytes of a prompt batch (4 B/token). */
+    static std::uint64_t batchBytes(std::uint32_t count,
+                                    std::uint32_t tokens);
+
+  private:
+    sim::Rng rng_;
+    std::uint32_t vocabCap_ = 32000;
+};
+
+} // namespace ccai::llm
+
+#endif // CCAI_LLM_PROMPTS_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PCIe Bus/Device/Function identifiers (routing IDs). Requester and
+ * completer IDs in TLP headers use this 16-bit encoding.
+ */
+
+#ifndef CCAI_PCIE_BDF_HH
+#define CCAI_PCIE_BDF_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ccai::pcie
+{
+
+/** 16-bit routing ID: 8-bit bus, 5-bit device, 3-bit function. */
+struct Bdf
+{
+    std::uint8_t bus = 0;
+    std::uint8_t device = 0; ///< 5 bits
+    std::uint8_t function = 0; ///< 3 bits
+
+    constexpr Bdf() = default;
+    constexpr Bdf(std::uint8_t b, std::uint8_t d, std::uint8_t f)
+        : bus(b), device(d & 0x1f), function(f & 0x7)
+    {}
+
+    /** Pack to the 16-bit wire encoding. */
+    constexpr std::uint16_t
+    raw() const
+    {
+        return static_cast<std::uint16_t>((bus << 8) | (device << 3) |
+                                          function);
+    }
+
+    static constexpr Bdf
+    fromRaw(std::uint16_t raw)
+    {
+        return Bdf(static_cast<std::uint8_t>(raw >> 8),
+                   static_cast<std::uint8_t>((raw >> 3) & 0x1f),
+                   static_cast<std::uint8_t>(raw & 0x7));
+    }
+
+    constexpr bool
+    operator==(const Bdf &o) const
+    {
+        return raw() == o.raw();
+    }
+
+    constexpr bool
+    operator!=(const Bdf &o) const
+    {
+        return !(*this == o);
+    }
+
+    constexpr bool
+    operator<(const Bdf &o) const
+    {
+        return raw() < o.raw();
+    }
+
+    std::string toString() const;
+};
+
+/** Well-known IDs in the simulated topology. */
+namespace wellknown
+{
+/** Root complex / host CPU requester (the TVM's vCPU traffic). */
+constexpr Bdf kRootComplex{0x00, 0x00, 0x0};
+/** The trusted VM's assigned requester ID. */
+constexpr Bdf kTvm{0x00, 0x01, 0x0};
+/** An unauthorized sibling VM (attack experiments). */
+constexpr Bdf kRogueVm{0x00, 0x02, 0x0};
+/** The PCIe security controller (upstream port). */
+constexpr Bdf kPcieSc{0x01, 0x00, 0x0};
+/** The protected xPU behind the PCIe-SC. */
+constexpr Bdf kXpu{0x02, 0x00, 0x0};
+/** A malicious peer PCIe device (attack experiments). */
+constexpr Bdf kMaliciousDevice{0x03, 0x00, 0x0};
+} // namespace wellknown
+
+} // namespace ccai::pcie
+
+#endif // CCAI_PCIE_BDF_HH

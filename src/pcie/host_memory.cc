@@ -1,0 +1,83 @@
+#include "host_memory.hh"
+
+#include <cstring>
+
+#include "common/bytes_util.hh"
+
+namespace ccai::pcie
+{
+
+std::uint8_t *
+HostMemory::pageFor(Addr addr, bool allocate)
+{
+    std::uint64_t pfn = addr / kPageSize;
+    auto it = pages_.find(pfn);
+    if (it != pages_.end())
+        return it->second.get();
+    if (!allocate)
+        return nullptr;
+    auto page = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+    std::uint8_t *raw = page.get();
+    pages_.emplace(pfn, std::move(page));
+    return raw;
+}
+
+const std::uint8_t *
+HostMemory::pageFor(Addr addr) const
+{
+    std::uint64_t pfn = addr / kPageSize;
+    auto it = pages_.find(pfn);
+    return it != pages_.end() ? it->second.get() : nullptr;
+}
+
+void
+HostMemory::write(Addr addr, const Bytes &data)
+{
+    std::uint64_t off = 0;
+    while (off < data.size()) {
+        Addr cur = addr + off;
+        std::uint64_t in_page = cur % kPageSize;
+        std::uint64_t take =
+            std::min<std::uint64_t>(kPageSize - in_page,
+                                    data.size() - off);
+        std::uint8_t *page = pageFor(cur, true);
+        std::memcpy(page + in_page, data.data() + off, take);
+        off += take;
+    }
+}
+
+Bytes
+HostMemory::read(Addr addr, std::uint64_t len) const
+{
+    Bytes out(len, 0);
+    std::uint64_t off = 0;
+    while (off < len) {
+        Addr cur = addr + off;
+        std::uint64_t in_page = cur % kPageSize;
+        std::uint64_t take =
+            std::min<std::uint64_t>(kPageSize - in_page, len - off);
+        const std::uint8_t *page = pageFor(cur);
+        if (page)
+            std::memcpy(out.data() + off, page + in_page, take);
+        off += take;
+    }
+    return out;
+}
+
+void
+HostMemory::write64(Addr addr, std::uint64_t value)
+{
+    Bytes buf(8);
+    storeLe64(buf.data(), value);
+    write(addr, buf);
+}
+
+std::uint64_t
+HostMemory::read64(Addr addr) const
+{
+    Bytes buf = read(addr, 8);
+    return loadLe64(buf.data());
+}
+
+} // namespace ccai::pcie

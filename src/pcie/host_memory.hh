@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sparse host DRAM model. Backing pages are allocated lazily so the
+ * simulation can expose a large physical address space while only
+ * paying for pages that are actually touched. Synthetic (length-only)
+ * transfers never allocate backing store.
+ */
+
+#ifndef CCAI_PCIE_HOST_MEMORY_HH
+#define CCAI_PCIE_HOST_MEMORY_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace ccai::pcie
+{
+
+/**
+ * Byte-addressable sparse memory with 4 KiB backing pages.
+ */
+class HostMemory
+{
+  public:
+    static constexpr std::uint64_t kPageSize = 4096;
+
+    /** Write @p data at @p addr. */
+    void write(Addr addr, const Bytes &data);
+
+    /** Read @p len bytes from @p addr (unwritten bytes read as 0). */
+    Bytes read(Addr addr, std::uint64_t len) const;
+
+    /** Write a little-endian 64-bit word. */
+    void write64(Addr addr, std::uint64_t value);
+
+    /** Read a little-endian 64-bit word. */
+    std::uint64_t read64(Addr addr) const;
+
+    /** Zero-fill (drop) every allocated page. */
+    void clear() { pages_.clear(); }
+
+    /** Number of resident backing pages. */
+    size_t residentPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::unique_ptr<std::uint8_t[]>;
+
+    std::uint8_t *pageFor(Addr addr, bool allocate);
+    const std::uint8_t *pageFor(Addr addr) const;
+
+    std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+} // namespace ccai::pcie
+
+#endif // CCAI_PCIE_HOST_MEMORY_HH

@@ -1,0 +1,73 @@
+#include "link.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ccai::pcie
+{
+
+Link::Link(sim::System &sys, std::string name, const LinkConfig &config)
+    : sim::SimObject(sys, std::move(name)), config_(config),
+      stats_(this->name())
+{
+}
+
+void
+Link::connect(PcieNode *src, PcieNode *dst)
+{
+    src_ = src;
+    dst_ = dst;
+}
+
+Tick
+Link::serializationDelay(const Tlp &tlp) const
+{
+    std::uint32_t units = tlp.unitCount();
+    std::uint64_t wire_bytes =
+        std::uint64_t(tlp.hasData() ? tlp.payloadBytes() : 0) +
+        std::uint64_t(units) * (tlp.headerBytes() + config_.framingBytes);
+    double seconds = wire_bytes / config_.bytesPerSecond();
+    return secondsToTicks(seconds);
+}
+
+void
+Link::send(const TlpPtr &tlp)
+{
+    if (!dst_)
+        panic("link %s: send before connect", name().c_str());
+
+    Tick start = std::max(curTick(), busyUntil_);
+    Tick ser = serializationDelay(*tlp);
+    busyUntil_ = start + ser;
+    Tick arrival = busyUntil_ + config_.propagationDelay;
+
+    stats_.counter("tlps").inc();
+    stats_.counter("wire_tlps").inc(tlp->unitCount());
+    stats_.counter("payload_bytes")
+        .inc(tlp->hasData() ? tlp->payloadBytes() : 0);
+
+    PcieNode *from = src_;
+    PcieNode *to = dst_;
+    eventq().schedule(arrival,
+                      [tlp, from, to] { to->receiveTlp(tlp, from); });
+}
+
+void
+Link::reset()
+{
+    busyUntil_ = 0;
+    stats_.reset();
+}
+
+DuplexLink::DuplexLink(sim::System &sys, const std::string &name,
+                       PcieNode *a, PcieNode *b,
+                       const LinkConfig &config)
+    : down_(std::make_unique<Link>(sys, name + ".down", config)),
+      up_(std::make_unique<Link>(sys, name + ".up", config))
+{
+    down_->connect(a, b);
+    up_->connect(b, a);
+}
+
+} // namespace ccai::pcie

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * PCIe link timing model and the node/port abstraction that wires
+ * the fabric together.
+ *
+ * A PcieNode receives TLPs; a Link connects two nodes and delivers
+ * TLPs with serialization + propagation delay computed from the
+ * configured generation (GT/s) and lane count. Links serialize: a TLP
+ * cannot start transmitting before the previous one finished, which
+ * models bandwidth contention for Figure 12a's stress test.
+ */
+
+#ifndef CCAI_PCIE_LINK_HH
+#define CCAI_PCIE_LINK_HH
+
+#include <string>
+
+#include "pcie/tlp.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace ccai::pcie
+{
+
+/** Receiving end of a link: anything that accepts TLPs. */
+class PcieNode
+{
+  public:
+    virtual ~PcieNode() = default;
+
+    /** Handle an inbound TLP arriving from @p from. */
+    virtual void receiveTlp(const TlpPtr &tlp, PcieNode *from) = 0;
+
+    /** Node name for diagnostics. */
+    virtual const std::string &nodeName() const = 0;
+};
+
+/** Physical-layer parameters of one link. */
+struct LinkConfig
+{
+    double gtPerSec = 16.0; ///< per-lane signalling rate (GT/s)
+    int lanes = 16;
+    /** Encoding efficiency: 128b/130b for Gen3+; 8b/10b would be 0.8. */
+    double encodingEfficiency = 128.0 / 130.0;
+    /** Propagation + SERDES latency per traversal. */
+    Tick propagationDelay = 50 * kTicksPerNs;
+    /** Per-wire-TLP framing overhead (STP/end, LCRC, DLLP share). */
+    std::uint32_t framingBytes = 12;
+
+    /** Effective payload bandwidth in bytes per second. */
+    double
+    bytesPerSecond() const
+    {
+        return gtPerSec * 1e9 * lanes * encodingEfficiency / 8.0;
+    }
+};
+
+/**
+ * Unidirectional link between two fabric nodes. Bidirectional
+ * connections instantiate one Link per direction (PCIe is full
+ * duplex).
+ */
+class Link : public sim::SimObject
+{
+  public:
+    Link(sim::System &sys, std::string name, const LinkConfig &config);
+
+    /** Attach endpoints; @p src is used only for attribution. */
+    void connect(PcieNode *src, PcieNode *dst);
+
+    /**
+     * Queue a TLP for transmission. Serialization delay covers every
+     * wire-level packet a burst TLP represents.
+     */
+    void send(const TlpPtr &tlp);
+
+    const LinkConfig &config() const { return config_; }
+    void setConfig(const LinkConfig &config) { config_ = config; }
+
+    sim::StatGroup &stats() { return stats_; }
+    sim::StatGroup *statGroup() override { return &stats_; }
+
+    /** Serialization time for one TLP (all its wire units). */
+    Tick serializationDelay(const Tlp &tlp) const;
+
+    void reset() override;
+
+  private:
+    LinkConfig config_;
+    PcieNode *src_ = nullptr;
+    PcieNode *dst_ = nullptr;
+    /** Time the link becomes free for the next TLP. */
+    Tick busyUntil_ = 0;
+    sim::StatGroup stats_;
+};
+
+/**
+ * Convenience holder for a full-duplex connection (a Link in each
+ * direction) between two nodes.
+ */
+class DuplexLink
+{
+  public:
+    DuplexLink(sim::System &sys, const std::string &name,
+               PcieNode *a, PcieNode *b, const LinkConfig &config);
+
+    /** Send from a-side to b-side. */
+    Link &downstream() { return *down_; }
+    /** Send from b-side to a-side. */
+    Link &upstream() { return *up_; }
+
+    void
+    setConfig(const LinkConfig &config)
+    {
+        down_->setConfig(config);
+        up_->setConfig(config);
+    }
+
+  private:
+    std::unique_ptr<Link> down_;
+    std::unique_ptr<Link> up_;
+};
+
+} // namespace ccai::pcie
+
+#endif // CCAI_PCIE_LINK_HH

@@ -1,0 +1,136 @@
+#include "root_complex.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::pcie
+{
+
+RootComplex::RootComplex(sim::System &sys, std::string name,
+                         HostMemory &mem)
+    : sim::SimObject(sys, std::move(name)), mem_(mem),
+      stats_(this->name())
+{
+}
+
+std::uint8_t
+RootComplex::allocTag()
+{
+    // 256-entry tag space; wrap-around with occupancy check.
+    for (int i = 0; i < 256; ++i) {
+        std::uint8_t candidate = nextTag_++;
+        if (!outstanding_.count(candidate))
+            return candidate;
+    }
+    panic("root complex: tag space exhausted");
+}
+
+void
+RootComplex::sendRead(Tlp tlp, CplCallback cb)
+{
+    if (!down_)
+        panic("root complex: downstream link not connected");
+    tlp.tag = allocTag();
+    outstanding_[tlp.tag] = std::move(cb);
+    stats_.counter("reads_sent").inc();
+    down_->send(std::make_shared<Tlp>(std::move(tlp)));
+}
+
+void
+RootComplex::sendWrite(Tlp tlp)
+{
+    if (!down_)
+        panic("root complex: downstream link not connected");
+    stats_.counter("writes_sent").inc();
+    down_->send(std::make_shared<Tlp>(std::move(tlp)));
+}
+
+void
+RootComplex::receiveTlp(const TlpPtr &tlp, PcieNode *)
+{
+    switch (tlp->type) {
+      case TlpType::Completion: {
+        auto it = outstanding_.find(tlp->tag);
+        if (it == outstanding_.end()) {
+            stats_.counter("orphan_completions").inc();
+            warn("root complex: completion with unknown tag %d",
+                 int(tlp->tag));
+            return;
+        }
+        CplCallback cb = std::move(it->second);
+        outstanding_.erase(it);
+        stats_.counter("completions").inc();
+        cb(tlp);
+        return;
+      }
+      case TlpType::Message: {
+        stats_.counter("messages").inc();
+        auto it = msgHandlers_.find(tlp->completer.raw());
+        if (it != msgHandlers_.end()) {
+            it->second(tlp);
+            return;
+        }
+        if (msgHandler_)
+            msgHandler_(tlp);
+        return;
+      }
+      case TlpType::MemRead:
+      case TlpType::MemWrite:
+        handleInboundRequest(tlp);
+        return;
+      default:
+        stats_.counter("unsupported").inc();
+        warn("root complex: unsupported inbound %s",
+             tlp->toString().c_str());
+        return;
+    }
+}
+
+void
+RootComplex::handleInboundRequest(const TlpPtr &tlp)
+{
+    // Device-initiated DMA against host memory. The IOMMU hook (the
+    // privileged software's protection in the paper's threat model)
+    // can reject accesses to protected ranges.
+    if (iommu_ && !iommu_(tlp->requester, tlp->address,
+                          tlp->lengthBytes)) {
+        stats_.counter("iommu_blocked").inc();
+        if (tlp->type == TlpType::MemRead) {
+            auto cpl = std::make_shared<Tlp>(Tlp::makeCompletion(
+                wellknown::kRootComplex, tlp->requester, tlp->tag, {},
+                CplStatus::CompleterAbort));
+            down_->send(cpl);
+        }
+        return;
+    }
+
+    if (tlp->type == TlpType::MemWrite) {
+        stats_.counter("dma_writes").inc();
+        if (!tlp->synthetic)
+            mem_.write(tlp->address, tlp->data);
+        return;
+    }
+
+    stats_.counter("dma_reads").inc();
+    TlpPtr cpl;
+    if (tlp->synthetic) {
+        cpl = std::make_shared<Tlp>(Tlp::makeCompletionSynthetic(
+            wellknown::kRootComplex, tlp->requester, tlp->tag,
+            tlp->lengthBytes));
+    } else {
+        Bytes data = mem_.read(tlp->address, tlp->lengthBytes);
+        cpl = std::make_shared<Tlp>(Tlp::makeCompletion(
+            wellknown::kRootComplex, tlp->requester, tlp->tag,
+            std::move(data)));
+    }
+    down_->send(cpl);
+}
+
+void
+RootComplex::reset()
+{
+    outstanding_.clear();
+    nextTag_ = 0;
+    stats_.reset();
+}
+
+} // namespace ccai::pcie

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Root complex: the host-side bridge between CPU/DRAM and the PCIe
+ * fabric. It issues MMIO requests on behalf of software, services
+ * device DMA against host memory, matches completions to outstanding
+ * tags, and delivers MSI messages to registered handlers.
+ */
+
+#ifndef CCAI_PCIE_ROOT_COMPLEX_HH
+#define CCAI_PCIE_ROOT_COMPLEX_HH
+
+#include <array>
+#include <functional>
+#include <map>
+
+#include "pcie/host_memory.hh"
+#include "pcie/link.hh"
+#include "sim/stats.hh"
+
+namespace ccai::pcie
+{
+
+/** Callback invoked when a read completion arrives. */
+using CplCallback = std::function<void(const TlpPtr &)>;
+
+/** Callback invoked on MSI / message receipt. */
+using MsgCallback = std::function<void(const TlpPtr &)>;
+
+/**
+ * The root complex owns host memory, a downstream link into the
+ * fabric, and the tag space for host-initiated non-posted requests.
+ *
+ * An optional IOMMU check hook lets the TVM module veto device DMA
+ * into protected host ranges (the privileged-software IOMMU the
+ * paper's threat model relies on).
+ */
+class RootComplex : public sim::SimObject, public PcieNode
+{
+  public:
+    using IommuCheck =
+        std::function<bool(Bdf requester, Addr addr, std::uint64_t len)>;
+
+    RootComplex(sim::System &sys, std::string name, HostMemory &mem);
+
+    /** Attach the downstream link towards the fabric. */
+    void connectDownstream(Link *down) { down_ = down; }
+
+    /**
+     * Issue a non-posted read (MMIO or config); @p cb runs when the
+     * completion returns.
+     */
+    void sendRead(Tlp tlp, CplCallback cb);
+
+    /** Issue a posted write. */
+    void sendWrite(Tlp tlp);
+
+    /** Register the default MSI handler. */
+    void setMsgHandler(MsgCallback cb) { msgHandler_ = std::move(cb); }
+
+    /** True once a default MSI handler is installed. */
+    bool hasDefaultMsgHandler() const { return bool(msgHandler_); }
+
+    /**
+     * Register a per-tenant MSI handler: messages whose completer
+     * field carries @p routingId are steered to @p cb (multi-tenant
+     * interrupt vectors); everything else hits the default handler.
+     */
+    void
+    addMsgHandler(std::uint16_t routingId, MsgCallback cb)
+    {
+        msgHandlers_[routingId] = std::move(cb);
+    }
+
+    /** Install the IOMMU validation hook for inbound DMA. */
+    void setIommuCheck(IommuCheck check) { iommu_ = std::move(check); }
+
+    // PcieNode interface: inbound traffic from the fabric
+    void receiveTlp(const TlpPtr &tlp, PcieNode *from) override;
+    const std::string &nodeName() const override { return name(); }
+
+    sim::StatGroup &stats() { return stats_; }
+    sim::StatGroup *statGroup() override { return &stats_; }
+    HostMemory &memory() { return mem_; }
+
+    void reset() override;
+
+  private:
+    std::uint8_t allocTag();
+    void handleInboundRequest(const TlpPtr &tlp);
+
+    HostMemory &mem_;
+    Link *down_ = nullptr;
+    std::map<std::uint8_t, CplCallback> outstanding_;
+    std::uint8_t nextTag_ = 0;
+    MsgCallback msgHandler_;
+    std::map<std::uint16_t, MsgCallback> msgHandlers_;
+    IommuCheck iommu_;
+    sim::StatGroup stats_;
+};
+
+} // namespace ccai::pcie
+
+#endif // CCAI_PCIE_ROOT_COMPLEX_HH

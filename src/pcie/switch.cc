@@ -1,0 +1,85 @@
+#include "switch.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::pcie
+{
+
+Switch::Switch(sim::System &sys, std::string name, Tick forwardLatency)
+    : sim::SimObject(sys, std::move(name)),
+      forwardLatency_(forwardLatency), stats_(this->name())
+{
+}
+
+int
+Switch::addPort(Link *out)
+{
+    ports_.push_back(out);
+    return static_cast<int>(ports_.size()) - 1;
+}
+
+void
+Switch::mapAddressRange(const AddrRange &range, int port)
+{
+    ccai_assert(port >= 0 && port < static_cast<int>(ports_.size()));
+    addrMap_.emplace_back(range, port);
+}
+
+void
+Switch::mapRoutingId(Bdf id, int port)
+{
+    ccai_assert(port >= 0 && port < static_cast<int>(ports_.size()));
+    idMap_[id.raw()] = port;
+}
+
+int
+Switch::routePort(const Tlp &tlp) const
+{
+    switch (tlp.type) {
+      case TlpType::MemRead:
+      case TlpType::MemWrite:
+        for (const auto &[range, port] : addrMap_) {
+            if (range.contains(tlp.address))
+                return port;
+        }
+        return defaultPort_;
+      case TlpType::Completion: {
+        // Completions route by requester ID.
+        auto it = idMap_.find(tlp.requester.raw());
+        return it != idMap_.end() ? it->second : defaultPort_;
+      }
+      case TlpType::CfgRead:
+      case TlpType::CfgWrite: {
+        auto it = idMap_.find(tlp.completer.raw());
+        return it != idMap_.end() ? it->second : defaultPort_;
+      }
+      case TlpType::Message: {
+        // Interrupts route implicitly towards the root; vendor
+        // messages may carry an ID-routed destination.
+        if (tlp.completer.raw() != 0) {
+            auto it = idMap_.find(tlp.completer.raw());
+            if (it != idMap_.end())
+                return it->second;
+        }
+        return defaultPort_;
+      }
+    }
+    return defaultPort_;
+}
+
+void
+Switch::receiveTlp(const TlpPtr &tlp, PcieNode *)
+{
+    stats_.counter("forwarded").inc();
+    int port = routePort(*tlp);
+    if (port < 0) {
+        stats_.counter("dropped").inc();
+        warn("switch %s: no route for %s", name().c_str(),
+             tlp->toString().c_str());
+        return;
+    }
+    Link *out = ports_[port];
+    eventq().scheduleIn(forwardLatency_, [out, tlp] { out->send(tlp); });
+}
+
+} // namespace ccai::pcie

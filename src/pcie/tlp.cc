@@ -1,0 +1,203 @@
+#include "tlp.hh"
+
+#include <sstream>
+
+#include "common/bytes_util.hh"
+
+namespace ccai::pcie
+{
+
+std::string
+Bdf::toString() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x.%x", bus, device,
+                  function);
+    return buf;
+}
+
+const char *
+tlpTypeName(TlpType type)
+{
+    switch (type) {
+      case TlpType::MemRead:
+        return "MRd";
+      case TlpType::MemWrite:
+        return "MWr";
+      case TlpType::Completion:
+        return "Cpl";
+      case TlpType::CfgRead:
+        return "CfgRd";
+      case TlpType::CfgWrite:
+        return "CfgWr";
+      case TlpType::Message:
+        return "Msg";
+    }
+    return "?";
+}
+
+Bytes
+Tlp::serializeHeader() const
+{
+    Bytes out(32, 0);
+    out[0] = static_cast<std::uint8_t>(fmt);
+    out[1] = static_cast<std::uint8_t>(type);
+    out[2] = static_cast<std::uint8_t>(requester.raw() >> 8);
+    out[3] = static_cast<std::uint8_t>(requester.raw());
+    out[4] = static_cast<std::uint8_t>(completer.raw() >> 8);
+    out[5] = static_cast<std::uint8_t>(completer.raw());
+    out[6] = tag;
+    out[7] = static_cast<std::uint8_t>(cplStatus);
+    storeBe64(out.data() + 8, address);
+    storeBe32(out.data() + 16, lengthBytes);
+    storeBe64(out.data() + 20, seqNo);
+    out[28] = static_cast<std::uint8_t>(msgCode);
+    return out;
+}
+
+std::string
+Tlp::toString() const
+{
+    std::ostringstream os;
+    os << tlpTypeName(type) << " req=" << requester.toString()
+       << " cpl=" << completer.toString() << " tag=" << int(tag)
+       << " addr=0x" << std::hex << address << std::dec << " len="
+       << lengthBytes;
+    if (encrypted)
+        os << " [enc]";
+    if (synthetic)
+        os << " [syn]";
+    return os.str();
+}
+
+Tlp
+Tlp::makeMemRead(Bdf requester, Addr addr, std::uint32_t length,
+                 std::uint8_t tag)
+{
+    Tlp tlp;
+    tlp.fmt = addr > 0xffffffffull ? TlpFmt::FourDwNoData
+                                   : TlpFmt::ThreeDwNoData;
+    tlp.type = TlpType::MemRead;
+    tlp.requester = requester;
+    tlp.address = addr;
+    tlp.lengthBytes = length;
+    tlp.tag = tag;
+    return tlp;
+}
+
+Tlp
+Tlp::makeMemWrite(Bdf requester, Addr addr, Bytes payload)
+{
+    Tlp tlp;
+    tlp.fmt = addr > 0xffffffffull ? TlpFmt::FourDwData
+                                   : TlpFmt::ThreeDwData;
+    tlp.type = TlpType::MemWrite;
+    tlp.requester = requester;
+    tlp.address = addr;
+    tlp.lengthBytes = static_cast<std::uint32_t>(payload.size());
+    tlp.data = std::move(payload);
+    return tlp;
+}
+
+Tlp
+Tlp::makeMemWriteSynthetic(Bdf requester, Addr addr,
+                           std::uint32_t length)
+{
+    Tlp tlp;
+    tlp.fmt = addr > 0xffffffffull ? TlpFmt::FourDwData
+                                   : TlpFmt::ThreeDwData;
+    tlp.type = TlpType::MemWrite;
+    tlp.requester = requester;
+    tlp.address = addr;
+    tlp.lengthBytes = length;
+    tlp.synthetic = true;
+    return tlp;
+}
+
+Tlp
+Tlp::makeCompletion(Bdf completer, Bdf requester, std::uint8_t tag,
+                    Bytes payload, CplStatus status)
+{
+    Tlp tlp;
+    tlp.fmt = payload.empty() ? TlpFmt::ThreeDwNoData
+                              : TlpFmt::ThreeDwData;
+    tlp.type = TlpType::Completion;
+    tlp.completer = completer;
+    tlp.requester = requester;
+    tlp.tag = tag;
+    tlp.cplStatus = status;
+    tlp.lengthBytes = static_cast<std::uint32_t>(payload.size());
+    tlp.data = std::move(payload);
+    return tlp;
+}
+
+Tlp
+Tlp::makeCompletionSynthetic(Bdf completer, Bdf requester,
+                             std::uint8_t tag, std::uint32_t length)
+{
+    Tlp tlp;
+    tlp.fmt = TlpFmt::ThreeDwData;
+    tlp.type = TlpType::Completion;
+    tlp.completer = completer;
+    tlp.requester = requester;
+    tlp.tag = tag;
+    tlp.lengthBytes = length;
+    tlp.synthetic = true;
+    return tlp;
+}
+
+Tlp
+Tlp::makeMessage(Bdf requester, MsgCode code)
+{
+    Tlp tlp;
+    tlp.fmt = TlpFmt::FourDwNoData;
+    tlp.type = TlpType::Message;
+    tlp.requester = requester;
+    tlp.msgCode = code;
+    return tlp;
+}
+
+Tlp
+Tlp::makeVendorMessage(Bdf requester, Bytes payload)
+{
+    Tlp tlp;
+    tlp.fmt = TlpFmt::FourDwData;
+    tlp.type = TlpType::Message;
+    tlp.requester = requester;
+    tlp.completer = wellknown::kXpu; // ID-routed to the device
+    tlp.msgCode = MsgCode::VendorDefined;
+    tlp.lengthBytes = static_cast<std::uint32_t>(payload.size());
+    tlp.data = std::move(payload);
+    return tlp;
+}
+
+Tlp
+Tlp::makeCfgRead(Bdf requester, Bdf target, Addr offset,
+                 std::uint8_t tag)
+{
+    Tlp tlp;
+    tlp.fmt = TlpFmt::ThreeDwNoData;
+    tlp.type = TlpType::CfgRead;
+    tlp.requester = requester;
+    tlp.completer = target;
+    tlp.address = offset;
+    tlp.lengthBytes = 4;
+    tlp.tag = tag;
+    return tlp;
+}
+
+Tlp
+Tlp::makeCfgWrite(Bdf requester, Bdf target, Addr offset, Bytes payload)
+{
+    Tlp tlp;
+    tlp.fmt = TlpFmt::ThreeDwData;
+    tlp.type = TlpType::CfgWrite;
+    tlp.requester = requester;
+    tlp.completer = target;
+    tlp.address = offset;
+    tlp.lengthBytes = static_cast<std::uint32_t>(payload.size());
+    tlp.data = std::move(payload);
+    return tlp;
+}
+
+} // namespace ccai::pcie

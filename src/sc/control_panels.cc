@@ -1,0 +1,157 @@
+#include "control_panels.hh"
+
+#include "common/bytes_util.hh"
+#include "common/logging.hh"
+
+namespace ccai::sc
+{
+
+Bytes
+ChunkRecord::serialize() const
+{
+    Bytes out(kWireBytes, 0);
+    storeLe64(out.data(), chunkId);
+    out[8] = dir == trust::StreamDir::HostToDevice ? 0 : 1;
+    out[9] = synthetic ? 1 : 0;
+    storeLe64(out.data() + 16, addr);
+    storeBe32(out.data() + 24, length);
+    storeBe32(out.data() + 28, epoch);
+    if (!iv.empty())
+        std::copy(iv.begin(), iv.end(), out.begin() + 32);
+    if (!tag.empty())
+        std::copy(tag.begin(), tag.end(), out.begin() + 44);
+    return out;
+}
+
+ChunkRecord
+ChunkRecord::deserialize(const Bytes &raw)
+{
+    if (raw.size() != kWireBytes)
+        fatal("ChunkRecord: expected %u bytes, got %zu", kWireBytes,
+              raw.size());
+    ChunkRecord rec;
+    rec.chunkId = loadLe64(raw.data());
+    rec.dir = raw[8] == 0 ? trust::StreamDir::HostToDevice
+                          : trust::StreamDir::DeviceToHost;
+    rec.synthetic = raw[9] != 0;
+    rec.addr = loadLe64(raw.data() + 16);
+    rec.length = loadBe32(raw.data() + 24);
+    rec.epoch = loadBe32(raw.data() + 28);
+    rec.iv.assign(raw.begin() + 32, raw.begin() + 44);
+    rec.tag.assign(raw.begin() + 44, raw.begin() + 60);
+    return rec;
+}
+
+std::vector<ChunkRecord>
+ChunkRecord::deserializeBatch(const Bytes &raw)
+{
+    if (raw.size() % kWireBytes != 0)
+        fatal("ChunkRecord batch: size %zu not a record multiple",
+              raw.size());
+    std::vector<ChunkRecord> recs;
+    for (size_t off = 0; off < raw.size(); off += kWireBytes) {
+        recs.push_back(deserialize(
+            Bytes(raw.begin() + off, raw.begin() + off + kWireBytes)));
+    }
+    return recs;
+}
+
+Bytes
+ChunkRecord::serializeBatch(const std::vector<ChunkRecord> &recs)
+{
+    Bytes out;
+    out.reserve(recs.size() * kWireBytes);
+    for (const ChunkRecord &rec : recs) {
+        Bytes raw = rec.serialize();
+        out.insert(out.end(), raw.begin(), raw.end());
+    }
+    return out;
+}
+
+void
+DecryptParamsManager::registerChunk(const ChunkRecord &rec)
+{
+    byAddr_[rec.addr] = rec;
+}
+
+std::optional<ChunkRecord>
+DecryptParamsManager::lookup(Addr addr) const
+{
+    // Find the record whose [addr, addr+length) window covers addr.
+    auto it = byAddr_.upper_bound(addr);
+    if (it == byAddr_.begin())
+        return std::nullopt;
+    --it;
+    const ChunkRecord &rec = it->second;
+    if (addr >= rec.addr && addr < rec.addr + rec.length)
+        return rec;
+    return std::nullopt;
+}
+
+void
+DecryptParamsManager::consume(std::uint64_t chunkId)
+{
+    consumedBytes_.erase(chunkId);
+    for (auto it = byAddr_.begin(); it != byAddr_.end(); ++it) {
+        if (it->second.chunkId == chunkId) {
+            byAddr_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+DecryptParamsManager::consumeRange(std::uint64_t chunkId,
+                                   std::uint64_t bytes)
+{
+    for (auto it = byAddr_.begin(); it != byAddr_.end(); ++it) {
+        if (it->second.chunkId != chunkId)
+            continue;
+        std::uint64_t &used = consumedBytes_[chunkId];
+        used += bytes;
+        if (used >= it->second.length) {
+            consumedBytes_.erase(chunkId);
+            byAddr_.erase(it);
+        }
+        return;
+    }
+}
+
+void
+AuthTagManager::enqueueTag(std::uint64_t tagId, const Bytes &tag)
+{
+    tags_[tagId] = tag;
+}
+
+std::optional<Bytes>
+AuthTagManager::matchTag(std::uint64_t tagId)
+{
+    auto it = tags_.find(tagId);
+    if (it == tags_.end())
+        return std::nullopt;
+    Bytes tag = std::move(it->second);
+    tags_.erase(it);
+    return tag;
+}
+
+bool
+AuthTagManager::verify(const crypto::AesGcm &cipher, std::uint64_t tagId,
+                       const Bytes &iv, const Bytes &ciphertext,
+                       const Bytes &aad, Bytes *plaintext_out)
+{
+    auto tag = matchTag(tagId);
+    if (!tag) {
+        failures_.inc();
+        return false;
+    }
+    auto plaintext = cipher.open(iv, ciphertext, *tag, aad);
+    if (!plaintext) {
+        failures_.inc();
+        return false;
+    }
+    if (plaintext_out)
+        *plaintext_out = std::move(*plaintext);
+    return true;
+}
+
+} // namespace ccai::sc

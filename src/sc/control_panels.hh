@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The Packet Handler's control panels (paper §4.2): the
+ * De/Encryption Parameters Manager tracks per-chunk cryptographic
+ * parameters, and the Authentication Tag Manager matches tag records
+ * against data packets and verifies payload integrity.
+ */
+
+#ifndef CCAI_SC_CONTROL_PANELS_HH
+#define CCAI_SC_CONTROL_PANELS_HH
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "common/types.hh"
+#include "crypto/gcm.hh"
+#include "sim/stats.hh"
+#include "trust/key_manager.hh"
+
+namespace ccai::sc
+{
+
+/**
+ * Cryptographic parameters for one protected transfer chunk. The
+ * Adaptor registers H2D chunks before the device pulls them; the
+ * PCIe-SC creates D2H chunks as results stream out.
+ */
+struct ChunkRecord
+{
+    std::uint64_t chunkId = 0;
+    trust::StreamDir dir = trust::StreamDir::HostToDevice;
+    Addr addr = 0;            ///< bounce-buffer address of the chunk
+    std::uint32_t length = 0; ///< plaintext length in bytes
+    std::uint32_t epoch = 0;  ///< key epoch
+    Bytes iv;                 ///< 12-byte GCM IV
+    Bytes tag;                ///< 16-byte GCM tag
+    bool synthetic = false;   ///< payload modelled by length only
+
+    /** Wire size of a serialized record. */
+    static constexpr std::uint32_t kWireBytes = 64;
+
+    Bytes serialize() const;
+    static ChunkRecord deserialize(const Bytes &raw);
+    /** Parse a concatenation of records. */
+    static std::vector<ChunkRecord> deserializeBatch(const Bytes &raw);
+    /** Serialize a batch. */
+    static Bytes serializeBatch(const std::vector<ChunkRecord> &recs);
+};
+
+/**
+ * De/Encryption Parameters Manager: analyzes confidential packet
+ * headers and records the parameters needed to process payloads.
+ * Lookup key is the chunk's bounce-buffer address.
+ */
+class DecryptParamsManager
+{
+  public:
+    /** Register an H2D chunk the device will read. */
+    void registerChunk(const ChunkRecord &rec);
+
+    /** Find (and keep) the record covering @p addr. */
+    std::optional<ChunkRecord> lookup(Addr addr) const;
+
+    /** Remove a consumed record. */
+    void consume(std::uint64_t chunkId);
+
+    /**
+     * Account @p bytes of a chunk as consumed; the record is
+     * removed once the whole chunk has streamed through (a chunk
+     * may be read in several device bursts).
+     */
+    void consumeRange(std::uint64_t chunkId, std::uint64_t bytes);
+
+    size_t pending() const { return byAddr_.size(); }
+
+  private:
+    std::map<Addr, ChunkRecord> byAddr_;
+    std::map<std::uint64_t, std::uint64_t> consumedBytes_;
+};
+
+/**
+ * Authentication Tag Manager: owns the queue of authentication-tag
+ * packets, matches tags with the corresponding task packets by tag
+ * attribute, and verifies sensitive-payload integrity.
+ */
+class AuthTagManager
+{
+  public:
+    /** Queue a tag record arriving as an auth-tag packet. */
+    void enqueueTag(std::uint64_t tagId, const Bytes &tag);
+
+    /** Match and extract the tag for @p tagId. */
+    std::optional<Bytes> matchTag(std::uint64_t tagId);
+
+    /**
+     * Verify a sealed payload against its queued tag.
+     * @return false when the tag is missing or verification fails.
+     */
+    bool verify(const crypto::AesGcm &cipher, std::uint64_t tagId,
+                const Bytes &iv, const Bytes &ciphertext,
+                const Bytes &aad, Bytes *plaintext_out);
+
+    size_t queued() const { return tags_.size(); }
+    std::uint64_t failures() const { return failures_.value(); }
+
+  private:
+    std::map<std::uint64_t, Bytes> tags_;
+    sim::Counter failures_;
+};
+
+} // namespace ccai::sc
+
+#endif // CCAI_SC_CONTROL_PANELS_HH

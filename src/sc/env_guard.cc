@@ -1,0 +1,60 @@
+#include "env_guard.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::sc
+{
+
+namespace mm = pcie::memmap;
+
+void
+EnvGuard::addConstraint(const MmioConstraint &constraint)
+{
+    constraints_[constraint.regOffset] = constraint;
+}
+
+bool
+EnvGuard::checkMmioWrite(const pcie::Tlp &tlp)
+{
+    if (!mm::kXpuMmio.contains(tlp.address))
+        return true;
+    Addr offset = tlp.address - mm::kXpuMmio.base;
+    auto it = constraints_.find(offset);
+    if (it == constraints_.end())
+        return true;
+    if (tlp.synthetic || tlp.data.size() < 8)
+        return true;
+
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | tlp.data[i];
+
+    const MmioConstraint &c = it->second;
+    if (value < c.minValue || value > c.maxValue) {
+        violations_.inc();
+        warn("env guard: MMIO write 0x%llx to reg 0x%llx outside "
+             "[0x%llx, 0x%llx]",
+             (unsigned long long)value, (unsigned long long)offset,
+             (unsigned long long)c.minValue,
+             (unsigned long long)c.maxValue);
+        return false;
+    }
+    return true;
+}
+
+void
+EnvGuard::cleanEnvironment(bool device_supports_soft_reset)
+{
+    cleans_.inc();
+    if (device_supports_soft_reset && softReset_) {
+        softReset_();
+        return;
+    }
+    if (coldReset_) {
+        coldReset_();
+        return;
+    }
+    warn("env guard: no reset hook installed");
+}
+
+} // namespace ccai::sc

@@ -1,0 +1,64 @@
+#include "packet_filter.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::sc
+{
+
+PacketFilter::PacketFilter(const FilterTiming &timing) : timing_(timing)
+{
+}
+
+void
+PacketFilter::install(const RuleTables &tables)
+{
+    tables_ = tables;
+}
+
+void
+PacketFilter::setConfigKey(const Bytes &key)
+{
+    configKey_.emplace(key);
+}
+
+bool
+PacketFilter::applyEncryptedConfig(const Bytes &iv,
+                                   const Bytes &ciphertext,
+                                   const Bytes &tag)
+{
+    if (!configKey_) {
+        warn("packet filter: config before key establishment");
+        rejectedConfigs_.inc();
+        return false;
+    }
+    auto plaintext = configKey_->open(iv, ciphertext, tag);
+    if (!plaintext) {
+        warn("packet filter: rejected config with bad authentication");
+        rejectedConfigs_.inc();
+        return false;
+    }
+    tables_ = RuleTables::deserialize(*plaintext);
+    return true;
+}
+
+SecurityAction
+PacketFilter::classify(const pcie::Tlp &tlp)
+{
+    classified_.inc();
+    SecurityAction action = tables_.classify(tlp);
+    if (action == SecurityAction::A1_Disallow)
+        blocked_.inc();
+    return action;
+}
+
+Tick
+PacketFilter::lookupDelay(const pcie::Tlp &tlp) const
+{
+    // The match pipeline inspects headers in parallel with payload
+    // streaming, so a burst TLP pays the L1+L2 fill latency once;
+    // throughput is bounded by the crypto engines, not the filter.
+    (void)tlp;
+    return timing_.l1LookupLatency + timing_.l2LookupLatency;
+}
+
+} // namespace ccai::sc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The Packet Filter (paper §4.1): classifies every TLP traversing
+ * the PCIe-SC against the L1/L2 tables and supports dynamic,
+ * encrypted policy updates through a dedicated configuration space.
+ */
+
+#ifndef CCAI_SC_PACKET_FILTER_HH
+#define CCAI_SC_PACKET_FILTER_HH
+
+#include <optional>
+
+#include "crypto/gcm.hh"
+#include "sc/rules.hh"
+#include "sim/stats.hh"
+
+namespace ccai::sc
+{
+
+/** Per-TLP-unit lookup latency of the filter pipeline. */
+struct FilterTiming
+{
+    Tick l1LookupLatency = 16 * kTicksPerNs;
+    Tick l2LookupLatency = 24 * kTicksPerNs;
+};
+
+/**
+ * Packet Filter with encrypted dynamic configuration.
+ *
+ * Policies arriving through the configuration space are AES-GCM
+ * sealed under the config key (negotiated during trust
+ * establishment) so that an adversary with bus access cannot inject
+ * rules (§4.1 "Dynamic and secure configuration").
+ */
+class PacketFilter
+{
+  public:
+    explicit PacketFilter(const FilterTiming &timing = {});
+
+    /** Install plaintext tables directly (boot-time defaults). */
+    void install(const RuleTables &tables);
+
+    /** Set the key protecting configuration updates. */
+    void setConfigKey(const Bytes &key);
+
+    /**
+     * Apply an encrypted policy blob from the configuration space.
+     * @return false when authentication fails (injected config).
+     */
+    bool applyEncryptedConfig(const Bytes &iv, const Bytes &ciphertext,
+                              const Bytes &tag);
+
+    /** Classify one TLP. */
+    SecurityAction classify(const pcie::Tlp &tlp);
+
+    /** Filter service time for a TLP (all wire units). */
+    Tick lookupDelay(const pcie::Tlp &tlp) const;
+
+    const RuleTables &tables() const { return tables_; }
+    sim::Counter &blockedCount() { return blocked_; }
+    std::uint64_t classified() const { return classified_.value(); }
+    std::uint64_t blocked() const { return blocked_.value(); }
+    std::uint64_t rejectedConfigs() const
+    {
+        return rejectedConfigs_.value();
+    }
+
+  private:
+    RuleTables tables_;
+    FilterTiming timing_;
+    std::optional<crypto::AesGcm> configKey_;
+    sim::Counter classified_;
+    sim::Counter blocked_;
+    sim::Counter rejectedConfigs_;
+};
+
+} // namespace ccai::sc
+
+#endif // CCAI_SC_PACKET_FILTER_HH

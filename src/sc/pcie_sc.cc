@@ -1,0 +1,660 @@
+#include "pcie_sc.hh"
+
+#include "common/bytes_util.hh"
+#include "common/logging.hh"
+#include "crypto/sha256.hh"
+
+namespace ccai::sc
+{
+
+namespace mm = pcie::memmap;
+using pcie::Tlp;
+using pcie::TlpPtr;
+using pcie::TlpType;
+
+PcieSc::PcieSc(sim::System &sys, std::string name,
+               const PcieScConfig &config)
+    : sim::SimObject(sys, std::move(name)), config_(config),
+      filter_(config.filterTiming), gcmEngine_(config.engineTiming),
+      stats_(this->name())
+{
+}
+
+void
+PcieSc::connectUpstream(pcie::Link *up, pcie::PcieNode *upNeighbor)
+{
+    up_ = up;
+    upNeighbor_ = upNeighbor;
+}
+
+void
+PcieSc::connectDownstream(pcie::Link *down, pcie::PcieNode *downNeighbor)
+{
+    down_ = down;
+    downNeighbor_ = downNeighbor;
+}
+
+void
+PcieSc::establishSession(const Bytes &sessionSecret)
+{
+    establishTenant(pcie::wellknown::kTvm, sessionSecret,
+                    mm::kBounceD2h, mm::kMetadataBuffer);
+}
+
+void
+PcieSc::establishTenant(pcie::Bdf tenant, const Bytes &sessionSecret,
+                        pcie::AddrRange d2hWindow,
+                        pcie::AddrRange metaWindow)
+{
+    auto [it, inserted] = sessions_.try_emplace(
+        tenant.raw(), config_.engineTiming);
+    TenantSession &s = it->second;
+    if (!inserted)
+        warn("%s: re-establishing session for tenant %s",
+             name().c_str(), tenant.toString().c_str());
+
+    s.keys = std::make_unique<trust::WorkloadKeyManager>(
+        sessionSecret, config_.ivExhaustionLimit);
+    s.signer.setKey(
+        crypto::kdf(sessionSecret, {}, "ccai-a3-integrity", 32));
+    s.d2hWindow = d2hWindow;
+    s.metaWindow = metaWindow;
+    s.metaCursor = 0;
+    s.metaDelivered = 0;
+
+    // The first tenant (the owner TVM) controls the packet policy.
+    if (sessions_.size() == 1) {
+        ownerTenant_ = tenant.raw();
+        filter_.setConfigKey(
+            crypto::kdf(sessionSecret, {}, "ccai-filter-config", 16));
+    }
+    stats_.counter("sessions_established").inc();
+}
+
+void
+PcieSc::installPolicy(const RuleTables &tables)
+{
+    filter_.install(tables);
+}
+
+trust::WorkloadKeyManager *
+PcieSc::keyManager()
+{
+    auto it = sessions_.find(ownerTenant_);
+    return it != sessions_.end() ? it->second.keys.get() : nullptr;
+}
+
+trust::WorkloadKeyManager *
+PcieSc::keyManagerFor(pcie::Bdf tenant)
+{
+    auto it = sessions_.find(tenant.raw());
+    return it != sessions_.end() ? it->second.keys.get() : nullptr;
+}
+
+DecryptParamsManager &
+PcieSc::paramsManager()
+{
+    auto it = sessions_.find(ownerTenant_);
+    ccai_assert(it != sessions_.end());
+    return it->second.params;
+}
+
+PcieSc::TenantSession *
+PcieSc::session(std::uint16_t tenantRaw)
+{
+    auto it = sessions_.find(tenantRaw);
+    return it != sessions_.end() ? &it->second : nullptr;
+}
+
+PcieSc::TenantSession *
+PcieSc::sessionCoveringH2d(Addr addr)
+{
+    for (auto &[raw, s] : sessions_) {
+        if (s.params.lookup(addr).has_value())
+            return &s;
+    }
+    return nullptr;
+}
+
+PcieSc::TenantSession *
+PcieSc::sessionCoveringD2h(Addr addr)
+{
+    for (auto &[raw, s] : sessions_) {
+        if (s.d2hWindow.contains(addr))
+            return &s;
+    }
+    return nullptr;
+}
+
+void
+PcieSc::endTenant(pcie::Bdf tenant, bool device_supports_soft_reset)
+{
+    auto it = sessions_.find(tenant.raw());
+    if (it == sessions_.end())
+        return;
+    if (it->second.keys)
+        it->second.keys->destroy();
+    sessions_.erase(it);
+    stats_.counter("tasks_ended").inc();
+
+    // Scrub the shared device once the last tenant leaves.
+    if (sessions_.empty()) {
+        envGuard_.cleanEnvironment(device_supports_soft_reset);
+        pendingSensitiveReads_.clear();
+    }
+}
+
+void
+PcieSc::endTask(bool device_supports_soft_reset)
+{
+    while (!sessions_.empty()) {
+        endTenant(pcie::Bdf::fromRaw(sessions_.begin()->first),
+                  device_supports_soft_reset);
+    }
+}
+
+void
+PcieSc::receiveTlp(const TlpPtr &tlp, pcie::PcieNode *from)
+{
+    if (from == upNeighbor_)
+        processDownstreamBound(tlp);
+    else
+        processUpstreamBound(tlp);
+}
+
+bool
+PcieSc::ownsAddress(Addr addr) const
+{
+    return mm::kScMmio.contains(addr) || mm::kScRuleTable.contains(addr);
+}
+
+void
+PcieSc::forward(const TlpPtr &tlp, bool upstream, Tick delay)
+{
+    pcie::Link *out = upstream ? up_ : down_;
+    ccai_assert(out != nullptr);
+    // Egress is FIFO per direction: a fast-path packet (short A3
+    // check) must not overtake an earlier slow-path packet (longer
+    // crypto), or posted-write ordering breaks (e.g. a doorbell
+    // arriving before its command descriptor).
+    Tick &busy = upstream ? upBusyUntil_ : downBusyUntil_;
+    Tick when = std::max(curTick() + delay + config_.forwardLatency,
+                         busy);
+    busy = when;
+    eventq().schedule(when, [out, tlp] { out->send(tlp); });
+}
+
+// ---------------------------------------------------------------------
+// host -> xPU direction
+// ---------------------------------------------------------------------
+
+void
+PcieSc::processDownstreamBound(const TlpPtr &tlp)
+{
+    stats_.counter("down_tlps").inc();
+    Tick filter_delay = filter_.lookupDelay(*tlp);
+    SecurityAction action = filter_.classify(*tlp);
+
+    if (action == SecurityAction::A1_Disallow) {
+        stats_.counter("a1_blocked").inc();
+        if (tlp->type == TlpType::MemRead ||
+            tlp->type == TlpType::CfgRead) {
+            // Abort the read so the requester does not hang.
+            auto abort = std::make_shared<Tlp>(Tlp::makeCompletion(
+                pcie::wellknown::kPcieSc, tlp->requester, tlp->tag, {},
+                pcie::CplStatus::CompleterAbort));
+            forward(abort, true, filter_delay);
+        }
+        return;
+    }
+
+    // TLPs addressed to the controller's own BARs terminate here.
+    if ((tlp->type == TlpType::MemRead ||
+         tlp->type == TlpType::MemWrite) &&
+        ownsAddress(tlp->address)) {
+        if (action == SecurityAction::A3_PlainIntegrity &&
+            sessionEstablished() && !handleA3(tlp)) {
+            return;
+        }
+        handleOwnMmio(tlp);
+        return;
+    }
+
+    switch (action) {
+      case SecurityAction::A2_CryptIntegrity:
+        handleA2Downstream(tlp);
+        return;
+      case SecurityAction::A3_PlainIntegrity: {
+        if (!handleA3(tlp))
+            return;
+        TenantSession *s = session(tlp->requester.raw());
+        Tick verify_delay =
+            s ? s->signer.verifyDelay(*tlp) : Tick(0);
+        forward(tlp, false, filter_delay + verify_delay);
+        return;
+      }
+      case SecurityAction::A4_Transparent: {
+        stats_.counter("a4_passthrough").inc();
+        // Completions of sensitive device reads are upgraded to the
+        // A2 decrypt path via the pending-read tracker.
+        if (tlp->type == TlpType::Completion) {
+            auto it = pendingSensitiveReads_.find(tlp->tag);
+            if (it != pendingSensitiveReads_.end()) {
+                handleA2Downstream(tlp);
+                return;
+            }
+        }
+        forward(tlp, false, filter_delay);
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+void
+PcieSc::handleA2Downstream(const TlpPtr &tlp)
+{
+    stats_.counter("a2_downstream").inc();
+    if (!sessionEstablished()) {
+        stats_.counter("a2_no_session").inc();
+        warn("%s: A2 packet before session establishment",
+             name().c_str());
+        return;
+    }
+
+    Addr lookup_addr = tlp->address;
+    TenantSession *tenant = nullptr;
+    if (tlp->type == TlpType::Completion) {
+        auto it = pendingSensitiveReads_.find(tlp->tag);
+        ccai_assert(it != pendingSensitiveReads_.end());
+        lookup_addr = it->second.addr;
+        tenant = session(it->second.tenant);
+        pendingSensitiveReads_.erase(it);
+    } else {
+        // Direct sensitive write: attribute by the requester.
+        tenant = session(tlp->requester.raw());
+    }
+
+    if (!tenant) {
+        stats_.counter("a2_unknown_tenant").inc();
+        return;
+    }
+    auto rec = tenant->params.lookup(lookup_addr);
+    if (!rec) {
+        stats_.counter("a2_unregistered").inc();
+        warn("%s: A2 payload at 0x%llx has no registered chunk",
+             name().c_str(), (unsigned long long)lookup_addr);
+        return;
+    }
+
+    Tick delay = filter_.lookupDelay(*tlp) +
+                 gcmEngine_.cryptDelay(tlp->payloadBytes()) +
+                 gcmEngine_.tagDelay();
+
+    if (tlp->synthetic || rec->synthetic) {
+        // Timing-only path for bulk benchmark traffic. A chunk may
+        // stream through in several device bursts, so consume by
+        // byte range rather than whole records.
+        tenant->params.consumeRange(rec->chunkId,
+                                    tlp->payloadBytes());
+        forward(tlp, false, delay);
+        return;
+    }
+
+    crypto::AesGcm cipher = tenant->keys->cipherForEpoch(
+        trust::StreamDir::HostToDevice, rec->epoch);
+    auto plaintext = cipher.open(rec->iv, tlp->data, rec->tag);
+    if (!plaintext) {
+        stats_.counter("a2_integrity_failures").inc();
+        warn("%s: integrity failure on chunk %llu", name().c_str(),
+             (unsigned long long)rec->chunkId);
+        tenant->params.consume(rec->chunkId);
+        return;
+    }
+    tenant->params.consume(rec->chunkId);
+
+    auto out = std::make_shared<Tlp>(*tlp);
+    out->data = std::move(*plaintext);
+    out->lengthBytes = static_cast<std::uint32_t>(out->data.size());
+    out->encrypted = false;
+    forward(out, false, delay);
+}
+
+bool
+PcieSc::handleA3(const TlpPtr &tlp)
+{
+    stats_.counter("a3_checked").inc();
+    if (!sessionEstablished()) {
+        // Before trust establishment the integrity engines are not
+        // armed; boot-time configuration passes through.
+        return true;
+    }
+    TenantSession *tenant = session(tlp->requester.raw());
+    if (!tenant) {
+        stats_.counter("a3_integrity_failures").inc();
+        return false; // unknown requester fails closed
+    }
+    if (!tenant->signer.verify(*tlp)) {
+        stats_.counter("a3_integrity_failures").inc();
+        return false;
+    }
+    if (tlp->type == TlpType::MemWrite &&
+        !envGuard_.checkMmioWrite(*tlp)) {
+        stats_.counter("a3_env_violations").inc();
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// xPU -> host direction
+// ---------------------------------------------------------------------
+
+void
+PcieSc::processUpstreamBound(const TlpPtr &tlp)
+{
+    stats_.counter("up_tlps").inc();
+    Tick filter_delay = filter_.lookupDelay(*tlp);
+    SecurityAction action = filter_.classify(*tlp);
+
+    if (action == SecurityAction::A1_Disallow) {
+        stats_.counter("a1_blocked").inc();
+        if (tlp->type == TlpType::MemRead) {
+            auto abort = std::make_shared<Tlp>(Tlp::makeCompletion(
+                pcie::wellknown::kPcieSc, tlp->requester, tlp->tag, {},
+                pcie::CplStatus::CompleterAbort));
+            forward(abort, false, filter_delay);
+        }
+        return;
+    }
+
+    switch (action) {
+      case SecurityAction::A2_CryptIntegrity:
+        handleA2Upstream(tlp);
+        return;
+      case SecurityAction::A3_PlainIntegrity: {
+        if (!handleA3(tlp))
+            return;
+        TenantSession *s = session(tlp->requester.raw());
+        Tick verify_delay =
+            s ? s->signer.verifyDelay(*tlp) : Tick(0);
+        forward(tlp, true, filter_delay + verify_delay);
+        return;
+      }
+      case SecurityAction::A4_Transparent:
+        stats_.counter("a4_passthrough").inc();
+        // Track sensitive reads so their completions get decrypted,
+        // attributed to the tenant whose chunk covers the address.
+        if (tlp->type == TlpType::MemRead &&
+            mm::kBounceH2d.contains(tlp->address)) {
+            std::uint16_t tenant_raw = 0;
+            for (auto &[raw, s] : sessions_) {
+                if (s.params.lookup(tlp->address).has_value()) {
+                    tenant_raw = raw;
+                    break;
+                }
+            }
+            pendingSensitiveReads_[tlp->tag] =
+                PendingRead{tlp->address, tenant_raw};
+        }
+        forward(tlp, true, filter_delay);
+        return;
+      default:
+        return;
+    }
+}
+
+void
+PcieSc::handleA2Upstream(const TlpPtr &tlp)
+{
+    // Device writing results into a D2H bounce window: encrypt the
+    // payload under the owning tenant's key and queue the record.
+    stats_.counter("a2_upstream").inc();
+    if (!sessionEstablished()) {
+        stats_.counter("a2_no_session").inc();
+        return;
+    }
+    TenantSession *tenant = sessionCoveringD2h(tlp->address);
+    if (!tenant) {
+        stats_.counter("a2_unknown_tenant").inc();
+        warn("%s: result write at 0x%llx matches no tenant window",
+             name().c_str(), (unsigned long long)tlp->address);
+        return;
+    }
+
+    ChunkRecord rec;
+    rec.chunkId = tenant->nextChunkId++;
+    rec.dir = trust::StreamDir::DeviceToHost;
+    rec.addr = tlp->address;
+    rec.length = tlp->payloadBytes();
+    // nextIv() may rotate the epoch; read the id after drawing.
+    rec.iv = tenant->keys->nextIv(trust::StreamDir::DeviceToHost);
+    rec.epoch = tenant->keys->epochId(trust::StreamDir::DeviceToHost);
+    rec.synthetic = tlp->synthetic;
+
+    Tick delay = filter_.lookupDelay(*tlp) +
+                 gcmEngine_.cryptDelay(tlp->payloadBytes()) +
+                 gcmEngine_.tagDelay();
+
+    TlpPtr out;
+    if (tlp->synthetic) {
+        rec.tag.assign(crypto::kGcmTagSize, 0);
+        out = tlp;
+    } else {
+        crypto::AesGcm cipher = tenant->keys->cipherForEpoch(
+            trust::StreamDir::DeviceToHost, rec.epoch);
+        crypto::Sealed sealed = cipher.seal(rec.iv, tlp->data);
+        rec.tag = sealed.tag;
+        auto enc = std::make_shared<Tlp>(*tlp);
+        enc->data = std::move(sealed.ciphertext);
+        enc->encrypted = true;
+        out = enc;
+    }
+
+    queueD2hRecord(*tenant, rec);
+    forward(out, true, delay);
+}
+
+void
+PcieSc::queueD2hRecord(TenantSession &tenant, const ChunkRecord &rec)
+{
+    tenant.d2hRecords.push_back(rec);
+    stats_.counter("d2h_records").inc();
+    if (config_.metadataBatching &&
+        tenant.d2hRecords.size() >= config_.metaBatchSize) {
+        flushMetadataBatch(tenant);
+    }
+}
+
+void
+PcieSc::flushMetadataBatch(TenantSession &tenant)
+{
+    if (!config_.metadataBatching || tenant.d2hRecords.empty())
+        return;
+
+    // DMA the pending records into the tenant's metadata window in
+    // one posted write (the §5 I/O-read optimization: the Adaptor
+    // reads them from its own memory instead of querying the SC).
+    std::vector<ChunkRecord> batch(tenant.d2hRecords.begin(),
+                                   tenant.d2hRecords.end());
+    tenant.d2hRecords.clear();
+
+    Bytes blob = ChunkRecord::serializeBatch(batch);
+    Addr dst = tenant.metaWindow.base + tenant.metaCursor;
+    tenant.metaCursor += blob.size();
+    ccai_assert(tenant.metaCursor <= tenant.metaWindow.size);
+    tenant.metaDelivered += batch.size();
+
+    auto tlp = std::make_shared<Tlp>(Tlp::makeMemWrite(
+        pcie::wellknown::kPcieSc, dst, std::move(blob)));
+    stats_.counter("meta_batches").inc();
+    forward(tlp, true, 0);
+}
+
+// ---------------------------------------------------------------------
+// The controller's own MMIO interface
+// ---------------------------------------------------------------------
+
+void
+PcieSc::handleOwnMmio(const TlpPtr &tlp)
+{
+    if (tlp->type == TlpType::MemWrite) {
+        handleOwnMmioWrite(tlp);
+        return;
+    }
+    Bytes payload = handleOwnMmioRead(*tlp);
+    completeOwnRead(tlp, std::move(payload));
+}
+
+void
+PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
+{
+    stats_.counter("own_mmio_writes").inc();
+
+    if (mm::kScRuleTable.contains(tlp->address)) {
+        // Encrypted policy update: payload = iv || tag || ciphertext.
+        // Only the owner tenant holds the config key, so updates
+        // sealed under any other key fail authentication.
+        if (tlp->data.size() < 28) {
+            stats_.counter("bad_config_writes").inc();
+            return;
+        }
+        Bytes iv(tlp->data.begin(), tlp->data.begin() + 12);
+        Bytes tag(tlp->data.begin() + 12, tlp->data.begin() + 28);
+        Bytes ciphertext(tlp->data.begin() + 28, tlp->data.end());
+        filter_.applyEncryptedConfig(iv, ciphertext, tag);
+        return;
+    }
+
+    Addr offset = tlp->address - mm::kScMmio.base;
+    TenantSession *tenant = session(tlp->requester.raw());
+
+    if (offset >= mm::screg::kParamWindow &&
+        offset < mm::screg::kRecordWindow) {
+        // H2D chunk-record registration (single or batch) into the
+        // requesting tenant's parameter table.
+        if (!tenant ||
+            tlp->data.size() % ChunkRecord::kWireBytes != 0) {
+            stats_.counter("bad_param_writes").inc();
+            return;
+        }
+        for (const ChunkRecord &rec :
+             ChunkRecord::deserializeBatch(tlp->data)) {
+            tenant->params.registerChunk(rec);
+        }
+        stats_.counter("h2d_records").inc(
+            tlp->data.size() / ChunkRecord::kWireBytes);
+        return;
+    }
+
+    std::uint64_t value = 0;
+    if (tlp->data.size() >= 8)
+        value = loadLe64(tlp->data.data());
+
+    switch (offset) {
+      case mm::screg::kMetaDoorbell:
+        if (tenant)
+            flushMetadataBatch(*tenant);
+        return;
+      case mm::screg::kNotifyTransfer:
+        stats_.counter("transfer_notifies").inc();
+        return;
+      case mm::screg::kRecordAck: {
+        if (!tenant)
+            return;
+        if (config_.metadataBatching) {
+            // The Adaptor consumed @p value records from its
+            // metadata window; once everything delivered has been
+            // consumed, rewind the window cursor.
+            tenant->metaDelivered -=
+                std::min(value, tenant->metaDelivered);
+            if (tenant->metaDelivered == 0)
+                tenant->metaCursor = 0;
+            return;
+        }
+        std::uint64_t n =
+            std::min<std::uint64_t>(value,
+                                    tenant->d2hRecords.size());
+        for (std::uint64_t i = 0; i < n; ++i)
+            tenant->d2hRecords.pop_front();
+        return;
+      }
+      case mm::screg::kEndTask:
+        endTenant(tlp->requester, value != 0);
+        return;
+      case mm::screg::kControl:
+      case mm::screg::kEnvGuardCtl:
+        return; // modelled as configuration latches
+      default:
+        stats_.counter("unknown_own_writes").inc();
+        return;
+    }
+}
+
+Bytes
+PcieSc::handleOwnMmioRead(const pcie::Tlp &req)
+{
+    stats_.counter("own_mmio_reads").inc();
+    Addr offset = req.address - mm::kScMmio.base;
+    Bytes out(req.lengthBytes, 0);
+    TenantSession *tenant = session(req.requester.raw());
+
+    if (offset >= mm::screg::kRecordWindow) {
+        // Per-record MMIO fetch (the unoptimized §5 path).
+        if (!tenant)
+            return out;
+        size_t index = (offset - mm::screg::kRecordWindow) /
+                       ChunkRecord::kWireBytes;
+        if (index < tenant->d2hRecords.size()) {
+            Bytes rec = tenant->d2hRecords[index].serialize();
+            std::copy_n(rec.begin(),
+                        std::min<size_t>(rec.size(), out.size()),
+                        out.begin());
+        }
+        return out;
+    }
+
+    std::uint64_t value = 0;
+    switch (offset) {
+      case mm::screg::kStatus:
+        value = sessionEstablished() ? 0x3 : 0x1;
+        break;
+      case mm::screg::kRecordCount:
+        if (tenant) {
+            value = config_.metadataBatching
+                        ? tenant->metaDelivered
+                        : tenant->d2hRecords.size();
+        }
+        break;
+      default:
+        break;
+    }
+    for (size_t i = 0; i < out.size() && i < 8; ++i) {
+        out[i] = static_cast<std::uint8_t>(value);
+        value >>= 8;
+    }
+    return out;
+}
+
+void
+PcieSc::completeOwnRead(const TlpPtr &req, Bytes payload)
+{
+    auto cpl = std::make_shared<Tlp>(Tlp::makeCompletion(
+        pcie::wellknown::kPcieSc, req->requester, req->tag,
+        std::move(payload)));
+    forward(cpl, true, filter_.lookupDelay(*req));
+}
+
+void
+PcieSc::reset()
+{
+    sessions_.clear();
+    ownerTenant_ = 0;
+    pendingSensitiveReads_.clear();
+    upBusyUntil_ = 0;
+    downBusyUntil_ = 0;
+    stats_.reset();
+}
+
+} // namespace ccai::sc

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The PCIe Security Controller (paper §3/§4/§7.2): a hardware module
+ * sitting between the host's PCIe port and the xPU. Every TLP in
+ * either direction passes the Packet Filter and the matching Packet
+ * Handler before being forwarded; the controller also exposes its
+ * own MMIO BARs through which the TVM-side Adaptor configures
+ * policies, registers transfer chunks, and collects result metadata.
+ *
+ * Multi-tenant operation (paper §9): the controller distinguishes
+ * tenants by their PCIe requester IDs and keeps an isolated secure
+ * channel per tenant — separate workload keys, A3 signing keys,
+ * chunk-parameter tables, result-record queues, and bounce/metadata
+ * windows. The first-established tenant (the owner) additionally
+ * controls the packet policy.
+ */
+
+#ifndef CCAI_SC_PCIE_SC_HH
+#define CCAI_SC_PCIE_SC_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "pcie/link.hh"
+#include "pcie/memory_map.hh"
+#include "sc/control_panels.hh"
+#include "sc/engines.hh"
+#include "sc/env_guard.hh"
+#include "sc/packet_filter.hh"
+#include "sim/stats.hh"
+#include "trust/key_manager.hh"
+
+namespace ccai::sc
+{
+
+/** Configuration knobs of the controller. */
+struct PcieScConfig
+{
+    FilterTiming filterTiming;
+    EngineTiming engineTiming;
+    /** Store-and-forward latency for pass-through packets. */
+    Tick forwardLatency = 150 * kTicksPerNs;
+    /**
+     * When true the controller batches D2H chunk records and DMAs
+     * them into the host metadata buffer (§5 I/O-read optimization);
+     * when false the Adaptor must fetch each record via MMIO reads.
+     */
+    bool metadataBatching = true;
+    /** Records accumulated before an automatic batch flush. */
+    std::uint32_t metaBatchSize = 32;
+    /**
+     * IV-counter value that triggers a key-epoch rotation (the
+     * H100-style IV-exhaustion mitigation, §6). The default leaves
+     * ample space; tests shrink it to exercise rotation live.
+     */
+    std::uint32_t ivExhaustionLimit = 0xffff0000u;
+};
+
+/**
+ * The PCIe-SC device model.
+ */
+class PcieSc : public sim::SimObject, public pcie::PcieNode
+{
+  public:
+    PcieSc(sim::System &sys, std::string name,
+           const PcieScConfig &config = {});
+
+    /** Attach the link towards the root/switch. */
+    void connectUpstream(pcie::Link *up, pcie::PcieNode *upNeighbor);
+    /** Attach the link towards the protected xPU. */
+    void connectDownstream(pcie::Link *down,
+                           pcie::PcieNode *downNeighbor);
+
+    /**
+     * Establish the owner tenant's confidential session (the
+     * single-tenant configuration of the paper's prototype): the
+     * default TVM requester with the full bounce and metadata
+     * windows.
+     */
+    void establishSession(const Bytes &sessionSecret);
+
+    /**
+     * Establish an isolated session for one tenant (paper §9):
+     * derive its workload keys, A3 integrity key, and — for the
+     * first tenant only — the filter config key. @p d2hWindow
+     * attributes device result writes to this tenant; @p metaWindow
+     * is where its record batches are delivered.
+     */
+    void establishTenant(pcie::Bdf tenant, const Bytes &sessionSecret,
+                         pcie::AddrRange d2hWindow,
+                         pcie::AddrRange metaWindow);
+
+    /** Install the boot-time packet policy. */
+    void installPolicy(const RuleTables &tables);
+
+    /** Tear down every session and scrub the xPU. */
+    void endTask(bool device_supports_soft_reset);
+
+    /**
+     * Tear down one tenant's session; the device is scrubbed once
+     * the last session ends.
+     */
+    void endTenant(pcie::Bdf tenant, bool device_supports_soft_reset);
+
+    // PcieNode interface
+    void receiveTlp(const pcie::TlpPtr &tlp, pcie::PcieNode *from)
+        override;
+    const std::string &nodeName() const override { return name(); }
+
+    PacketFilter &filter() { return filter_; }
+    EnvGuard &envGuard() { return envGuard_; }
+    AuthTagManager &tagManager() { return tagMgr_; }
+    sim::StatGroup &stats() { return stats_; }
+    sim::StatGroup *statGroup() override { return &stats_; }
+    const PcieScConfig &config() const { return config_; }
+    void setConfig(const PcieScConfig &config) { config_ = config; }
+
+    bool sessionEstablished() const { return !sessions_.empty(); }
+    size_t tenantCount() const { return sessions_.size(); }
+    /** Owner tenant's key manager (single-tenant convenience). */
+    trust::WorkloadKeyManager *keyManager();
+    /** A specific tenant's key manager (nullptr when absent). */
+    trust::WorkloadKeyManager *keyManagerFor(pcie::Bdf tenant);
+    /** Owner tenant's params manager (single-tenant convenience). */
+    DecryptParamsManager &paramsManager();
+
+    void reset() override;
+
+  private:
+    /** Per-tenant isolated secure channel (§9). */
+    struct TenantSession
+    {
+        std::unique_ptr<trust::WorkloadKeyManager> keys;
+        SignIntegrityEngine signer;
+        DecryptParamsManager params;
+        std::deque<ChunkRecord> d2hRecords;
+        pcie::AddrRange d2hWindow{};
+        pcie::AddrRange metaWindow{};
+        Addr metaCursor = 0;
+        std::uint64_t metaDelivered = 0;
+        std::uint64_t nextChunkId = 1;
+
+        explicit TenantSession(const EngineTiming &timing)
+            : signer(timing)
+        {}
+    };
+
+    /** Outstanding sensitive device read: where and whose. */
+    struct PendingRead
+    {
+        Addr addr = 0;
+        std::uint16_t tenant = 0;
+    };
+
+    TenantSession *session(std::uint16_t tenantRaw);
+    TenantSession *sessionCoveringH2d(Addr addr);
+    TenantSession *sessionCoveringD2h(Addr addr);
+
+    // Direction-specific entry points.
+    void processUpstreamBound(const pcie::TlpPtr &tlp);   // xPU -> host
+    void processDownstreamBound(const pcie::TlpPtr &tlp); // host -> xPU
+
+    // SC-owned BAR handling.
+    bool ownsAddress(Addr addr) const;
+    void handleOwnMmio(const pcie::TlpPtr &tlp);
+    void handleOwnMmioWrite(const pcie::TlpPtr &tlp);
+    Bytes handleOwnMmioRead(const pcie::Tlp &req);
+    void completeOwnRead(const pcie::TlpPtr &req, Bytes payload);
+
+    // Packet Handlers.
+    void handleA2Downstream(const pcie::TlpPtr &tlp);
+    void handleA2Upstream(const pcie::TlpPtr &tlp);
+    bool handleA3(const pcie::TlpPtr &tlp);
+    void forward(const pcie::TlpPtr &tlp, bool upstream, Tick delay);
+
+    // D2H record plumbing.
+    void queueD2hRecord(TenantSession &tenant, const ChunkRecord &rec);
+    void flushMetadataBatch(TenantSession &tenant);
+
+    PcieScConfig config_;
+    PacketFilter filter_;
+    AesGcmShaEngine gcmEngine_;
+    AuthTagManager tagMgr_;
+    EnvGuard envGuard_;
+
+    pcie::Link *up_ = nullptr;
+    pcie::Link *down_ = nullptr;
+    pcie::PcieNode *upNeighbor_ = nullptr;
+    pcie::PcieNode *downNeighbor_ = nullptr;
+
+    std::map<std::uint16_t, TenantSession> sessions_;
+    std::uint16_t ownerTenant_ = 0;
+
+    /** tag -> pending sensitive device read. */
+    std::map<std::uint8_t, PendingRead> pendingSensitiveReads_;
+
+    /** Per-direction egress FIFO points. */
+    Tick upBusyUntil_ = 0;
+    Tick downBusyUntil_ = 0;
+
+    sim::StatGroup stats_;
+};
+
+} // namespace ccai::sc
+
+#endif // CCAI_SC_PCIE_SC_HH

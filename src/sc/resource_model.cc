@@ -1,0 +1,86 @@
+#include "resource_model.hh"
+
+namespace ccai::sc
+{
+
+ResourceModel::ResourceModel(const ResourceCostModel &costs)
+    : costs_(costs)
+{
+}
+
+ResourceUsage
+ResourceModel::packetFilter(std::uint64_t ruleSlots) const
+{
+    ResourceUsage u;
+    u.component = "Packet Filter";
+    u.aluts = costs_.alutsPerRuleSlot * ruleSlots;
+    u.regs = costs_.regsPerRuleSlot * ruleSlots;
+    // Rule storage: 32 B/rule, both tables double-buffered for
+    // atomic updates, plus match pipeline state.
+    std::uint64_t table_kb = (ruleSlots * 32 * 2) / 1024 + 1;
+    u.brams = costs_.bramPerRuleKb * table_kb +
+              costs_.camBramsPerSlot * ruleSlots;
+    return u;
+}
+
+ResourceUsage
+ResourceModel::packetHandlers(std::uint64_t gcmLanes,
+                              std::uint64_t panels,
+                              std::uint64_t queues) const
+{
+    ResourceUsage u;
+    u.component = "Packet Handlers";
+    u.aluts = costs_.alutsPerGcmLane * gcmLanes +
+              costs_.alutsPerPanel * panels;
+    u.regs = costs_.regsPerGcmLane * gcmLanes +
+             costs_.regsPerPanel * panels;
+    u.brams = costs_.bramsPerGcmLane * gcmLanes +
+              costs_.bramsPerQueue * queues;
+    return u;
+}
+
+ResourceUsage
+ResourceModel::hrotBlade() const
+{
+    // Implemented on the embedded Cortex-A53 hard processor system;
+    // consumes no FPGA fabric (paper Table 3 note).
+    ResourceUsage u;
+    u.component = "HRoT-Blade";
+    return u;
+}
+
+ResourceUsage
+ResourceModel::infrastructure() const
+{
+    ResourceUsage u;
+    u.component = "Others";
+    u.aluts = costs_.alutsInfra;
+    u.regs = costs_.regsInfra;
+    u.brams = costs_.bramsInfra;
+    return u;
+}
+
+std::vector<ResourceUsage>
+ResourceModel::prototypeBreakdown() const
+{
+    // Prototype configuration: 128 rule slots, 8 parallel GCM lanes
+    // (PCIe Gen4 x16 line rate), 2 control panels, 6 packet queues.
+    return {
+        packetFilter(128),
+        packetHandlers(8, 2, 6),
+        hrotBlade(),
+        infrastructure(),
+    };
+}
+
+ResourceUsage
+ResourceModel::total(const std::vector<ResourceUsage> &parts)
+{
+    ResourceUsage sum;
+    sum.component = "Total";
+    for (const ResourceUsage &p : parts)
+        sum += p;
+    return sum;
+}
+
+} // namespace ccai::sc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * FPGA resource model of the PCIe-SC prototype (paper Table 3).
+ * Each hardware component registers its Adaptive Look-Up Table
+ * (ALUT), logic register and Block-RAM consumption; the TCB report
+ * (bench_table3_tcb) sums them. Costs are derived from per-feature
+ * unit costs so that changing the design (rule count, engine width)
+ * changes the accounting, rather than being a hard-coded table.
+ */
+
+#ifndef CCAI_SC_RESOURCE_MODEL_HH
+#define CCAI_SC_RESOURCE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccai::sc
+{
+
+/** Resources one component consumes on the Agilex-7 fabric. */
+struct ResourceUsage
+{
+    std::string component;
+    std::uint64_t aluts = 0;
+    std::uint64_t regs = 0;
+    std::uint64_t brams = 0;
+
+    ResourceUsage &
+    operator+=(const ResourceUsage &o)
+    {
+        aluts += o.aluts;
+        regs += o.regs;
+        brams += o.brams;
+        return *this;
+    }
+};
+
+/** Per-feature unit costs used to derive component usage. */
+struct ResourceCostModel
+{
+    // Packet Filter: parallel masked comparators per rule slot plus
+    // the table BRAMs.
+    std::uint64_t alutsPerRuleSlot = 88;
+    std::uint64_t regsPerRuleSlot = 253;
+    std::uint64_t bramPerRuleKb = 6;
+    std::uint64_t camBramsPerSlot = 2;
+
+    // AES-GCM-SHA engine: unrolled round pipelines per 128-bit lane.
+    std::uint64_t alutsPerGcmLane = 21000;
+    std::uint64_t regsPerGcmLane = 6800;
+    std::uint64_t bramsPerGcmLane = 6;
+
+    // Control panels and queues.
+    std::uint64_t alutsPerPanel = 3750;
+    std::uint64_t regsPerPanel = 1200;
+    std::uint64_t bramsPerQueue = 4;
+
+    // PCIe hard-IP glue, clocks, interconnect.
+    std::uint64_t alutsInfra = 31500;
+    std::uint64_t regsInfra = 106500;
+    std::uint64_t bramsInfra = 248;
+};
+
+/**
+ * Accounting of the full PCIe-SC configuration: rule capacity,
+ * engine lanes, queue depths.
+ */
+class ResourceModel
+{
+  public:
+    explicit ResourceModel(const ResourceCostModel &costs = {});
+
+    /** Derive usage for a Packet Filter with @p ruleSlots slots. */
+    ResourceUsage packetFilter(std::uint64_t ruleSlots) const;
+
+    /**
+     * Derive usage for the Packet Handlers: @p gcmLanes parallel
+     * AES-GCM lanes, @p panels control panels, @p queues packet
+     * queues.
+     */
+    ResourceUsage packetHandlers(std::uint64_t gcmLanes,
+                                 std::uint64_t panels,
+                                 std::uint64_t queues) const;
+
+    /** HRoT-Blade runs on the hard processor system: zero fabric. */
+    ResourceUsage hrotBlade() const;
+
+    /** Switch/clock/connection infrastructure. */
+    ResourceUsage infrastructure() const;
+
+    /** The prototype configuration evaluated in the paper. */
+    std::vector<ResourceUsage> prototypeBreakdown() const;
+
+    /** Sum a breakdown. */
+    static ResourceUsage total(const std::vector<ResourceUsage> &parts);
+
+  private:
+    ResourceCostModel costs_;
+};
+
+} // namespace ccai::sc
+
+#endif // CCAI_SC_RESOURCE_MODEL_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Packet access-control categories and security actions (paper
+ * Table 1). The Packet Filter classifies every TLP into one of four
+ * access-permission classes, each with a fixed security action.
+ */
+
+#ifndef CCAI_SC_SECURITY_ACTION_HH
+#define CCAI_SC_SECURITY_ACTION_HH
+
+#include <cstdint>
+
+namespace ccai::sc
+{
+
+/**
+ * Security actions A1-A4.
+ *
+ * | Access permission      | Action                                   |
+ * |------------------------|------------------------------------------|
+ * | Prohibited             | A1: Disallow                             |
+ * | Write-Read Protected   | A2: Integrity check (crypt) + en/decrypt |
+ * | Write Protected        | A3: Integrity check (plain) + verify     |
+ * | Full Accessible        | A4: Transparent transmission             |
+ */
+enum class SecurityAction : std::uint8_t
+{
+    A1_Disallow = 1,
+    A2_CryptIntegrity = 2,
+    A3_PlainIntegrity = 3,
+    A4_Transparent = 4,
+};
+
+/** Access-permission class names from Table 1. */
+enum class AccessPermission : std::uint8_t
+{
+    Prohibited,
+    WriteReadProtected,
+    WriteProtected,
+    FullAccessible,
+};
+
+/** Table 1 mapping: permission class -> security action. */
+constexpr SecurityAction
+actionFor(AccessPermission perm)
+{
+    switch (perm) {
+      case AccessPermission::Prohibited:
+        return SecurityAction::A1_Disallow;
+      case AccessPermission::WriteReadProtected:
+        return SecurityAction::A2_CryptIntegrity;
+      case AccessPermission::WriteProtected:
+        return SecurityAction::A3_PlainIntegrity;
+      case AccessPermission::FullAccessible:
+        return SecurityAction::A4_Transparent;
+    }
+    return SecurityAction::A1_Disallow;
+}
+
+/** Inverse of actionFor(). */
+constexpr AccessPermission
+permissionFor(SecurityAction action)
+{
+    switch (action) {
+      case SecurityAction::A1_Disallow:
+        return AccessPermission::Prohibited;
+      case SecurityAction::A2_CryptIntegrity:
+        return AccessPermission::WriteReadProtected;
+      case SecurityAction::A3_PlainIntegrity:
+        return AccessPermission::WriteProtected;
+      case SecurityAction::A4_Transparent:
+        return AccessPermission::FullAccessible;
+    }
+    return AccessPermission::Prohibited;
+}
+
+const char *securityActionName(SecurityAction action);
+const char *accessPermissionName(AccessPermission perm);
+
+} // namespace ccai::sc
+
+#endif // CCAI_SC_SECURITY_ACTION_HH

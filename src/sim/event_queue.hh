@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, priority, sequence).
+ * Components schedule std::function callbacks; the kernel runs them in
+ * order and advances simulated time. Simulated time is entirely
+ * decoupled from wall-clock time: the LLM benchmarks report results in
+ * simulated seconds.
+ */
+
+#ifndef CCAI_SIM_EVENT_QUEUE_HH
+#define CCAI_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ccai::sim
+{
+
+/** Ordering hint for events scheduled at the same tick. */
+enum class EventPriority : int
+{
+    High = 0,
+    Default = 50,
+    Low = 100,
+};
+
+/**
+ * Global event queue with deterministic ordering.
+ *
+ * Determinism: ties on (tick, priority) break on insertion sequence
+ * number, so two runs with identical inputs replay identically.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute tick @p when. */
+    void
+    schedule(Tick when, Callback cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        if (when < now_)
+            panic("scheduling event in the past (%llu < %llu)",
+                  (unsigned long long)when, (unsigned long long)now_);
+        events_.push(Event{when, static_cast<int>(prio), nextSeq_++,
+                           std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(now_ + delay, std::move(cb), prio);
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return events_.size(); }
+
+    /**
+     * Run events until the queue drains or @p limit events have been
+     * processed.
+     *
+     * @return number of events processed.
+     */
+    std::uint64_t
+    run(std::uint64_t limit = UINT64_MAX)
+    {
+        std::uint64_t processed = 0;
+        while (!events_.empty() && processed < limit) {
+            Event ev = events_.top();
+            events_.pop();
+            ccai_assert(ev.when >= now_);
+            now_ = ev.when;
+            ev.cb();
+            ++processed;
+        }
+        return processed;
+    }
+
+    /** Run events up to and including tick @p until. */
+    std::uint64_t
+    runUntil(Tick until)
+    {
+        std::uint64_t processed = 0;
+        while (!events_.empty() && events_.top().when <= until) {
+            Event ev = events_.top();
+            events_.pop();
+            now_ = ev.when;
+            ev.cb();
+            ++processed;
+        }
+        if (now_ < until)
+            now_ = until;
+        return processed;
+    }
+
+    /** Advance time with no event processing (test helper). */
+    void
+    warp(Tick to)
+    {
+        ccai_assert(to >= now_);
+        ccai_assert(events_.empty());
+        now_ = to;
+    }
+
+    /** Drop all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        events_ = {};
+        now_ = 0;
+        nextSeq_ = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace ccai::sim
+
+#endif // CCAI_SIM_EVENT_QUEUE_HH

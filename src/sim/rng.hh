@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random source for the simulation. All
+ * randomness in the system (workload sampling, nonces in tests) flows
+ * through an explicitly-seeded Rng so runs are reproducible.
+ */
+
+#ifndef CCAI_SIM_RNG_HH
+#define CCAI_SIM_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.hh"
+
+namespace ccai::sim
+{
+
+/** Seedable wrapper around a 64-bit Mersenne engine. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x53C41u) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    uniform(std::uint64_t lo, std::uint64_t hi)
+    {
+        std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        std::uniform_real_distribution<double> d(0.0, 1.0);
+        return d(engine_);
+    }
+
+    /** Fill a buffer with pseudo-random bytes. */
+    void
+    fill(Bytes &out)
+    {
+        for (auto &b : out)
+            b = static_cast<std::uint8_t>(uniform(0, 255));
+    }
+
+    /** Produce @p n pseudo-random bytes. */
+    Bytes
+    bytes(size_t n)
+    {
+        Bytes out(n);
+        fill(out);
+        return out;
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace ccai::sim
+
+#endif // CCAI_SIM_RNG_HH

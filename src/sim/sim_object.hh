@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Base class for simulated components and the System container that
+ * owns the event queue they share.
+ */
+
+#ifndef CCAI_SIM_SIM_OBJECT_HH
+#define CCAI_SIM_SIM_OBJECT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace ccai::sim
+{
+
+class System;
+
+/**
+ * A named component attached to a System. SimObjects share the
+ * system's event queue and are enumerated for reset/statistics.
+ */
+class SimObject
+{
+  public:
+    SimObject(System &sys, std::string name);
+    virtual ~SimObject() = default;
+
+    const std::string &name() const { return name_; }
+    System &system() { return sys_; }
+
+    /** Current simulated time (forwarded from the system queue). */
+    Tick curTick() const;
+
+    /** Restore power-on state. Called by System::resetAll(). */
+    virtual void reset() {}
+
+    /** Statistics group, when the object keeps one. */
+    virtual sim::StatGroup *statGroup() { return nullptr; }
+
+  protected:
+    EventQueue &eventq();
+
+  private:
+    System &sys_;
+    std::string name_;
+};
+
+/**
+ * Top-level simulation container: owns the event queue and tracks all
+ * SimObjects registered against it.
+ */
+class System
+{
+  public:
+    System() = default;
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    EventQueue &eventq() { return eventq_; }
+    Tick now() const { return eventq_.now(); }
+
+    /** Run the event loop to completion. */
+    std::uint64_t run(std::uint64_t limit = UINT64_MAX)
+    {
+        return eventq_.run(limit);
+    }
+
+    /** Reset every registered object and the queue. */
+    void
+    resetAll()
+    {
+        eventq_.reset();
+        for (SimObject *obj : objects_)
+            obj->reset();
+    }
+
+    const std::vector<SimObject *> &objects() const { return objects_; }
+
+    /** Render every registered object's statistics (gem5-style). */
+    std::string
+    dumpStats()
+    {
+        std::string out;
+        for (SimObject *obj : objects_) {
+            if (sim::StatGroup *stats = obj->statGroup())
+                out += stats->dump();
+        }
+        return out;
+    }
+
+  private:
+    friend class SimObject;
+    void registerObject(SimObject *obj) { objects_.push_back(obj); }
+
+    EventQueue eventq_;
+    std::vector<SimObject *> objects_;
+};
+
+inline
+SimObject::SimObject(System &sys, std::string name)
+    : sys_(sys), name_(std::move(name))
+{
+    sys_.registerObject(this);
+}
+
+inline Tick
+SimObject::curTick() const
+{
+    return sys_.now();
+}
+
+inline EventQueue &
+SimObject::eventq()
+{
+    return sys_.eventq();
+}
+
+} // namespace ccai::sim
+
+#endif // CCAI_SIM_SIM_OBJECT_HH

@@ -1,0 +1,25 @@
+#include "stats.hh"
+
+#include <sstream>
+
+namespace ccai::sim
+{
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << prefix_ << '.' << kv.first << ' ' << kv.second.value()
+           << '\n';
+    for (const auto &kv : dists_) {
+        const Distribution &d = kv.second;
+        os << prefix_ << '.' << kv.first << ".count " << d.count() << '\n';
+        os << prefix_ << '.' << kv.first << ".mean " << d.mean() << '\n';
+        os << prefix_ << '.' << kv.first << ".min " << d.min() << '\n';
+        os << prefix_ << '.' << kv.first << ".max " << d.max() << '\n';
+    }
+    return os.str();
+}
+
+} // namespace ccai::sim

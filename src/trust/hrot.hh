@@ -1,0 +1,117 @@
+/**
+ * @file
+ * HRoT-Blade: the hardware root-of-trust module of the PCIe-SC
+ * (paper §6). A TPM-compatible component holding the Endorsement Key
+ * (vendor-installed), the Attestation Key (generated at each boot),
+ * the PCR bank, and the quote operation used by remote attestation.
+ * The same class also models the CPU-side HRoT.
+ */
+
+#ifndef CCAI_TRUST_HROT_HH
+#define CCAI_TRUST_HROT_HH
+
+#include <string>
+#include <vector>
+
+#include "crypto/dh.hh"
+#include "crypto/drbg.hh"
+#include "trust/pcr.hh"
+
+namespace ccai::trust
+{
+
+/**
+ * A certificate binding a public key to an identity, signed by an
+ * issuer (the corporate Root CA or the EK).
+ */
+struct Certificate
+{
+    std::string subject;
+    crypto::BigInt publicKey;
+    crypto::Signature issuerSignature;
+
+    /** The byte string the issuer signs. */
+    Bytes tbs() const;
+};
+
+/** A signed PCR quote (report r and S(r) of Figure 6). */
+struct Quote
+{
+    Bytes nonce;
+    std::vector<size_t> pcrSelection;
+    std::vector<Bytes> pcrValues;
+    crypto::Signature pcrSignature;  ///< S(PCRs)
+    crypto::Signature reportSignature; ///< S(r)
+
+    /** Serialized (nonce, selection, values, S(PCRs)) = report r. */
+    Bytes reportBytes() const;
+};
+
+/**
+ * Root Certificate Authority of the hardware vendor. Issues EK
+ * certificates at manufacturing time.
+ */
+class RootCa
+{
+  public:
+    explicit RootCa(sim::Rng &rng);
+
+    /** Issue a certificate for @p subject's public key. */
+    Certificate issue(const std::string &subject,
+                      const crypto::BigInt &publicKey, sim::Rng &rng);
+
+    /** Verify a certificate chains to this CA. */
+    bool verify(const Certificate &cert) const;
+
+    const crypto::BigInt &publicKey() const { return keys_.pub; }
+
+  private:
+    crypto::KeyPair keys_;
+};
+
+/**
+ * The HRoT-Blade. Construction models manufacturing (EK install);
+ * boot() models power-on (AK generation).
+ */
+class HrotBlade
+{
+  public:
+    HrotBlade(const std::string &name, RootCa &ca, sim::Rng &rng);
+
+    /** Power-on: generate a fresh AK and certify it with the EK. */
+    void boot(sim::Rng &rng);
+
+    PcrBank &pcrs() { return pcrs_; }
+    const PcrBank &pcrs() const { return pcrs_; }
+
+    /** Sign a PCR selection + nonce with the AK (Figure 6 step 4). */
+    Quote quote(const Bytes &nonce,
+                const std::vector<size_t> &pcrSelection,
+                sim::Rng &rng) const;
+
+    /** Verify a quote against an AK public key. */
+    static bool verifyQuote(const Quote &q, const crypto::BigInt &akPub);
+
+    const Certificate &ekCertificate() const { return ekCert_; }
+    const Certificate &akCertificate() const;
+    const crypto::BigInt &akPublic() const;
+
+    /** DH key pair for session establishment. */
+    crypto::KeyPair makeSessionKeys(sim::Rng &rng) const;
+
+    bool booted() const { return booted_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    crypto::KeyPair ek_;
+    Certificate ekCert_;
+    crypto::KeyPair ak_;
+    Certificate akCert_;
+    bool booted_ = false;
+    PcrBank pcrs_;
+};
+
+} // namespace ccai::trust
+
+#endif // CCAI_TRUST_HROT_HH

@@ -1,0 +1,120 @@
+#include "key_manager.hh"
+
+#include "common/bytes_util.hh"
+#include "common/logging.hh"
+
+namespace ccai::trust
+{
+
+WorkloadKeyManager::WorkloadKeyManager(const Bytes &sessionSecret,
+                                       std::uint32_t ivExhaustionLimit)
+    : master_(sessionSecret), ivLimit_(ivExhaustionLimit)
+{
+    h2d_.epochId = 0;
+    d2h_.epochId = 0;
+    deriveEpoch(h2d_, StreamDir::HostToDevice);
+    deriveEpoch(d2h_, StreamDir::DeviceToHost);
+}
+
+KeyEpoch &
+WorkloadKeyManager::epoch(StreamDir dir)
+{
+    return dir == StreamDir::HostToDevice ? h2d_ : d2h_;
+}
+
+const KeyEpoch &
+WorkloadKeyManager::epoch(StreamDir dir) const
+{
+    return dir == StreamDir::HostToDevice ? h2d_ : d2h_;
+}
+
+void
+WorkloadKeyManager::deriveEpoch(KeyEpoch &e, StreamDir dir)
+{
+    // Stateless derivation from the session secret: epoch N of a
+    // direction always yields the same key, so the Adaptor and the
+    // PCIe-SC agree without further communication and either side
+    // can reconstruct past-epoch keys for in-flight chunks.
+    std::string label =
+        (dir == StreamDir::HostToDevice ? "h2d-" : "d2h-") +
+        std::to_string(e.epochId);
+    Bytes keyed = crypto::kdf(master_, {}, "ccai-epoch-" + label, 24);
+    e.key.assign(keyed.begin(), keyed.begin() + 16);
+    e.ivPrefix.assign(keyed.begin() + 16, keyed.end());
+    e.ivCounter = 0;
+}
+
+Bytes
+WorkloadKeyManager::keyForEpoch(StreamDir dir, std::uint32_t epoch) const
+{
+    if (destroyed_)
+        fatal("WorkloadKeyManager: use after destroy()");
+    std::string label =
+        (dir == StreamDir::HostToDevice ? "h2d-" : "d2h-") +
+        std::to_string(epoch);
+    Bytes keyed = crypto::kdf(master_, {}, "ccai-epoch-" + label, 24);
+    return Bytes(keyed.begin(), keyed.begin() + 16);
+}
+
+crypto::AesGcm
+WorkloadKeyManager::cipherForEpoch(StreamDir dir,
+                                   std::uint32_t epoch) const
+{
+    return crypto::AesGcm(keyForEpoch(dir, epoch));
+}
+
+void
+WorkloadKeyManager::rotate(StreamDir dir)
+{
+    KeyEpoch &e = epoch(dir);
+    ++e.epochId;
+    deriveEpoch(e, dir);
+}
+
+Bytes
+WorkloadKeyManager::nextIv(StreamDir dir)
+{
+    if (destroyed_)
+        fatal("WorkloadKeyManager: use after destroy()");
+    KeyEpoch &e = epoch(dir);
+    if (e.ivCounter >= ivLimit_)
+        rotate(dir);
+    Bytes iv = e.ivPrefix; // 8 bytes
+    iv.resize(12);
+    storeBe32(iv.data() + 8, e.ivCounter++);
+    return iv;
+}
+
+const Bytes &
+WorkloadKeyManager::key(StreamDir dir) const
+{
+    if (destroyed_)
+        fatal("WorkloadKeyManager: use after destroy()");
+    return epoch(dir).key;
+}
+
+std::uint32_t
+WorkloadKeyManager::epochId(StreamDir dir) const
+{
+    return epoch(dir).epochId;
+}
+
+crypto::AesGcm
+WorkloadKeyManager::cipher(StreamDir dir) const
+{
+    return crypto::AesGcm(key(dir));
+}
+
+void
+WorkloadKeyManager::destroy()
+{
+    std::fill(master_.begin(), master_.end(), 0);
+    for (KeyEpoch *e : {&h2d_, &d2h_}) {
+        std::fill(e->key.begin(), e->key.end(), 0);
+        std::fill(e->ivPrefix.begin(), e->ivPrefix.end(), 0);
+        e->ivCounter = 0;
+    }
+    destroyed_ = true;
+}
+
+} // namespace ccai::trust

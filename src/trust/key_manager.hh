@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Workload key management (paper §6): the TVM and the PCIe-SC share
+ * symmetric AES keys derived from the attestation session secret.
+ * IVs are counter-based and never reused; when the counter space
+ * approaches exhaustion the manager rotates to a fresh key (the
+ * H100-style mitigation the paper cites for IV-reuse attacks). Keys
+ * are destroyed when the session ends.
+ */
+
+#ifndef CCAI_TRUST_KEY_MANAGER_HH
+#define CCAI_TRUST_KEY_MANAGER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/drbg.hh"
+#include "crypto/gcm.hh"
+
+namespace ccai::trust
+{
+
+/** Direction of a protected stream (separate keys per direction). */
+enum class StreamDir
+{
+    HostToDevice,
+    DeviceToHost,
+};
+
+/** A key epoch: key material plus the IV counter window. */
+struct KeyEpoch
+{
+    std::uint32_t epochId = 0;
+    Bytes key;             ///< AES-128 key
+    Bytes ivPrefix;        ///< 8-byte random prefix of the 12-byte IV
+    std::uint32_t ivCounter = 0;
+};
+
+/**
+ * Manages the per-direction key epochs for one confidential session.
+ * Both endpoints (Adaptor and PCIe-SC) run one instance seeded from
+ * the same session secret, so their derived keys and IV sequences
+ * agree without further communication.
+ */
+class WorkloadKeyManager
+{
+  public:
+    /**
+     * @param sessionSecret shared secret from attestation (step 1).
+     * @param ivExhaustionLimit counter value that triggers rotation;
+     *        tiny values are used in tests to exercise rotation.
+     */
+    explicit WorkloadKeyManager(const Bytes &sessionSecret,
+                                std::uint32_t ivExhaustionLimit =
+                                    0xffff0000u);
+
+    /**
+     * Next IV for @p dir; rotates the epoch first when the counter
+     * window is exhausted.
+     */
+    Bytes nextIv(StreamDir dir);
+
+    /** Current key for @p dir. */
+    const Bytes &key(StreamDir dir) const;
+
+    /** Current epoch id for @p dir (tests observe rotations). */
+    std::uint32_t epochId(StreamDir dir) const;
+
+    /** A GCM context for the current epoch of @p dir. */
+    crypto::AesGcm cipher(StreamDir dir) const;
+
+    /**
+     * Key for an arbitrary epoch. Epoch keys are derived statelessly
+     * from the session secret, so the consuming endpoint can decrypt
+     * chunks produced under any epoch the producer has rotated to.
+     */
+    Bytes keyForEpoch(StreamDir dir, std::uint32_t epoch) const;
+
+    /** GCM context for an arbitrary epoch of @p dir. */
+    crypto::AesGcm cipherForEpoch(StreamDir dir,
+                                  std::uint32_t epoch) const;
+
+    /** Zeroize all key material (end of session, §6). */
+    void destroy();
+
+    bool destroyed() const { return destroyed_; }
+
+  private:
+    KeyEpoch &epoch(StreamDir dir);
+    const KeyEpoch &epoch(StreamDir dir) const;
+    void rotate(StreamDir dir);
+    void deriveEpoch(KeyEpoch &e, StreamDir dir);
+
+    Bytes master_;
+    KeyEpoch h2d_;
+    KeyEpoch d2h_;
+    std::uint32_t ivLimit_;
+    bool destroyed_ = false;
+};
+
+} // namespace ccai::trust
+
+#endif // CCAI_TRUST_KEY_MANAGER_HH

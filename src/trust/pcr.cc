@@ -1,0 +1,84 @@
+#include "pcr.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::trust
+{
+
+PcrBank::PcrBank()
+{
+    clear();
+}
+
+void
+PcrBank::clear()
+{
+    for (auto &pcr : pcrs_)
+        pcr.assign(crypto::kSha256DigestSize, 0);
+    log_.clear();
+}
+
+void
+PcrBank::extend(size_t pcr, const Bytes &digest,
+                const std::string &description)
+{
+    if (pcr >= kNumPcrs)
+        fatal("PCR index %zu out of range", pcr);
+    if (digest.size() != crypto::kSha256DigestSize)
+        fatal("PCR extend expects a 32-byte digest");
+
+    Bytes input = pcrs_[pcr];
+    input.insert(input.end(), digest.begin(), digest.end());
+    pcrs_[pcr] = crypto::Sha256::digest(input);
+    log_.push_back({pcr, description, digest});
+}
+
+const Bytes &
+PcrBank::value(size_t pcr) const
+{
+    if (pcr >= kNumPcrs)
+        fatal("PCR index %zu out of range", pcr);
+    return pcrs_[pcr];
+}
+
+std::vector<Bytes>
+PcrBank::select(const std::vector<size_t> &indices) const
+{
+    std::vector<Bytes> out;
+    out.reserve(indices.size());
+    for (size_t i : indices)
+        out.push_back(value(i));
+    return out;
+}
+
+Bytes
+PcrBank::compositeDigest(const std::vector<size_t> &indices) const
+{
+    crypto::Sha256 h;
+    for (size_t i : indices) {
+        std::uint8_t idx = static_cast<std::uint8_t>(i);
+        h.update(&idx, 1);
+        h.update(value(i));
+    }
+    return h.finalize();
+}
+
+bool
+PcrBank::replayMatches() const
+{
+    std::array<Bytes, kNumPcrs> replay;
+    for (auto &pcr : replay)
+        pcr.assign(crypto::kSha256DigestSize, 0);
+    for (const MeasurementEvent &ev : log_) {
+        Bytes input = replay[ev.pcrIndex];
+        input.insert(input.end(), ev.digest.begin(), ev.digest.end());
+        replay[ev.pcrIndex] = crypto::Sha256::digest(input);
+    }
+    for (size_t i = 0; i < kNumPcrs; ++i) {
+        if (replay[i] != pcrs_[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace ccai::trust

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Platform Configuration Registers: TPM-style measurement registers.
+ * A PCR can only be extended (new = SHA256(old || digest)), never
+ * written, so a measurement log is tamper-evident.
+ */
+
+#ifndef CCAI_TRUST_PCR_HH
+#define CCAI_TRUST_PCR_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "crypto/sha256.hh"
+
+namespace ccai::trust
+{
+
+/** Number of PCRs in a bank (TPM 2.0 convention). */
+constexpr size_t kNumPcrs = 24;
+
+/** Indices with fixed roles in ccAI's chain of trust. */
+namespace pcridx
+{
+constexpr size_t kCpuFirmware = 0;   ///< CPU-side HRoT measurements
+constexpr size_t kTvmImage = 1;      ///< TVM kernel + Adaptor
+constexpr size_t kScBitstream = 8;   ///< PCIe-SC Packet Filter RTL
+constexpr size_t kScFirmware = 9;    ///< PCIe-SC management firmware
+constexpr size_t kXpuFirmware = 10;  ///< attached xPU firmware
+constexpr size_t kSealingStatus = 16;///< chassis sensor status (§6)
+} // namespace pcridx
+
+/** One entry of the measurement log. */
+struct MeasurementEvent
+{
+    size_t pcrIndex;
+    std::string description;
+    Bytes digest;
+};
+
+/**
+ * A bank of extend-only registers plus the event log needed to
+ * replay/verify them.
+ */
+class PcrBank
+{
+  public:
+    PcrBank();
+
+    /** Extend @p pcr with @p digest, appending to the event log. */
+    void extend(size_t pcr, const Bytes &digest,
+                const std::string &description);
+
+    /** Current value of a register. */
+    const Bytes &value(size_t pcr) const;
+
+    /** Select a subset of registers (for quotes). */
+    std::vector<Bytes> select(const std::vector<size_t> &indices) const;
+
+    /** Composite digest over a selection (what quotes sign). */
+    Bytes compositeDigest(const std::vector<size_t> &indices) const;
+
+    const std::vector<MeasurementEvent> &eventLog() const
+    {
+        return log_;
+    }
+
+    /**
+     * Replay the event log from reset values and confirm it
+     * reproduces the current registers (tamper evidence).
+     */
+    bool replayMatches() const;
+
+    /** Reset all registers to zero and clear the log. */
+    void clear();
+
+  private:
+    std::array<Bytes, kNumPcrs> pcrs_;
+    std::vector<MeasurementEvent> log_;
+};
+
+} // namespace ccai::trust
+
+#endif // CCAI_TRUST_PCR_HH

@@ -1,0 +1,80 @@
+#include "sealing.hh"
+
+#include "common/bytes_util.hh"
+
+namespace ccai::trust
+{
+
+ChassisSealing::ChassisSealing(sim::System &sys, std::string name,
+                               HrotBlade &blade, Tick pollPeriod)
+    : sim::SimObject(sys, std::move(name)), blade_(blade),
+      pollPeriod_(pollPeriod)
+{
+}
+
+size_t
+ChassisSealing::addSensor(const Sensor &sensor)
+{
+    sensors_.push_back(sensor);
+    return sensors_.size() - 1;
+}
+
+Bytes
+ChassisSealing::statusDigest() const
+{
+    crypto::Sha256 h;
+    for (const Sensor &s : sensors_) {
+        std::uint8_t ok = s.withinLimits() ? 1 : 0;
+        h.update(reinterpret_cast<const std::uint8_t *>(s.name.data()),
+                 s.name.size());
+        h.update(&ok, 1);
+    }
+    return h.finalize();
+}
+
+void
+ChassisSealing::pollOnce()
+{
+    bool all_ok = true;
+    for (const Sensor &s : sensors_) {
+        if (!s.withinLimits())
+            all_ok = false;
+    }
+    if (!all_ok)
+        tampered_ = true;
+
+    // Only extend the PCR when the status changes; a quiet chassis
+    // keeps a stable sealing measurement the verifier can predict.
+    Bytes digest = statusDigest();
+    if (digest != lastDigest_) {
+        blade_.pcrs().extend(pcridx::kSealingStatus, digest,
+                             all_ok ? "sealing-status-ok"
+                                    : "sealing-status-tampered");
+        lastDigest_ = digest;
+    }
+}
+
+void
+ChassisSealing::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    pollOnce();
+
+    // Periodic re-poll via a self-rescheduling functor.
+    auto poller = std::make_shared<std::function<void()>>();
+    *poller = [this, poller] {
+        pollOnce();
+        eventq().scheduleIn(pollPeriod_, *poller);
+    };
+    eventq().scheduleIn(pollPeriod_, *poller);
+}
+
+void
+ChassisSealing::injectReading(size_t sensorIndex, double value)
+{
+    sensors_.at(sensorIndex).value = value;
+}
+
+} // namespace ccai::trust

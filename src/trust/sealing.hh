@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Chassis sealing (paper §6): the PCIe-SC, xPU, and their internal
+ * PCIe connection live inside a sealed chassis instrumented with
+ * physical sensors. The HRoT-Blade polls the sensors over an I2C
+ * bus and extends the sealing PCR whenever the status changes, so a
+ * remote verifier can detect physical tampering during computation.
+ */
+
+#ifndef CCAI_TRUST_SEALING_HH
+#define CCAI_TRUST_SEALING_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "trust/hrot.hh"
+
+namespace ccai::trust
+{
+
+/** Kind of physical sensor inside the chassis. */
+enum class SensorKind
+{
+    Pressure,
+    Temperature,
+    Intrusion,
+};
+
+/** One physical sensor with a nominal operating window. */
+struct Sensor
+{
+    std::string name;
+    SensorKind kind;
+    double minOk;
+    double maxOk;
+    double value;
+
+    bool
+    withinLimits() const
+    {
+        return value >= minOk && value <= maxOk;
+    }
+};
+
+/**
+ * The sealed chassis and its sensor poller. Polling runs on the
+ * event queue at a fixed period, mirroring the I2C retrieval loop.
+ */
+class ChassisSealing : public sim::SimObject
+{
+  public:
+    ChassisSealing(sim::System &sys, std::string name, HrotBlade &blade,
+                   Tick pollPeriod = 10 * kTicksPerMs);
+
+    /** Install a sensor; returns its index. */
+    size_t addSensor(const Sensor &sensor);
+
+    /** Begin periodic polling. */
+    void start();
+
+    /** Attack hook: force a sensor reading (physical tamper). */
+    void injectReading(size_t sensorIndex, double value);
+
+    /** True once any poll has observed an out-of-limits sensor. */
+    bool tamperDetected() const { return tampered_; }
+
+    /** Perform one poll immediately (tests drive this directly). */
+    void pollOnce();
+
+    const std::vector<Sensor> &sensors() const { return sensors_; }
+
+  private:
+    Bytes statusDigest() const;
+
+    HrotBlade &blade_;
+    Tick pollPeriod_;
+    std::vector<Sensor> sensors_;
+    bool tampered_ = false;
+    bool started_ = false;
+    Bytes lastDigest_;
+};
+
+} // namespace ccai::trust
+
+#endif // CCAI_TRUST_SEALING_HH

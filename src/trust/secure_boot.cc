@@ -1,0 +1,68 @@
+#include "secure_boot.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::trust
+{
+
+void
+ExternalFlash::store(const std::string &name, size_t pcr_index,
+                     const Bytes &plaintext,
+                     const crypto::AesGcm &flash_key, crypto::Drbg &drbg)
+{
+    FlashImage img;
+    img.name = name;
+    img.pcrIndex = pcr_index;
+    img.iv = drbg.generateIv();
+    crypto::Sealed sealed = flash_key.seal(img.iv, plaintext);
+    img.ciphertext = std::move(sealed.ciphertext);
+    img.tag = std::move(sealed.tag);
+    images_.push_back(std::move(img));
+}
+
+void
+ExternalFlash::tamper(const std::string &name)
+{
+    for (FlashImage &img : images_) {
+        if (img.name == name && !img.ciphertext.empty()) {
+            img.ciphertext[0] ^= 0xff;
+            return;
+        }
+    }
+    fatal("ExternalFlash::tamper: no image named '%s'", name.c_str());
+}
+
+SecureBoot::SecureBoot(HrotBlade &hrot, const crypto::AesGcm &flash_key)
+    : hrot_(hrot), flashKey_(flash_key)
+{
+}
+
+BootResult
+SecureBoot::boot(const ExternalFlash &flash)
+{
+    BootResult result;
+    for (const FlashImage &img : flash.images()) {
+        auto plaintext =
+            flashKey_.open(img.iv, img.ciphertext, img.tag);
+        if (!plaintext) {
+            result.failure = img.name + ": decryption/integrity failed";
+            warn("secure boot: %s", result.failure.c_str());
+            return result;
+        }
+
+        Bytes digest = crypto::Sha256::digest(*plaintext);
+        auto golden = golden_.find(img.name);
+        if (golden != golden_.end() && golden->second != digest) {
+            result.failure = img.name + ": measurement mismatch";
+            warn("secure boot: %s", result.failure.c_str());
+            return result;
+        }
+
+        hrot_.pcrs().extend(img.pcrIndex, digest, img.name);
+        result.loadedComponents.push_back(img.name);
+    }
+    result.success = true;
+    return result;
+}
+
+} // namespace ccai::trust

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Secure boot of the PCIe-SC (paper §6): the HRoT-Blade decrypts the
+ * bitstream and firmware images from external flash, measures each
+ * component along a predefined chain of trust into PCRs, checks the
+ * measurements against golden values, and only then releases the
+ * boot loader.
+ */
+
+#ifndef CCAI_TRUST_SECURE_BOOT_HH
+#define CCAI_TRUST_SECURE_BOOT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/gcm.hh"
+#include "trust/hrot.hh"
+
+namespace ccai::trust
+{
+
+/** An encrypted component image stored in external flash. */
+struct FlashImage
+{
+    std::string name;
+    size_t pcrIndex;
+    Bytes iv;
+    Bytes ciphertext;
+    Bytes tag;
+};
+
+/** External flash holding the PCIe-SC's boot images. */
+class ExternalFlash
+{
+  public:
+    /** Encrypt and store an image under the flash key. */
+    void store(const std::string &name, size_t pcr_index,
+               const Bytes &plaintext, const crypto::AesGcm &flash_key,
+               crypto::Drbg &drbg);
+
+    const std::vector<FlashImage> &images() const { return images_; }
+
+    /** Attack hook: corrupt the ciphertext of a stored image. */
+    void tamper(const std::string &name);
+
+  private:
+    std::vector<FlashImage> images_;
+};
+
+/** Result of a secure boot attempt. */
+struct BootResult
+{
+    bool success = false;
+    std::string failure; ///< which component failed, when !success
+    std::vector<std::string> loadedComponents;
+};
+
+/**
+ * Secure-boot engine: verifies and loads the flash contents,
+ * extending the HRoT-Blade's PCRs along the way.
+ */
+class SecureBoot
+{
+  public:
+    SecureBoot(HrotBlade &hrot, const crypto::AesGcm &flash_key);
+
+    /** Record the expected digest of a component (golden value). */
+    void
+    addGoldenDigest(const std::string &name, const Bytes &digest)
+    {
+        golden_[name] = digest;
+    }
+
+    /**
+     * Run the boot chain: decrypt each image in flash order, verify
+     * its digest against the golden value, extend the PCR. Aborts at
+     * the first failure (nothing later loads).
+     */
+    BootResult boot(const ExternalFlash &flash);
+
+  private:
+    HrotBlade &hrot_;
+    const crypto::AesGcm &flashKey_;
+    std::map<std::string, Bytes> golden_;
+};
+
+} // namespace ccai::trust
+
+#endif // CCAI_TRUST_SECURE_BOOT_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The ccAI Adaptor (paper §3/§7.1): a kernel module inside the TVM
+ * that adds confidential-computing support without touching the
+ * native xPU driver or the application. It encrypts workloads into
+ * bounce buffers, registers chunk parameters with the PCIe-SC,
+ * collects and decrypts results, signs Write-Protected (A3) packets,
+ * and manages the PCIe-SC's configuration (rule tables, doorbells).
+ *
+ * The §5 optimizations are individually switchable so the Figure 11
+ * ablation can run the non-optimized design:
+ *  - metadata batching (I/O read optimization),
+ *  - single-notify writes (I/O write optimization),
+ *  - AES-NI hardware crypto and parallel crypto threads.
+ */
+
+#ifndef CCAI_TVM_ADAPTOR_HH
+#define CCAI_TVM_ADAPTOR_HH
+
+#include <functional>
+#include <optional>
+
+#include "sc/control_panels.hh"
+#include "sc/engines.hh"
+#include "sc/rules.hh"
+#include "sim/stats.hh"
+#include "trust/key_manager.hh"
+#include "tvm/tvm.hh"
+
+namespace ccai::tvm
+{
+
+/** Which §5 optimizations are active. */
+struct AdaptorConfig
+{
+    /** I/O-read optimization: consume batched metadata from the
+     * host-memory buffer instead of per-record MMIO reads. */
+    bool batchMetadataReads = true;
+    /** I/O-write optimization: one notify per processed region
+     * instead of one per encryption subtask. */
+    bool batchNotify = true;
+    /** Use AES-NI-class hardware crypto instead of software AES. */
+    bool hardwareCrypto = true;
+    /** Parallel CPU threads for security operations. */
+    int cryptoThreads = 2;
+
+    /** Bounce-buffer chunk granularity. */
+    std::uint64_t chunkBytes = 256 * kKiB;
+    /** Subtask granularity of the non-optimized design. */
+    std::uint64_t subtaskBytes = 4 * kKiB;
+    /**
+     * D2H staging-slot size: when one collection exceeds the slot,
+     * the device must wait for the Adaptor to drain it before
+     * writing more, serializing DMA with decryption (a prototype
+     * bounce-buffer capacity effect, visible in the paper's batch
+     * sweep as the overhead rise beyond ~12 sequences).
+     */
+    std::uint64_t d2hSlotBytes = 1 * kMiB;
+    /** IV-counter rotation threshold (must match the PCIe-SC's). */
+    std::uint32_t ivExhaustionLimit = 0xffff0000u;
+
+    /**
+     * This tenant's slices of the shared bounce/metadata regions
+     * (multi-tenant platforms partition them; the defaults give a
+     * single tenant everything, matching the paper's prototype).
+     */
+    pcie::AddrRange h2dWindow = pcie::memmap::kBounceH2d;
+    pcie::AddrRange d2hWindow = pcie::memmap::kBounceD2h;
+    pcie::AddrRange metaWindow = pcie::memmap::kMetadataBuffer;
+
+    /** Fully non-optimized configuration (Figure 11 baseline). */
+    static AdaptorConfig
+    noOptimizations()
+    {
+        AdaptorConfig c;
+        c.batchMetadataReads = false;
+        c.batchNotify = false;
+        c.hardwareCrypto = false;
+        c.cryptoThreads = 1;
+        return c;
+    }
+};
+
+/** CPU-side crypto/copy timing of the Adaptor. */
+struct AdaptorTiming
+{
+    /** AES-NI throughput per thread (bytes/s). */
+    double aesNiBytesPerSec = 4.5e9;
+    /** Software AES throughput per thread (bytes/s). */
+    double softAesBytesPerSec = 0.40e9;
+    /** Fixed CPU cost per chunk (record build, IV, bookkeeping). */
+    Tick perChunkSetup = 400 * kTicksPerNs;
+    /** Extra CPU cost per subtask in the non-optimized design. */
+    Tick perSubtaskOverhead = 700 * kTicksPerNs;
+    /**
+     * Latency for the PCIe-SC to rebuild its rule tables after an
+     * encrypted policy update (FPGA table install). Paid once per
+     * request when the per-request bounce windows are refreshed.
+     */
+    Tick policyInstallLatency = 900 * kTicksPerUs;
+    /**
+     * Pipeline stall per extra D2H slot pass (device blocked on the
+     * Adaptor draining the staging slot: slot decrypt + doorbell
+     * round trip).
+     */
+    Tick slotDrainStall = 100 * kTicksPerUs;
+};
+
+/**
+ * The Adaptor kernel module.
+ */
+class Adaptor : public sim::SimObject
+{
+  public:
+    using DoneCb = std::function<void()>;
+    using DataCb = std::function<void(Bytes)>;
+
+    Adaptor(sim::System &sys, std::string name, Tvm &tvm,
+            const AdaptorConfig &config = {},
+            const AdaptorTiming &timing = {});
+
+    /** hw_init: reset interaction state with the PCIe-SC. */
+    void hwInit();
+
+    /**
+     * Establish the confidential session from the attestation
+     * secret: derive workload keys, the A3 signing key, and the
+     * filter-config key (must match PcieSc::establishSession).
+     */
+    void establishSession(const Bytes &sessionSecret);
+
+    /**
+     * pkt_filter_manage: encrypt the rule tables under the config
+     * key and write them into the PCIe-SC's rule BAR.
+     */
+    void pktFilterManage(const sc::RuleTables &tables);
+
+    /**
+     * Prepare an H2D transfer: encrypt @p data (or a synthetic
+     * region of @p length bytes) into the H2D bounce buffer,
+     * register the chunk records, and notify the PCIe-SC.
+     *
+     * @param done receives the bounce address the device should
+     *             DMA from.
+     */
+    void prepareH2d(std::optional<Bytes> data, std::uint64_t length,
+                    std::function<void(Addr)> done,
+                    bool scTerminated = false);
+
+    /**
+     * Collect a completed D2H transfer from the bounce buffer:
+     * fetch the chunk records (batched or per-record), decrypt, and
+     * deliver the plaintext (empty for synthetic transfers).
+     */
+    void collectD2h(Addr bounceAddr, std::uint64_t length,
+                    bool synthetic, DataCb done,
+                    bool scTerminated = false);
+
+    /** Sign and send an A3 (Write Protected) MMIO write. */
+    void writeSigned(Addr addr, Bytes data);
+
+    /** Reserve a window in the D2H bounce buffer for a transfer. */
+    Addr allocD2hBounce(std::uint64_t length);
+
+    /**
+     * Send a signed vendor-defined management message (paper §9:
+     * customized packets keep the standard header format, so the
+     * PCIe-SC can classify and integrity-check them via rules).
+     */
+    void sendVendorMessage(Bytes payload);
+
+    /** Send the end-of-task doorbell (environment scrub, §4.2). */
+    void endTask(bool softResetSupported);
+
+    /** Remember the session policy for per-request refreshes. */
+    void setPolicy(const sc::RuleTables &tables) { policy_ = tables; }
+
+    /**
+     * Re-install the session policy (per-request bounce windows) and
+     * wait out the controller's table-install latency. No-op when no
+     * policy was set.
+     */
+    void refreshPolicy(DoneCb done);
+
+    const AdaptorConfig &config() const { return config_; }
+    void setConfig(const AdaptorConfig &config) { config_ = config; }
+    trust::WorkloadKeyManager *keyManager() { return keys_.get(); }
+    sim::StatGroup &stats() { return stats_; }
+    sim::StatGroup *statGroup() override { return &stats_; }
+
+    /** CPU time to encrypt/decrypt @p bytes with current config. */
+    Tick cryptoDelay(std::uint64_t bytes) const;
+
+    void reset() override;
+
+  private:
+    /** Serialize work on the Adaptor's CPU context. */
+    void runOnCpu(Tick duration, DoneCb then);
+
+    Addr allocBounce(pcie::AddrRange region, Addr &cursor,
+                     std::uint64_t length);
+    void fetchRecordsBatched(std::uint64_t expectChunks,
+                             std::function<void(
+                                 std::vector<sc::ChunkRecord>)> done);
+    void fetchRecordsMmio(std::function<void(
+                              std::vector<sc::ChunkRecord>)> done);
+    void fetchOneRecordMmio(std::uint64_t index, std::uint64_t count,
+                            std::vector<sc::ChunkRecord> acc,
+                            std::function<void(
+                                std::vector<sc::ChunkRecord>)> done);
+
+    Tvm &tvm_;
+    AdaptorConfig config_;
+    AdaptorTiming timing_;
+
+    std::unique_ptr<trust::WorkloadKeyManager> keys_;
+    std::optional<crypto::AesGcm> h2dCipher_;
+    sc::SignIntegrityEngine signer_; ///< A3 MAC computation
+    std::optional<crypto::AesGcm> configCipher_;
+    std::unique_ptr<crypto::Drbg> drbg_;
+    std::optional<sc::RuleTables> policy_;
+
+    Addr h2dCursor_ = 0;
+    Addr d2hCursor_ = 0;
+    std::uint64_t nextChunkId_ = 1;
+    std::uint64_t nextSeqNo_ = 1;
+    std::uint64_t metaConsumed_ = 0;
+    Addr metaReadCursor_ = 0;
+    Tick cpuBusyUntil_ = 0;
+
+    sim::StatGroup stats_;
+};
+
+} // namespace ccai::tvm
+
+#endif // CCAI_TVM_ADAPTOR_HH

@@ -1,0 +1,299 @@
+#include "xpu_device.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::xpu
+{
+
+namespace mm = pcie::memmap;
+
+XpuDevice::XpuDevice(sim::System &sys, std::string name,
+                     const XpuSpec &spec, pcie::Bdf bdf)
+    : sim::SimObject(sys, std::move(name)), spec_(spec), bdf_(bdf),
+      stats_(this->name())
+{
+    regs_[mm::xpureg::kStatus] = 0x1; // device ready
+}
+
+std::uint64_t
+XpuDevice::readRegister(Addr offset) const
+{
+    auto it = regs_.find(offset);
+    return it != regs_.end() ? it->second : 0;
+}
+
+void
+XpuDevice::receiveTlp(const pcie::TlpPtr &tlp, pcie::PcieNode *)
+{
+    using pcie::TlpType;
+    switch (tlp->type) {
+      case TlpType::MemWrite:
+        if (mm::kXpuMmio.contains(tlp->address)) {
+            handleMmioWrite(tlp);
+        } else if (mm::kXpuVram.contains(tlp->address)) {
+            stats_.counter("vram_writes").inc();
+            env_.vramDirty = true;
+            if (!tlp->synthetic)
+                vram_.write(tlp->address - mm::kXpuVram.base,
+                            tlp->data);
+        } else {
+            stats_.counter("bad_addr_writes").inc();
+        }
+        return;
+      case TlpType::MemRead:
+        handleMmioRead(tlp);
+        return;
+      case TlpType::Completion: {
+        auto it = outstanding_.find(tlp->tag);
+        if (it == outstanding_.end()) {
+            stats_.counter("orphan_completions").inc();
+            return;
+        }
+        auto cb = std::move(it->second);
+        outstanding_.erase(it);
+        cb(tlp);
+        return;
+      }
+      case TlpType::Message:
+        // Vendor-defined management messages terminate here.
+        stats_.counter("vendor_messages").inc();
+        return;
+      default:
+        stats_.counter("unsupported_tlps").inc();
+        return;
+    }
+}
+
+void
+XpuDevice::handleMmioWrite(const pcie::TlpPtr &tlp)
+{
+    Addr offset = tlp->address - mm::kXpuMmio.base;
+    stats_.counter("mmio_writes").inc();
+    env_.registersDirty = true;
+
+    if (offset >= mm::xpureg::kCmdQueueBase) {
+        // Command staging: accumulate descriptor bytes.
+        if (!tlp->synthetic)
+            cmdWindow_[offset] = tlp->data;
+        return;
+    }
+
+    std::uint64_t value = 0;
+    if (!tlp->synthetic && tlp->data.size() >= 8) {
+        for (int i = 7; i >= 0; --i)
+            value = (value << 8) | tlp->data[i];
+    }
+    regs_[offset] = value;
+
+    switch (offset) {
+      case mm::xpureg::kDoorbell: {
+        // The doorbell value is the ring offset of the descriptor.
+        Addr slot = mm::xpureg::kCmdQueueBase + value;
+        auto it = cmdWindow_.find(slot);
+        if (it == cmdWindow_.end()) {
+            stats_.counter("doorbell_empty").inc();
+            warn("%s: doorbell for empty slot 0x%llx", name().c_str(),
+                 (unsigned long long)slot);
+            return;
+        }
+        queue_.push_back(XpuCommand::deserialize(it->second));
+        cmdWindow_.erase(it);
+        stats_.counter("commands_queued").inc();
+        if (!busy_)
+            startNextCommand();
+        return;
+      }
+      case mm::xpureg::kReset:
+        if (spec_.softwareReset && value == 1)
+            coldReset();
+        return;
+      default:
+        return;
+    }
+}
+
+void
+XpuDevice::handleMmioRead(const pcie::TlpPtr &tlp)
+{
+    stats_.counter("mmio_reads").inc();
+    Bytes payload(tlp->lengthBytes, 0);
+    if (mm::kXpuMmio.contains(tlp->address)) {
+        Addr offset = tlp->address - mm::kXpuMmio.base;
+        std::uint64_t value = readRegister(offset);
+        for (size_t i = 0; i < payload.size() && i < 8; ++i) {
+            payload[i] = static_cast<std::uint8_t>(value);
+            value >>= 8;
+        }
+    } else if (mm::kXpuVram.contains(tlp->address)) {
+        payload = vram_.read(tlp->address - mm::kXpuVram.base,
+                             tlp->lengthBytes);
+    }
+    auto cpl = std::make_shared<pcie::Tlp>(pcie::Tlp::makeCompletion(
+        bdf_, tlp->requester, tlp->tag, std::move(payload)));
+    up_->send(cpl);
+}
+
+void
+XpuDevice::startNextCommand()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    XpuCommand cmd = queue_.front();
+    queue_.pop_front();
+
+    switch (cmd.type) {
+      case XpuCmdType::LaunchKernel: {
+        env_.cachesDirty = true;
+        env_.tlbDirty = true;
+        stats_.counter("kernels").inc();
+        Tick total = spec_.kernelLaunchOverhead + cmd.duration;
+        eventq().scheduleIn(total, [this, cmd] { finishCommand(cmd); });
+        return;
+      }
+      case XpuCmdType::DmaFromHost:
+        stats_.counter("dma_h2d").inc();
+        env_.vramDirty = true;
+        startDmaRead(cmd);
+        return;
+      case XpuCmdType::DmaToHost: {
+        stats_.counter("dma_d2h").inc();
+        // Device pushes VRAM contents to host memory as posted MWr.
+        std::uint64_t remaining = cmd.length;
+        Addr host = cmd.hostAddr;
+        Addr dev = cmd.devAddr;
+        while (remaining > 0) {
+            std::uint64_t burst = std::min(remaining, kDmaBurst);
+            pcie::TlpPtr tlp;
+            if (cmd.synthetic) {
+                tlp = std::make_shared<pcie::Tlp>(
+                    pcie::Tlp::makeMemWriteSynthetic(
+                        bdf_, host, static_cast<std::uint32_t>(burst)));
+            } else {
+                Bytes data = vram_.read(dev - mm::kXpuVram.base, burst);
+                tlp = std::make_shared<pcie::Tlp>(
+                    pcie::Tlp::makeMemWrite(bdf_, host,
+                                            std::move(data)));
+            }
+            up_->send(tlp);
+            host += burst;
+            dev += burst;
+            remaining -= burst;
+        }
+        finishCommand(cmd);
+        return;
+      }
+      case XpuCmdType::MemSet:
+        stats_.counter("memsets").inc();
+        env_.vramDirty = true;
+        finishCommand(cmd);
+        return;
+      case XpuCmdType::Fence:
+        stats_.counter("fences").inc();
+        raiseInterrupt(cmd.msiTarget);
+        finishCommand(cmd);
+        return;
+    }
+}
+
+void
+XpuDevice::startDmaRead(const XpuCommand &cmd)
+{
+    if (cmd.length == 0) {
+        finishCommand(cmd);
+        return;
+    }
+    dmaRead_ = DmaReadState{};
+    dmaRead_.cmd = cmd;
+    dmaRead_.active = true;
+    pumpDmaRead();
+}
+
+void
+XpuDevice::pumpDmaRead()
+{
+    // Keep up to kDmaReadWindow bursts in flight so downstream
+    // pipeline latency (links, the PCIe-SC's decrypt) is hidden.
+    while (dmaRead_.inflight < kDmaReadWindow &&
+           dmaRead_.nextOffset < dmaRead_.cmd.length) {
+        std::uint64_t offset = dmaRead_.nextOffset;
+        std::uint64_t burst =
+            std::min(dmaRead_.cmd.length - offset, kDmaBurst);
+        dmaRead_.nextOffset += burst;
+        ++dmaRead_.inflight;
+
+        std::uint8_t tag = nextTag_++;
+        Addr dev_cursor = dmaRead_.cmd.devAddr + offset;
+
+        outstanding_[tag] = [this,
+                             dev_cursor](const pcie::TlpPtr &cpl) {
+            --dmaRead_.inflight;
+            if (cpl->cplStatus !=
+                pcie::CplStatus::SuccessfulCompletion) {
+                stats_.counter("dma_aborts").inc();
+                // Abandon the rest of this transfer.
+                dmaRead_.nextOffset = dmaRead_.cmd.length;
+            } else if (!cpl->synthetic) {
+                vram_.write(dev_cursor - mm::kXpuVram.base,
+                            cpl->data);
+            }
+            if (dmaRead_.nextOffset < dmaRead_.cmd.length) {
+                pumpDmaRead();
+            } else if (dmaRead_.inflight == 0 && dmaRead_.active) {
+                dmaRead_.active = false;
+                finishCommand(dmaRead_.cmd);
+            }
+        };
+
+        auto req = std::make_shared<pcie::Tlp>(pcie::Tlp::makeMemRead(
+            bdf_, dmaRead_.cmd.hostAddr + offset,
+            static_cast<std::uint32_t>(burst), tag));
+        req->synthetic = dmaRead_.cmd.synthetic;
+        up_->send(req);
+    }
+}
+
+void
+XpuDevice::finishCommand(const XpuCommand &cmd)
+{
+    (void)cmd;
+    ++retired_;
+    startNextCommand();
+}
+
+void
+XpuDevice::raiseInterrupt(std::uint16_t msiTarget)
+{
+    auto msg = std::make_shared<pcie::Tlp>(
+        pcie::Tlp::makeMessage(bdf_, pcie::MsgCode::MsiInterrupt));
+    // Multi-tenant devices steer the MSI at the submitting tenant.
+    msg->completer = pcie::Bdf::fromRaw(msiTarget);
+    up_->send(msg);
+}
+
+void
+XpuDevice::coldReset()
+{
+    vram_.clear();
+    regs_.clear();
+    cmdWindow_.clear();
+    queue_.clear();
+    outstanding_.clear();
+    busy_ = false;
+    env_ = XpuEnvState{};
+    regs_[mm::xpureg::kStatus] = 0x1;
+    stats_.counter("resets").inc();
+}
+
+void
+XpuDevice::reset()
+{
+    coldReset();
+    retired_ = 0;
+    nextTag_ = 0;
+    stats_.reset();
+}
+
+} // namespace ccai::xpu

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Generic xPU endpoint device: MMIO register file, VRAM, a DMA
+ * engine, a sequential command processor and MSI interrupts.
+ *
+ * One class models all five evaluation devices; the XpuSpec supplies
+ * the performance parameters that differentiate them. The device is
+ * deliberately "legacy": it has no confidentiality support of its
+ * own, which is exactly the class of xPU ccAI targets.
+ */
+
+#ifndef CCAI_XPU_XPU_DEVICE_HH
+#define CCAI_XPU_XPU_DEVICE_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "pcie/host_memory.hh"
+#include "pcie/link.hh"
+#include "pcie/memory_map.hh"
+#include "sim/stats.hh"
+#include "xpu/xpu_command.hh"
+#include "xpu/xpu_spec.hh"
+
+namespace ccai::xpu
+{
+
+/**
+ * Volatile device state the xPU Environment Guard must scrub between
+ * tenants (§4.2): memory, caches, registers, TLBs.
+ */
+struct XpuEnvState
+{
+    bool vramDirty = false;
+    bool cachesDirty = false;
+    bool tlbDirty = false;
+    bool registersDirty = false;
+
+    bool
+    clean() const
+    {
+        return !vramDirty && !cachesDirty && !tlbDirty &&
+               !registersDirty;
+    }
+};
+
+/**
+ * The xPU PCIe endpoint.
+ */
+class XpuDevice : public sim::SimObject, public pcie::PcieNode
+{
+  public:
+    XpuDevice(sim::System &sys, std::string name, const XpuSpec &spec,
+              pcie::Bdf bdf = pcie::wellknown::kXpu);
+
+    /** Attach the upstream link (towards the PCIe-SC / root). */
+    void connectUpstream(pcie::Link *up) { up_ = up; }
+
+    const XpuSpec &spec() const { return spec_; }
+    pcie::Bdf bdf() const { return bdf_; }
+
+    // PcieNode interface
+    void receiveTlp(const pcie::TlpPtr &tlp, pcie::PcieNode *from)
+        override;
+    const std::string &nodeName() const override { return name(); }
+
+    /** Device VRAM (tests inspect it directly). */
+    pcie::HostMemory &vram() { return vram_; }
+
+    /** MMIO register value (tests/EnvGuard inspect). */
+    std::uint64_t readRegister(Addr offset) const;
+
+    /** Current environment cleanliness. */
+    const XpuEnvState &envState() const { return env_; }
+
+    /** Cold-boot reset: scrub VRAM, caches, TLB and registers. */
+    void coldReset();
+
+    /** Number of retired commands. */
+    std::uint64_t retiredCommands() const { return retired_; }
+
+    sim::StatGroup &stats() { return stats_; }
+    sim::StatGroup *statGroup() override { return &stats_; }
+
+    void reset() override;
+
+  private:
+    void handleMmioWrite(const pcie::TlpPtr &tlp);
+    void handleMmioRead(const pcie::TlpPtr &tlp);
+    void startNextCommand();
+    void finishCommand(const XpuCommand &cmd);
+    void startDmaRead(const XpuCommand &cmd);
+    void pumpDmaRead();
+    void raiseInterrupt(std::uint16_t msiTarget);
+
+    XpuSpec spec_;
+    pcie::Bdf bdf_;
+    pcie::Link *up_ = nullptr;
+
+    /** MMIO register file, keyed by offset within the MMIO BAR. */
+    std::map<Addr, std::uint64_t> regs_;
+    /** Staged command bytes in the command-ring window. */
+    std::map<Addr, Bytes> cmdWindow_;
+
+    pcie::HostMemory vram_;
+    std::deque<XpuCommand> queue_;
+    bool busy_ = false;
+    std::uint64_t retired_ = 0;
+    std::uint8_t nextTag_ = 0;
+    std::map<std::uint8_t, std::function<void(const pcie::TlpPtr &)>>
+        outstanding_;
+
+    /** In-flight read DMA bookkeeping (one command at a time). */
+    struct DmaReadState
+    {
+        XpuCommand cmd;
+        std::uint64_t nextOffset = 0;
+        std::uint32_t inflight = 0;
+        bool active = false;
+    };
+    DmaReadState dmaRead_;
+
+    XpuEnvState env_;
+    sim::StatGroup stats_;
+
+    /** DMA burst size for device-initiated reads. */
+    static constexpr std::uint64_t kDmaBurst = 256 * kKiB;
+    /** Outstanding read bursts (read-tag window). */
+    static constexpr std::uint32_t kDmaReadWindow = 8;
+};
+
+} // namespace ccai::xpu
+
+#endif // CCAI_XPU_XPU_DEVICE_HH

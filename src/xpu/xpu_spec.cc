@@ -1,0 +1,117 @@
+#include "xpu_spec.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::xpu
+{
+
+const XpuSpec &
+XpuSpec::a100()
+{
+    static const XpuSpec spec{
+        .name = "A100",
+        .vendor = "NVIDIA",
+        .kind = XpuKind::Gpu,
+        .fp16Tflops = 312.0,
+        .memBwGBs = 2039.0,
+        .vramBytes = 80ull * kGiB,
+        .computeEfficiency = 0.45,
+        .bandwidthEfficiency = 0.78,
+        .kernelLaunchOverhead = 5 * kTicksPerUs,
+        .softwareReset = true,
+    };
+    return spec;
+}
+
+const XpuSpec &
+XpuSpec::rtx4090Ti()
+{
+    static const XpuSpec spec{
+        .name = "RTX4090Ti",
+        .vendor = "NVIDIA",
+        .kind = XpuKind::Gpu,
+        .fp16Tflops = 165.0,
+        .memBwGBs = 1100.0,
+        .vramBytes = 24ull * kGiB,
+        .computeEfficiency = 0.42,
+        .bandwidthEfficiency = 0.74,
+        .kernelLaunchOverhead = 5 * kTicksPerUs,
+        .softwareReset = true,
+    };
+    return spec;
+}
+
+const XpuSpec &
+XpuSpec::t4()
+{
+    static const XpuSpec spec{
+        .name = "T4",
+        .vendor = "NVIDIA",
+        .kind = XpuKind::Gpu,
+        .fp16Tflops = 65.0,
+        .memBwGBs = 320.0,
+        .vramBytes = 16ull * kGiB,
+        .computeEfficiency = 0.38,
+        .bandwidthEfficiency = 0.70,
+        .kernelLaunchOverhead = 7 * kTicksPerUs,
+        .softwareReset = true,
+    };
+    return spec;
+}
+
+const XpuSpec &
+XpuSpec::enflameS60()
+{
+    static const XpuSpec spec{
+        .name = "S60",
+        .vendor = "Enflame",
+        .kind = XpuKind::Gpu,
+        .fp16Tflops = 160.0,
+        .memBwGBs = 896.0,
+        .vramBytes = 48ull * kGiB,
+        .computeEfficiency = 0.40,
+        .bandwidthEfficiency = 0.72,
+        .kernelLaunchOverhead = 8 * kTicksPerUs,
+        .softwareReset = true,
+    };
+    return spec;
+}
+
+const XpuSpec &
+XpuSpec::tenstorrentN150d()
+{
+    static const XpuSpec spec{
+        .name = "N150d",
+        .vendor = "Tenstorrent",
+        .kind = XpuKind::Npu,
+        .fp16Tflops = 74.0,
+        .memBwGBs = 288.0,
+        .vramBytes = 12ull * kGiB,
+        .computeEfficiency = 0.36,
+        .bandwidthEfficiency = 0.68,
+        .kernelLaunchOverhead = 10 * kTicksPerUs,
+        .softwareReset = false, // NPU needs the cold-boot path (§4.2)
+    };
+    return spec;
+}
+
+const std::vector<XpuSpec> &
+XpuSpec::all()
+{
+    static const std::vector<XpuSpec> devices = {
+        a100(), t4(), rtx4090Ti(), enflameS60(), tenstorrentN150d(),
+    };
+    return devices;
+}
+
+const XpuSpec &
+XpuSpec::byName(const std::string &name)
+{
+    for (const XpuSpec &spec : all()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown xPU '%s'", name.c_str());
+}
+
+} // namespace ccai::xpu

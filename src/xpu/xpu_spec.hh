@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Performance specifications of the five xPU devices the paper
+ * evaluates (§7). Numbers come from public spec sheets; only the
+ * ratios matter for reproducing Figures 9/10/12, since both vanilla
+ * and ccAI runs share the same device model.
+ */
+
+#ifndef CCAI_XPU_XPU_SPEC_HH
+#define CCAI_XPU_XPU_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccai::xpu
+{
+
+/** Device category, mirroring the paper's xPU terminology. */
+enum class XpuKind
+{
+    Gpu,
+    Npu,
+    FpgaAccel,
+};
+
+/** Static capability/performance description of one xPU model. */
+struct XpuSpec
+{
+    std::string name;
+    std::string vendor;
+    XpuKind kind = XpuKind::Gpu;
+
+    double fp16Tflops = 0.0;   ///< dense FP16/BF16 tensor throughput
+    double memBwGBs = 0.0;     ///< device memory bandwidth (GB/s)
+    std::uint64_t vramBytes = 0;
+    /** Sustained fraction of peak FLOPS for LLM prefill kernels. */
+    double computeEfficiency = 0.45;
+    /** Sustained fraction of peak bandwidth for decode kernels. */
+    double bandwidthEfficiency = 0.75;
+    /** Per-kernel launch overhead on this device. */
+    Tick kernelLaunchOverhead = 6 * kTicksPerUs;
+    /** True when the device accepts an MMIO-triggered soft reset. */
+    bool softwareReset = true;
+
+    static const XpuSpec &a100();
+    static const XpuSpec &rtx4090Ti();
+    static const XpuSpec &t4();
+    static const XpuSpec &enflameS60();
+    static const XpuSpec &tenstorrentN150d();
+
+    /** All five evaluation devices, in the paper's Figure 10 order. */
+    static const std::vector<XpuSpec> &all();
+
+    /** Look up by name; fatal() on unknown device. */
+    static const XpuSpec &byName(const std::string &name);
+};
+
+} // namespace ccai::xpu
+
+#endif // CCAI_XPU_XPU_SPEC_HH

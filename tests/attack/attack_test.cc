@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Security analysis test suite (paper §8.2, RQ2): every adversary
+ * class of the threat model is exercised against the full platform
+ * and must be defeated — bus snooping sees only ciphertext, tamper/
+ * replay/reorder are detected, malicious devices and rogue VMs are
+ * blocked, and forged configuration is rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/bus_tap.hh"
+#include "ccai/platform.hh"
+
+using namespace ccai;
+using namespace ccai::pcie;
+using namespace ccai::attack;
+namespace mm = ccai::pcie::memmap;
+
+namespace
+{
+
+/**
+ * A secure platform with a bus tap spliced between the root switch
+ * and the PCIe-SC — the host-side PCIe segment the paper's threat
+ * model exposes to physical attackers.
+ */
+class TappedPlatform
+{
+  public:
+    TappedPlatform()
+        : platform(PlatformConfig{.secure = true,
+                                  .attachBusTap = true}),
+          tap(*platform.busTap())
+    {
+        TrustReport report = platform.establishTrust();
+        if (!report.ok())
+            fatal("trust failed: %s", report.failure.c_str());
+    }
+
+    Platform platform;
+    BusTap &tap;
+};
+
+bool
+containsSubsequence(const Bytes &haystack, const Bytes &needle)
+{
+    if (needle.empty() || haystack.size() < needle.size())
+        return false;
+    return std::search(haystack.begin(), haystack.end(),
+                       needle.begin(),
+                       needle.end()) != haystack.end();
+}
+
+} // namespace
+
+// Note: the splice sits between switch and SC, so address-range
+// remapping prefers the later-added tap port only for new lookups.
+// The switch's first-match tables still hold the old entries, so we
+// verify the tap actually sees traffic in each test.
+
+TEST(Snooping, BusAttackerSeesOnlyCiphertext)
+{
+    TappedPlatform rig;
+    sim::Rng rng(1);
+    Bytes secret = rng.bytes(4096);
+
+    bool done = false;
+    rig.platform.runtime().memcpyH2D(mm::kXpuVram.base, secret,
+                                     secret.size(),
+                                     [&] { done = true; });
+    rig.platform.run();
+    ASSERT_TRUE(done);
+    ASSERT_FALSE(rig.tap.captured().empty())
+        << "tap must be in the path";
+
+    // No captured packet payload contains any 16-byte window of the
+    // secret in plaintext.
+    Bytes probe(secret.begin(), secret.begin() + 16);
+    for (const Tlp &tlp : rig.tap.capturedWithData()) {
+        EXPECT_FALSE(containsSubsequence(tlp.data, probe))
+            << "plaintext leaked in " << tlp.toString();
+    }
+    // And the secret still arrived intact at the device.
+    EXPECT_EQ(rig.platform.xpu().vram().read(0, secret.size()),
+              secret);
+}
+
+TEST(Snooping, ResultsAlsoEncryptedOnBus)
+{
+    TappedPlatform rig;
+    sim::Rng rng(2);
+    Bytes result = rng.bytes(2048);
+    rig.platform.xpu().vram().write(0x5000, result);
+
+    Bytes got;
+    rig.platform.runtime().memcpyD2H(mm::kXpuVram.base + 0x5000,
+                                     result.size(), false,
+                                     [&](Bytes d) { got = std::move(d); });
+    rig.platform.run();
+    ASSERT_EQ(got, result);
+
+    Bytes probe(result.begin(), result.begin() + 16);
+    for (const Tlp &tlp : rig.tap.capturedWithData()) {
+        // Result plaintext must never appear upstream of the SC.
+        EXPECT_FALSE(containsSubsequence(tlp.data, probe))
+            << tlp.toString();
+    }
+}
+
+TEST(Tampering, CorruptedCiphertextDetectedNotConsumed)
+{
+    TappedPlatform rig;
+    rig.tap.setMode(TapMode::TamperPayload);
+    // Target only bulk data completions heading to the device.
+    rig.tap.setTargetFilter([](const Tlp &tlp) {
+        return tlp.type == TlpType::Completion &&
+               tlp.data.size() >= 1024;
+    });
+
+    sim::Rng rng(3);
+    Bytes secret = rng.bytes(4096);
+    rig.platform.runtime().memcpyH2D(mm::kXpuVram.base + 0x100,
+                                     secret, secret.size(), [] {});
+    rig.platform.run();
+
+    EXPECT_GT(rig.tap.tampered(), 0u);
+    EXPECT_GT(rig.platform.pcieSc()
+                  ->stats()
+                  .counter("a2_integrity_failures")
+                  .value(),
+              0u);
+    // The device never received the corrupted plaintext.
+    Bytes vram = rig.platform.xpu().vram().read(0x100, secret.size());
+    EXPECT_NE(vram, secret);
+    EXPECT_EQ(vram, Bytes(secret.size(), 0));
+}
+
+TEST(Tampering, CommandTamperDetectedByA3)
+{
+    TappedPlatform rig;
+    rig.tap.setMode(TapMode::TamperPayload);
+    rig.tap.setTargetFilter([](const Tlp &tlp) {
+        return tlp.type == TlpType::MemWrite &&
+               mm::kXpuMmio.contains(tlp.address) &&
+               tlp.data.size() == 64; // command descriptors
+    });
+
+    rig.platform.runtime().launchKernel(1 * kTicksPerMs);
+    rig.platform.run();
+
+    EXPECT_GT(rig.tap.tampered(), 0u);
+    EXPECT_GT(rig.platform.pcieSc()
+                  ->stats()
+                  .counter("a3_integrity_failures")
+                  .value(),
+              0u);
+    // The tampered command never executed.
+    EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
+              0u);
+}
+
+TEST(Replay, ReplayedCommandRejectedBySequence)
+{
+    TappedPlatform rig;
+    rig.tap.setMode(TapMode::Replay);
+    rig.tap.setTargetFilter([](const Tlp &tlp) {
+        return tlp.type == TlpType::MemWrite &&
+               mm::kXpuMmio.contains(tlp.address) &&
+               tlp.address >=
+                   mm::kXpuMmio.base + mm::xpureg::kCmdQueueBase;
+    });
+
+    rig.platform.runtime().launchKernel(1 * kTicksPerMs);
+    rig.platform.run();
+
+    // The original executed once; the replay was dropped.
+    EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
+              1u);
+    EXPECT_GT(rig.platform.pcieSc()
+                  ->stats()
+                  .counter("a3_integrity_failures")
+                  .value(),
+              0u);
+}
+
+TEST(Reorder, SwappedCommandsDetected)
+{
+    TappedPlatform rig;
+    rig.tap.setMode(TapMode::Reorder);
+    rig.tap.setTargetFilter([](const Tlp &tlp) {
+        return tlp.type == TlpType::MemWrite &&
+               mm::kXpuMmio.contains(tlp.address);
+    });
+
+    rig.platform.runtime().launchKernel(1 * kTicksPerMs);
+    rig.platform.run();
+
+    // At least one out-of-order packet failed the monotonic
+    // sequence check.
+    EXPECT_GT(rig.platform.pcieSc()
+                  ->stats()
+                  .counter("a3_integrity_failures")
+                  .value(),
+              0u);
+}
+
+TEST(MaliciousDevice, BlockedFromHostAndXpu)
+{
+    Platform p(PlatformConfig{.secure = true});
+    ASSERT_TRUE(p.establishTrust().ok());
+
+    // Attach a malicious peer device to the root switch.
+    MaliciousDevice evil(p.system(), "evil");
+    auto link = std::make_unique<DuplexLink>(
+        p.system(), "sw_evil", &p.rootSwitch(), &evil, LinkConfig{});
+    int port = p.rootSwitch().addPort(&link->downstream());
+    p.rootSwitch().mapRoutingId(wellknown::kMaliciousDevice, port);
+    evil.connectUpstream(&link->upstream());
+
+    // Plant a secret in TVM memory; the device tries to read it.
+    p.hostMemory().write(mm::kTvmPrivate.base, Bytes(64, 0x77));
+    evil.dmaReadHost(mm::kTvmPrivate.base, 64);
+    // And tries to probe the protected xPU.
+    evil.probeXpu(mm::kXpuMmio.base + mm::xpureg::kStatus, 8);
+    evil.dmaWrite(mm::kXpuMmio.base + mm::xpureg::kDoorbell,
+                  Bytes(8, 0));
+    p.run();
+
+    EXPECT_TRUE(evil.loot().empty()) << "no data may leak";
+    // Host read blocked by IOMMU, xPU probe aborted by the SC.
+    EXPECT_GT(p.rootComplex().stats().counter("iommu_blocked").value(),
+              0u);
+    EXPECT_GT(p.pcieSc()->filter().blocked(), 0u);
+    EXPECT_GE(evil.aborts(), 1u);
+}
+
+TEST(MaliciousDevice, SpoofedRequesterStillBlocked)
+{
+    Platform p(PlatformConfig{.secure = true});
+    ASSERT_TRUE(p.establishTrust().ok());
+
+    MaliciousDevice evil(p.system(), "evil");
+    auto link = std::make_unique<DuplexLink>(
+        p.system(), "sw_evil", &p.rootSwitch(), &evil, LinkConfig{});
+    int port = p.rootSwitch().addPort(&link->downstream());
+    p.rootSwitch().mapRoutingId(wellknown::kMaliciousDevice, port);
+    evil.connectUpstream(&link->upstream());
+
+    // Forge the TVM's requester ID and read the xPU's VRAM: the L2
+    // policy prohibits VRAM reads even for the real TVM, so the
+    // spoof gains nothing.
+    p.xpu().vram().write(0, Bytes(64, 0x42));
+    evil.spoofRequester(wellknown::kTvm, mm::kXpuVram.base, 64);
+    p.run();
+    EXPECT_TRUE(evil.loot().empty());
+    EXPECT_GT(p.pcieSc()->filter().blocked(), 0u);
+}
+
+TEST(RogueVm, UnauthorizedTvmBlockedByFilter)
+{
+    Platform p(PlatformConfig{.secure = true});
+    ASSERT_TRUE(p.establishTrust().ok());
+
+    // The compromised hypervisor issues MMIO on behalf of a rogue
+    // VM (different requester ID).
+    p.rootComplex().sendWrite(Tlp::makeMemWrite(
+        wellknown::kRogueVm,
+        mm::kXpuMmio.base + mm::xpureg::kDoorbell, Bytes(8, 0)));
+    Bytes loot;
+    p.rootComplex().sendRead(
+        Tlp::makeMemRead(wellknown::kRogueVm, mm::kXpuVram.base, 64,
+                         0),
+        [&](const TlpPtr &cpl) { loot = cpl->data; });
+    p.run();
+
+    EXPECT_TRUE(loot.empty());
+    EXPECT_GE(p.pcieSc()->filter().blocked(), 2u);
+    EXPECT_EQ(p.xpu().stats().counter("mmio_writes").value(), 0u);
+}
+
+TEST(ConfigInjection, ForgedPolicyUpdateRejected)
+{
+    Platform p(PlatformConfig{.secure = true});
+    ASSERT_TRUE(p.establishTrust().ok());
+
+    // Adversary crafts a permissive policy without the config key
+    // and writes it from the (authorized) TVM requester ID — e.g. a
+    // compromised co-tenant process replaying the config path.
+    sc::RuleTables evil;
+    sc::L1Rule allow;
+    allow.verdict = sc::L1Verdict::ToL2Table;
+    evil.addL1(allow);
+    sim::Rng rng(9);
+    crypto::AesGcm wrong_key(rng.bytes(16));
+    Bytes iv = rng.bytes(12);
+    auto sealed = wrong_key.seal(iv, evil.serialize());
+    Bytes payload = iv;
+    payload.insert(payload.end(), sealed.tag.begin(), sealed.tag.end());
+    payload.insert(payload.end(), sealed.ciphertext.begin(),
+                   sealed.ciphertext.end());
+    p.tvm().mmioWrite(mm::kScRuleTable.base, std::move(payload));
+    p.run();
+
+    EXPECT_EQ(p.pcieSc()->filter().rejectedConfigs(), 1u);
+    // Policy unchanged: rogue traffic still blocked.
+    p.rootComplex().sendWrite(Tlp::makeMemWrite(
+        wellknown::kRogueVm, mm::kXpuMmio.base, Bytes(8, 0)));
+    p.run();
+    EXPECT_GT(p.pcieSc()->filter().blocked(), 0u);
+}
+
+TEST(EnvGuardAttack, MaliciousPageTableRedirectBlocked)
+{
+    Platform p(PlatformConfig{.secure = true});
+    ASSERT_TRUE(p.establishTrust().ok());
+
+    // A compromised driver pointing the device MMU at host memory
+    // would let the device exfiltrate other tenants' data. The
+    // guard pins the register inside device VRAM.
+    Bytes host_addr(8);
+    for (int i = 0; i < 8; ++i)
+        host_addr[i] = static_cast<std::uint8_t>(
+            mm::kTvmPrivate.base >> (8 * i));
+    p.adaptor()->writeSigned(
+        mm::kXpuMmio.base + mm::xpureg::kPageTableBase, host_addr);
+    p.run();
+
+    EXPECT_GT(p.pcieSc()->envGuard().violations(), 0u);
+    EXPECT_EQ(p.xpu().readRegister(mm::xpureg::kPageTableBase), 0u);
+}
+
+TEST(Droppping, DroppedPacketsDoNotCorruptState)
+{
+    TappedPlatform rig;
+    rig.tap.setMode(TapMode::Drop);
+    rig.tap.setTargetFilter([](const Tlp &tlp) {
+        return tlp.type == TlpType::Message; // suppress interrupts
+    });
+
+    bool synced = false;
+    rig.platform.runtime().launchKernel(1 * kTicksPerMs);
+    rig.platform.runtime().synchronize([&] { synced = true; });
+    rig.platform.run();
+
+    // Denial of service succeeds (out of scope per the threat
+    // model) but nothing leaks and the device state is intact.
+    EXPECT_FALSE(synced);
+    EXPECT_GT(rig.tap.dropped(), 0u);
+    EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
+              1u);
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Byte-utility tests: hex codecs, endian load/store, constant-time
+ * compare, and XOR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes_util.hh"
+
+using namespace ccai;
+
+TEST(BytesUtil, HexRoundTrip)
+{
+    Bytes data = {0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(toHex(data), "0001abff");
+    EXPECT_EQ(fromHex("0001abff"), data);
+}
+
+TEST(BytesUtil, FromHexToleratesWhitespaceAndCase)
+{
+    EXPECT_EQ(fromHex("DE AD\nBE ef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(BytesUtil, EmptyHex)
+{
+    EXPECT_EQ(toHex({}), "");
+    EXPECT_TRUE(fromHex("").empty());
+}
+
+TEST(BytesUtil, Be32RoundTrip)
+{
+    std::uint8_t buf[4];
+    storeBe32(buf, 0x12345678);
+    EXPECT_EQ(buf[0], 0x12);
+    EXPECT_EQ(buf[3], 0x78);
+    EXPECT_EQ(loadBe32(buf), 0x12345678u);
+}
+
+TEST(BytesUtil, Be64RoundTrip)
+{
+    std::uint8_t buf[8];
+    storeBe64(buf, 0x123456789abcdef0ull);
+    EXPECT_EQ(buf[0], 0x12);
+    EXPECT_EQ(buf[7], 0xf0);
+    EXPECT_EQ(loadBe64(buf), 0x123456789abcdef0ull);
+}
+
+TEST(BytesUtil, Le64RoundTrip)
+{
+    std::uint8_t buf[8];
+    storeLe64(buf, 0x123456789abcdef0ull);
+    EXPECT_EQ(buf[0], 0xf0);
+    EXPECT_EQ(buf[7], 0x12);
+    EXPECT_EQ(loadLe64(buf), 0x123456789abcdef0ull);
+}
+
+TEST(BytesUtil, ConstantTimeEqual)
+{
+    EXPECT_TRUE(constantTimeEqual({1, 2, 3}, {1, 2, 3}));
+    EXPECT_FALSE(constantTimeEqual({1, 2, 3}, {1, 2, 4}));
+    EXPECT_FALSE(constantTimeEqual({1, 2}, {1, 2, 3}));
+    EXPECT_TRUE(constantTimeEqual({}, {}));
+}
+
+TEST(BytesUtil, XorInto)
+{
+    Bytes a = {0xff, 0x0f, 0x00};
+    xorInto(a, {0x0f, 0x0f, 0x0f});
+    EXPECT_EQ(a, (Bytes{0xf0, 0x00, 0x0f}));
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * AES block cipher tests against the FIPS-197 appendix known-answer
+ * vectors plus round-trip and key-schedule properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes_util.hh"
+#include "crypto/aes.hh"
+#include "sim/rng.hh"
+
+using namespace ccai;
+using crypto::Aes;
+
+namespace
+{
+
+Bytes
+encrypt(const Bytes &key, const Bytes &plaintext)
+{
+    Aes aes(key);
+    Bytes block = plaintext;
+    aes.encryptBlock(block.data());
+    return block;
+}
+
+Bytes
+decrypt(const Bytes &key, const Bytes &ciphertext)
+{
+    Aes aes(key);
+    Bytes block = ciphertext;
+    aes.decryptBlock(block.data());
+    return block;
+}
+
+} // namespace
+
+// FIPS-197 Appendix C.1 (AES-128).
+TEST(Aes, Fips197Appendix_Aes128)
+{
+    Bytes key = fromHex("000102030405060708090a0b0c0d0e0f");
+    Bytes pt = fromHex("00112233445566778899aabbccddeeff");
+    Bytes expected = fromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    EXPECT_EQ(toHex(encrypt(key, pt)), toHex(expected));
+    EXPECT_EQ(toHex(decrypt(key, expected)), toHex(pt));
+}
+
+// FIPS-197 Appendix C.2 (AES-192).
+TEST(Aes, Fips197Appendix_Aes192)
+{
+    Bytes key =
+        fromHex("000102030405060708090a0b0c0d0e0f1011121314151617");
+    Bytes pt = fromHex("00112233445566778899aabbccddeeff");
+    Bytes expected = fromHex("dda97ca4864cdfe06eaf70a0ec0d7191");
+    EXPECT_EQ(toHex(encrypt(key, pt)), toHex(expected));
+    EXPECT_EQ(toHex(decrypt(key, expected)), toHex(pt));
+}
+
+// FIPS-197 Appendix C.3 (AES-256).
+TEST(Aes, Fips197Appendix_Aes256)
+{
+    Bytes key = fromHex("000102030405060708090a0b0c0d0e0f"
+                        "101112131415161718191a1b1c1d1e1f");
+    Bytes pt = fromHex("00112233445566778899aabbccddeeff");
+    Bytes expected = fromHex("8ea2b7ca516745bfeafc49904b496089");
+    EXPECT_EQ(toHex(encrypt(key, pt)), toHex(expected));
+    EXPECT_EQ(toHex(decrypt(key, expected)), toHex(pt));
+}
+
+// FIPS-197 Appendix B example vector.
+TEST(Aes, Fips197AppendixB)
+{
+    Bytes key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Bytes pt = fromHex("3243f6a8885a308d313198a2e0370734");
+    Bytes expected = fromHex("3925841d02dc09fbdc118597196a0b32");
+    EXPECT_EQ(toHex(encrypt(key, pt)), toHex(expected));
+}
+
+TEST(Aes, RoundsPerKeySize)
+{
+    EXPECT_EQ(Aes(Bytes(16, 0)).rounds(), 10);
+    EXPECT_EQ(Aes(Bytes(24, 0)).rounds(), 12);
+    EXPECT_EQ(Aes(Bytes(32, 0)).rounds(), 14);
+}
+
+TEST(Aes, EncryptDecryptRoundTripRandom)
+{
+    sim::Rng rng(42);
+    for (int i = 0; i < 50; ++i) {
+        size_t key_size = (i % 3 == 0) ? 16 : (i % 3 == 1) ? 24 : 32;
+        Bytes key = rng.bytes(key_size);
+        Bytes pt = rng.bytes(16);
+        EXPECT_EQ(decrypt(key, encrypt(key, pt)), pt);
+    }
+}
+
+TEST(Aes, DifferentKeysGiveDifferentCiphertext)
+{
+    Bytes pt(16, 0xab);
+    Bytes k1(16, 0x01), k2(16, 0x02);
+    EXPECT_NE(encrypt(k1, pt), encrypt(k2, pt));
+}
+
+TEST(Aes, SingleBitKeyChangeAvalanche)
+{
+    Bytes pt(16, 0);
+    Bytes k1(16, 0);
+    Bytes k2 = k1;
+    k2[15] ^= 0x01;
+    Bytes c1 = encrypt(k1, pt), c2 = encrypt(k2, pt);
+    int differing_bits = 0;
+    for (size_t i = 0; i < 16; ++i)
+        differing_bits += __builtin_popcount(c1[i] ^ c2[i]);
+    // Avalanche: roughly half the 128 output bits flip.
+    EXPECT_GT(differing_bits, 40);
+    EXPECT_LT(differing_bits, 90);
+}

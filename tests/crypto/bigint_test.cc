@@ -1,0 +1,119 @@
+/**
+ * @file
+ * BigInt arithmetic tests: round trips, arithmetic identities, and
+ * modular-exponentiation known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bigint.hh"
+#include "crypto/dh.hh"
+#include "sim/rng.hh"
+
+using namespace ccai;
+using crypto::BigInt;
+
+TEST(BigInt, SmallValueRoundTrip)
+{
+    EXPECT_EQ(BigInt(0).toHexString(), "00");
+    EXPECT_EQ(BigInt(255).toHexString(), "ff");
+    EXPECT_EQ(BigInt(0x1234567890abcdefull).toHexString(),
+              "1234567890abcdef");
+}
+
+TEST(BigInt, FromBytesBigEndian)
+{
+    BigInt v = BigInt::fromBytes({0x01, 0x00});
+    EXPECT_EQ(v, BigInt(256));
+}
+
+TEST(BigInt, ToBytesPadding)
+{
+    Bytes out = BigInt(0x1234).toBytes(4);
+    EXPECT_EQ(out, (Bytes{0x00, 0x00, 0x12, 0x34}));
+}
+
+TEST(BigInt, Comparisons)
+{
+    EXPECT_LT(BigInt(5), BigInt(7));
+    EXPECT_GT(BigInt(1ull << 40), BigInt(123));
+    EXPECT_EQ(BigInt(42), BigInt(42));
+    EXPECT_LE(BigInt(42), BigInt(42));
+}
+
+TEST(BigInt, AddSubRoundTrip)
+{
+    sim::Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        BigInt a = BigInt::fromBytes(rng.bytes(20));
+        BigInt b = BigInt::fromBytes(rng.bytes(12));
+        EXPECT_EQ((a + b) - b, a);
+        EXPECT_EQ((a + b) - a, b);
+    }
+}
+
+TEST(BigInt, MulMatches64Bit)
+{
+    sim::Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t a = rng.uniform(0, 0xffffffff);
+        std::uint64_t b = rng.uniform(0, 0xffffffff);
+        EXPECT_EQ(BigInt(a) * BigInt(b), BigInt(a * b));
+    }
+}
+
+TEST(BigInt, ModMatches64Bit)
+{
+    sim::Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t a = rng.uniform(1, UINT64_MAX / 2);
+        std::uint64_t m = rng.uniform(2, 1u << 30);
+        EXPECT_EQ(BigInt(a) % BigInt(m), BigInt(a % m));
+    }
+}
+
+TEST(BigInt, MulModDistributes)
+{
+    sim::Rng rng(4);
+    BigInt m = BigInt::fromBytes(rng.bytes(24));
+    for (int i = 0; i < 20; ++i) {
+        BigInt a = BigInt::fromBytes(rng.bytes(30));
+        BigInt b = BigInt::fromBytes(rng.bytes(30));
+        EXPECT_EQ(a.mulMod(b, m), b.mulMod(a, m));
+    }
+}
+
+TEST(BigInt, PowModKnownAnswers)
+{
+    // 2^10 mod 1000 = 24
+    EXPECT_EQ(BigInt(2).powMod(BigInt(10), BigInt(1000)), BigInt(24));
+    // Fermat: a^(p-1) = 1 mod p for prime p = 65537
+    BigInt p(65537);
+    for (std::uint64_t a : {2ull, 3ull, 12345ull}) {
+        EXPECT_EQ(BigInt(a).powMod(BigInt(65536), p), BigInt(1));
+    }
+}
+
+TEST(BigInt, PowModLargePrimeFermat)
+{
+    // Fermat's little theorem on the DH group prime.
+    const auto &group = crypto::DhGroup::standard();
+    BigInt exponent = group.p - BigInt(1);
+    EXPECT_EQ(BigInt(2).powMod(exponent, group.p), BigInt(1));
+    EXPECT_EQ(BigInt(12345).powMod(exponent, group.p), BigInt(1));
+}
+
+TEST(BigInt, BitLength)
+{
+    EXPECT_EQ(BigInt(0).bitLength(), 0u);
+    EXPECT_EQ(BigInt(1).bitLength(), 1u);
+    EXPECT_EQ(BigInt(255).bitLength(), 8u);
+    EXPECT_EQ(BigInt(256).bitLength(), 9u);
+    EXPECT_EQ(BigInt(1ull << 63).bitLength(), 64u);
+}
+
+TEST(BigInt, HexStringRoundTrip)
+{
+    std::string hex = "deadbeefcafebabe0123456789abcdef";
+    EXPECT_EQ(BigInt::fromHexString(hex).toHexString(), hex);
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DRBG tests: determinism, personalization separation, reseed
+ * behaviour, and output-shape helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/drbg.hh"
+
+using namespace ccai;
+using crypto::Drbg;
+
+TEST(Drbg, DeterministicForSameSeed)
+{
+    Drbg a(Bytes{1, 2, 3});
+    Drbg b(Bytes{1, 2, 3});
+    EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, DifferentSeedsDiffer)
+{
+    Drbg a(Bytes{1, 2, 3});
+    Drbg b(Bytes{1, 2, 4});
+    EXPECT_NE(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, PersonalizationSeparates)
+{
+    Drbg a(Bytes{1}, "role-a");
+    Drbg b(Bytes{1}, "role-b");
+    EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, SequentialOutputsDiffer)
+{
+    Drbg d(Bytes{42});
+    Bytes first = d.generate(32);
+    Bytes second = d.generate(32);
+    EXPECT_NE(first, second);
+}
+
+TEST(Drbg, ReseedChangesStream)
+{
+    Drbg a(Bytes{5});
+    Drbg b(Bytes{5});
+    a.generate(16);
+    b.generate(16);
+    a.reseed(Bytes{9, 9});
+    EXPECT_NE(a.generate(16), b.generate(16));
+}
+
+TEST(Drbg, HelpersProduceCorrectSizes)
+{
+    Drbg d(Bytes{7});
+    EXPECT_EQ(d.generateIv().size(), 12u);
+    EXPECT_EQ(d.generateKey128().size(), 16u);
+    EXPECT_EQ(d.generateKey256().size(), 32u);
+}
+
+TEST(Drbg, IvStreamHasNoShortCycles)
+{
+    Drbg d(Bytes{8});
+    std::set<Bytes> seen;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(seen.insert(d.generateIv()).second)
+            << "duplicate IV at iteration " << i;
+}
+
+TEST(Drbg, OutputLooksUniform)
+{
+    Drbg d(Bytes{9});
+    Bytes data = d.generate(65536);
+    size_t ones = 0;
+    for (std::uint8_t b : data)
+        ones += __builtin_popcount(b);
+    double fraction = double(ones) / (data.size() * 8);
+    EXPECT_NEAR(fraction, 0.5, 0.01);
+}

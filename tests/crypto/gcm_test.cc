@@ -1,0 +1,169 @@
+/**
+ * @file
+ * AES-GCM tests against NIST GCM test vectors (SP 800-38D validation
+ * suite) plus tamper-detection and AAD-binding properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes_util.hh"
+#include "crypto/gcm.hh"
+#include "sim/rng.hh"
+
+using namespace ccai;
+using crypto::AesGcm;
+
+// NIST gcmEncryptExtIV128 test case: zero key, zero IV, empty
+// plaintext -> tag only.
+TEST(AesGcm, NistEmptyPlaintext)
+{
+    AesGcm gcm(fromHex("00000000000000000000000000000000"));
+    auto sealed = gcm.seal(fromHex("000000000000000000000000"), {});
+    EXPECT_TRUE(sealed.ciphertext.empty());
+    EXPECT_EQ(toHex(sealed.tag), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+// NIST test case: zero key/IV, one zero block.
+TEST(AesGcm, NistSingleZeroBlock)
+{
+    AesGcm gcm(fromHex("00000000000000000000000000000000"));
+    auto sealed = gcm.seal(fromHex("000000000000000000000000"),
+                           Bytes(16, 0));
+    EXPECT_EQ(toHex(sealed.ciphertext),
+              "0388dace60b6a392f328c2b971b2fe78");
+    EXPECT_EQ(toHex(sealed.tag), "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+// NIST test case 3: 4-block plaintext, no AAD.
+TEST(AesGcm, NistFourBlocks)
+{
+    AesGcm gcm(fromHex("feffe9928665731c6d6a8f9467308308"));
+    Bytes iv = fromHex("cafebabefacedbaddecaf888");
+    Bytes pt = fromHex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255");
+    auto sealed = gcm.seal(iv, pt);
+    EXPECT_EQ(toHex(sealed.ciphertext),
+              "42831ec2217774244b7221b784d0d49c"
+              "e3aa212f2c02a4e035c17e2329aca12e"
+              "21d514b25466931c7d8f6a5aac84aa05"
+              "1ba30b396a0aac973d58e091473f5985");
+    EXPECT_EQ(toHex(sealed.tag), "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+// NIST test case 4: with AAD and truncated plaintext.
+TEST(AesGcm, NistWithAad)
+{
+    AesGcm gcm(fromHex("feffe9928665731c6d6a8f9467308308"));
+    Bytes iv = fromHex("cafebabefacedbaddecaf888");
+    Bytes pt = fromHex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39");
+    Bytes aad = fromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+    auto sealed = gcm.seal(iv, pt, aad);
+    EXPECT_EQ(toHex(sealed.ciphertext),
+              "42831ec2217774244b7221b784d0d49c"
+              "e3aa212f2c02a4e035c17e2329aca12e"
+              "21d514b25466931c7d8f6a5aac84aa05"
+              "1ba30b396a0aac973d58e091");
+    EXPECT_EQ(toHex(sealed.tag), "5bc94fbc3221a5db94fae95ae7121a47");
+
+    auto opened = gcm.open(iv, sealed.ciphertext, sealed.tag, aad);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, pt);
+}
+
+TEST(AesGcm, RoundTripVariousSizes)
+{
+    sim::Rng rng(7);
+    AesGcm gcm(rng.bytes(16));
+    for (size_t size : {0ul, 1ul, 15ul, 16ul, 17ul, 255ul, 256ul,
+                        1000ul, 4096ul}) {
+        Bytes iv = rng.bytes(12);
+        Bytes pt = rng.bytes(size);
+        auto sealed = gcm.seal(iv, pt);
+        auto opened = gcm.open(iv, sealed.ciphertext, sealed.tag);
+        ASSERT_TRUE(opened.has_value()) << "size " << size;
+        EXPECT_EQ(*opened, pt) << "size " << size;
+    }
+}
+
+TEST(AesGcm, TamperedCiphertextRejected)
+{
+    sim::Rng rng(8);
+    AesGcm gcm(rng.bytes(16));
+    Bytes iv = rng.bytes(12);
+    auto sealed = gcm.seal(iv, rng.bytes(100));
+    sealed.ciphertext[50] ^= 0x01;
+    EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, sealed.tag));
+}
+
+TEST(AesGcm, TamperedTagRejected)
+{
+    sim::Rng rng(9);
+    AesGcm gcm(rng.bytes(16));
+    Bytes iv = rng.bytes(12);
+    auto sealed = gcm.seal(iv, rng.bytes(64));
+    sealed.tag[0] ^= 0x80;
+    EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, sealed.tag));
+}
+
+TEST(AesGcm, WrongAadRejected)
+{
+    sim::Rng rng(10);
+    AesGcm gcm(rng.bytes(16));
+    Bytes iv = rng.bytes(12);
+    Bytes aad = {1, 2, 3};
+    auto sealed = gcm.seal(iv, rng.bytes(64), aad);
+    EXPECT_TRUE(gcm.open(iv, sealed.ciphertext, sealed.tag, aad));
+    EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, sealed.tag, {}));
+    EXPECT_FALSE(
+        gcm.open(iv, sealed.ciphertext, sealed.tag, {1, 2, 4}));
+}
+
+TEST(AesGcm, WrongIvRejected)
+{
+    sim::Rng rng(11);
+    AesGcm gcm(rng.bytes(16));
+    Bytes iv = rng.bytes(12);
+    auto sealed = gcm.seal(iv, rng.bytes(64));
+    Bytes other_iv = iv;
+    other_iv[11] ^= 1;
+    EXPECT_FALSE(gcm.open(other_iv, sealed.ciphertext, sealed.tag));
+}
+
+TEST(AesGcm, DistinctIvsGiveDistinctCiphertext)
+{
+    sim::Rng rng(12);
+    AesGcm gcm(rng.bytes(16));
+    Bytes pt = rng.bytes(32);
+    auto s1 = gcm.seal(fromHex("000000000000000000000001"), pt);
+    auto s2 = gcm.seal(fromHex("000000000000000000000002"), pt);
+    EXPECT_NE(s1.ciphertext, s2.ciphertext);
+    EXPECT_NE(s1.tag, s2.tag);
+}
+
+// Property sweep: every payload size from 1 to 64 round-trips.
+class GcmSizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GcmSizeSweep, RoundTrip)
+{
+    sim::Rng rng(100 + GetParam());
+    AesGcm gcm(rng.bytes(16));
+    Bytes iv = rng.bytes(12);
+    Bytes pt = rng.bytes(GetParam());
+    auto sealed = gcm.seal(iv, pt);
+    EXPECT_EQ(sealed.ciphertext.size(), pt.size());
+    auto opened = gcm.open(iv, sealed.ciphertext, sealed.tag);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallSizes, GcmSizeSweep,
+                         ::testing::Range(1, 65));

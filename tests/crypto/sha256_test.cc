@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SHA-256 / HMAC-SHA256 / KDF tests against the FIPS 180-4 and RFC
+ * 4231 known-answer vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes_util.hh"
+#include "crypto/sha256.hh"
+#include "sim/rng.hh"
+
+using namespace ccai;
+using crypto::Sha256;
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(toHex(Sha256::digest(std::string(""))),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(toHex(Sha256::digest(std::string("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(toHex(Sha256::digest(std::string(
+                  "abcdbcdecdefdefgefghfghighijhijk"
+                  "ijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(toHex(h.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot)
+{
+    sim::Rng rng(3);
+    Bytes data = rng.bytes(10000);
+    Sha256 streaming;
+    size_t off = 0;
+    size_t sizes[] = {1, 63, 64, 65, 100, 1000};
+    int i = 0;
+    while (off < data.size()) {
+        size_t take =
+            std::min(sizes[i++ % 6], data.size() - off);
+        streaming.update(data.data() + off, take);
+        off += take;
+    }
+    EXPECT_EQ(streaming.finalize(), Sha256::digest(data));
+}
+
+TEST(Sha256, ReusableAfterFinalize)
+{
+    Sha256 h;
+    h.update(Bytes{'a', 'b', 'c'});
+    Bytes first = h.finalize();
+    h.update(Bytes{'a', 'b', 'c'});
+    EXPECT_EQ(h.finalize(), first);
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1)
+{
+    Bytes key(20, 0x0b);
+    Bytes msg = {'H', 'i', ' ', 'T', 'h', 'e', 'r', 'e'};
+    EXPECT_EQ(toHex(crypto::hmacSha256(key, msg)),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 (key shorter than block).
+TEST(HmacSha256, Rfc4231Case2)
+{
+    Bytes key = {'J', 'e', 'f', 'e'};
+    std::string m = "what do ya want for nothing?";
+    Bytes msg(m.begin(), m.end());
+    EXPECT_EQ(toHex(crypto::hmacSha256(key, msg)),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 6 (key longer than block).
+TEST(HmacSha256, Rfc4231Case6)
+{
+    Bytes key(131, 0xaa);
+    std::string m = "Test Using Larger Than Block-Size Key - "
+                    "Hash Key First";
+    Bytes msg(m.begin(), m.end());
+    EXPECT_EQ(toHex(crypto::hmacSha256(key, msg)),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Kdf, DeterministicAndLabelSeparated)
+{
+    Bytes ikm(22, 0x0b);
+    Bytes salt = fromHex("000102030405060708090a0b0c");
+    Bytes a = crypto::kdf(ikm, salt, "label-a", 32);
+    Bytes b = crypto::kdf(ikm, salt, "label-a", 32);
+    Bytes c = crypto::kdf(ikm, salt, "label-b", 32);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.size(), 32u);
+}
+
+TEST(Kdf, VariableOutputLengthsArePrefixConsistent)
+{
+    Bytes ikm(32, 0x55);
+    Bytes long_out = crypto::kdf(ikm, {}, "x", 80);
+    Bytes short_out = crypto::kdf(ikm, {}, "x", 16);
+    EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 16),
+              short_out);
+    EXPECT_EQ(long_out.size(), 80u);
+}
+
+TEST(Kdf, SaltChangesOutput)
+{
+    Bytes ikm(32, 0x55);
+    EXPECT_NE(crypto::kdf(ikm, Bytes{1}, "x", 32),
+              crypto::kdf(ikm, Bytes{2}, "x", 32));
+}

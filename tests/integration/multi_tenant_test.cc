@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Multi-tenant platform tests (paper §9): two TVMs share one xPU
+ * behind one PCIe-SC, distinguished by PCIe requester IDs. Each has
+ * an isolated secure channel — separate keys, chunk tables, bounce
+ * and metadata windows — so neither can read the other's data, and
+ * both get correct results concurrently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ccai/platform.hh"
+
+using namespace ccai;
+using namespace ccai::pcie;
+namespace mm = ccai::pcie::memmap;
+
+namespace
+{
+
+constexpr Bdf kTenantB{0x00, 0x04, 0x0};
+
+class MultiTenantTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PlatformConfig cfg{.secure = true};
+        cfg.maxTenants = 2;
+        platform = std::make_unique<Platform>(cfg);
+        ASSERT_TRUE(platform->establishTrust().ok());
+        tenantB = &platform->addTenant(kTenantB);
+    }
+
+    std::unique_ptr<Platform> platform;
+    Platform::Tenant *tenantB = nullptr;
+};
+
+} // namespace
+
+TEST_F(MultiTenantTest, BothSessionsEstablished)
+{
+    EXPECT_EQ(platform->pcieSc()->tenantCount(), 2u);
+    EXPECT_NE(platform->pcieSc()->keyManagerFor(wellknown::kTvm),
+              nullptr);
+    EXPECT_NE(platform->pcieSc()->keyManagerFor(kTenantB), nullptr);
+}
+
+TEST_F(MultiTenantTest, TenantsHaveDistinctKeys)
+{
+    auto *a = platform->pcieSc()->keyManagerFor(wellknown::kTvm);
+    auto *b = platform->pcieSc()->keyManagerFor(kTenantB);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a->key(trust::StreamDir::HostToDevice),
+              b->key(trust::StreamDir::HostToDevice));
+    EXPECT_NE(a->key(trust::StreamDir::DeviceToHost),
+              b->key(trust::StreamDir::DeviceToHost));
+}
+
+TEST_F(MultiTenantTest, BothTenantsRoundTripTheirOwnData)
+{
+    sim::Rng rng(1);
+    Bytes data_a = rng.bytes(128 * kKiB);
+    Bytes data_b = rng.bytes(128 * kKiB);
+    Bytes got_a, got_b;
+
+    // Tenant A uses the lower VRAM area, tenant B a disjoint one.
+    platform->runtime().memcpyH2D(
+        mm::kXpuVram.base, data_a, data_a.size(), [&] {
+            platform->runtime().memcpyD2H(
+                mm::kXpuVram.base, data_a.size(), false,
+                [&](Bytes d) { got_a = std::move(d); });
+        });
+    tenantB->runtime->memcpyH2D(
+        mm::kXpuVram.base + kGiB, data_b, data_b.size(), [&] {
+            tenantB->runtime->memcpyD2H(
+                mm::kXpuVram.base + kGiB, data_b.size(), false,
+                [&](Bytes d) { got_b = std::move(d); });
+        });
+    platform->run();
+
+    EXPECT_EQ(got_a, data_a);
+    EXPECT_EQ(got_b, data_b);
+    EXPECT_EQ(platform->pcieSc()
+                  ->stats()
+                  .counter("a2_integrity_failures")
+                  .value(),
+              0u);
+}
+
+TEST_F(MultiTenantTest, BounceWindowsAreDisjoint)
+{
+    const auto &cfg_a = platform->adaptor()->config();
+    const auto &cfg_b = tenantB->adaptor->config();
+    EXPECT_EQ(cfg_a.h2dWindow.base + cfg_a.h2dWindow.size,
+              cfg_b.h2dWindow.base);
+    EXPECT_EQ(cfg_a.d2hWindow.base + cfg_a.d2hWindow.size,
+              cfg_b.d2hWindow.base);
+    EXPECT_EQ(cfg_a.metaWindow.base + cfg_a.metaWindow.size,
+              cfg_b.metaWindow.base);
+}
+
+TEST_F(MultiTenantTest, TenantCannotDecryptPeerResults)
+{
+    // Tenant A's results land in A's bounce window, sealed under
+    // A's keys. A curious tenant B reading that host memory (which
+    // the TVM isolation would normally forbid; assume a colluding
+    // hypervisor leaked it) still cannot decrypt it with B's keys.
+    sim::Rng rng(2);
+    Bytes result = rng.bytes(4096);
+    platform->xpu().vram().write(0x7000, result);
+
+    Bytes got;
+    platform->runtime().memcpyD2H(mm::kXpuVram.base + 0x7000,
+                                  result.size(), false,
+                                  [&](Bytes d) { got = std::move(d); });
+    platform->run();
+    ASSERT_EQ(got, result);
+
+    // Ciphertext of A's first chunk, as left in A's bounce window.
+    Addr a_window = platform->adaptor()->config().d2hWindow.base;
+    Bytes ciphertext =
+        platform->hostMemory().read(a_window, result.size());
+    ASSERT_NE(ciphertext, result);
+
+    // Brute-force attempt with tenant B's keys across epochs/IVs is
+    // hopeless; demonstrate with the actual epoch-0 parameters.
+    auto *b_keys = tenantB->adaptor->keyManager();
+    ASSERT_NE(b_keys, nullptr);
+    crypto::AesGcm b_cipher =
+        b_keys->cipherForEpoch(trust::StreamDir::DeviceToHost, 0);
+    Bytes iv = b_keys->nextIv(trust::StreamDir::DeviceToHost);
+    EXPECT_FALSE(
+        b_cipher.open(iv, ciphertext, Bytes(16, 0)).has_value());
+}
+
+TEST_F(MultiTenantTest, SequenceNumbersIndependentPerTenant)
+{
+    // Both tenants start their A3 sequences at 1; the SC keeps
+    // per-tenant verifiers, so neither collides with the other.
+    platform->adaptor()->writeSigned(
+        mm::kScMmio.base + mm::screg::kNotifyTransfer, Bytes(8, 1));
+    tenantB->adaptor->writeSigned(
+        mm::kScMmio.base + mm::screg::kNotifyTransfer, Bytes(8, 1));
+    platform->run();
+    EXPECT_EQ(platform->pcieSc()
+                  ->stats()
+                  .counter("a3_integrity_failures")
+                  .value(),
+              0u);
+    EXPECT_EQ(platform->pcieSc()
+                  ->stats()
+                  .counter("transfer_notifies")
+                  .value(),
+              2u);
+}
+
+TEST_F(MultiTenantTest, TenantSignedWriteRejectedUnderWrongKey)
+{
+    // A compromised tenant B forging traffic as tenant A fails: B's
+    // MAC key differs, so the A3 check under A's session rejects it.
+    pcie::Tlp forged = pcie::Tlp::makeMemWrite(
+        wellknown::kTvm, mm::kXpuMmio.base + mm::xpureg::kDoorbell,
+        Bytes(8, 0));
+    forged.seqNo = 1000;
+    // B computes the MAC with its own key (it has no other).
+    sc::SignIntegrityEngine b_signer;
+    b_signer.setKey(Bytes(32, 0x42)); // whatever B can fabricate
+    forged.integrityTag = b_signer.computeMac(forged);
+    platform->rootComplex().sendWrite(std::move(forged));
+    platform->run();
+    EXPECT_GT(platform->pcieSc()
+                  ->stats()
+                  .counter("a3_integrity_failures")
+                  .value(),
+              0u);
+    EXPECT_EQ(platform->xpu().stats().counter("doorbell_empty")
+                  .value(),
+              0u);
+}
+
+TEST_F(MultiTenantTest, EndingOneTenantKeepsTheOtherRunning)
+{
+    tenantB->adaptor->endTask(true);
+    platform->run();
+    EXPECT_EQ(platform->pcieSc()->tenantCount(), 1u);
+    // The device is NOT scrubbed while tenant A is still active.
+    sim::Rng rng(3);
+    Bytes data = rng.bytes(4096);
+    Bytes got;
+    platform->runtime().memcpyH2D(
+        mm::kXpuVram.base, data, data.size(), [&] {
+            platform->runtime().memcpyD2H(
+                mm::kXpuVram.base, data.size(), false,
+                [&](Bytes d) { got = std::move(d); });
+        });
+    platform->run();
+    EXPECT_EQ(got, data);
+
+    // Once the last tenant leaves, the environment is scrubbed.
+    platform->adaptor()->endTask(true);
+    platform->run();
+    EXPECT_EQ(platform->pcieSc()->tenantCount(), 0u);
+    EXPECT_TRUE(platform->xpu().envState().clean());
+}
+
+TEST_F(MultiTenantTest, ThirdTenantRejectedWhenSlotsFull)
+{
+    EXPECT_DEATH(platform->addTenant(Bdf{0x00, 0x05, 0x0}),
+                 "no free tenant slot");
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Property sweeps over the link timing model: serialization scales
+ * correctly with generation, width and payload across the whole
+ * configuration grid the stress tests use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcie/link.hh"
+
+using namespace ccai;
+using namespace ccai::pcie;
+
+namespace
+{
+
+struct LinkParam
+{
+    double gt;
+    int lanes;
+};
+
+const LinkParam kLinkGrid[] = {
+    {2.5, 1},  {2.5, 4},  {5.0, 8},   {8.0, 8},
+    {8.0, 16}, {16.0, 8}, {16.0, 16}, {32.0, 16},
+};
+
+} // namespace
+
+class LinkGrid : public ::testing::TestWithParam<int>
+{
+  protected:
+    LinkConfig
+    config() const
+    {
+        LinkConfig cfg;
+        cfg.gtPerSec = kLinkGrid[GetParam()].gt;
+        cfg.lanes = kLinkGrid[GetParam()].lanes;
+        return cfg;
+    }
+};
+
+TEST_P(LinkGrid, BandwidthMatchesGenerationTimesWidth)
+{
+    LinkConfig cfg = config();
+    double expected =
+        cfg.gtPerSec * 1e9 * cfg.lanes * (128.0 / 130.0) / 8.0;
+    EXPECT_NEAR(cfg.bytesPerSecond(), expected, expected * 1e-9);
+}
+
+TEST_P(LinkGrid, SerializationInverselyProportionalToBandwidth)
+{
+    sim::System sys;
+    Link link(sys, "l", config());
+    Tlp tlp = Tlp::makeMemWriteSynthetic(wellknown::kTvm, 0, 1 * kMiB);
+
+    double seconds = ticksToSeconds(link.serializationDelay(tlp));
+    // Payload plus per-wire-TLP header/framing overhead.
+    std::uint64_t wire =
+        1 * kMiB + std::uint64_t(tlp.unitCount()) *
+                       (tlp.headerBytes() + config().framingBytes);
+    EXPECT_NEAR(seconds, wire / config().bytesPerSecond(),
+                seconds * 0.01);
+}
+
+TEST_P(LinkGrid, DoublingPayloadAtLeastDoublesDelayMinusOverheads)
+{
+    sim::System sys;
+    Link link(sys, "l", config());
+    Tlp one = Tlp::makeMemWriteSynthetic(wellknown::kTvm, 0, 64 * kKiB);
+    Tlp two = Tlp::makeMemWriteSynthetic(wellknown::kTvm, 0,
+                                         128 * kKiB);
+    EXPECT_NEAR(double(link.serializationDelay(two)),
+                2.0 * double(link.serializationDelay(one)),
+                double(link.serializationDelay(one)) * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generations, LinkGrid,
+    ::testing::Range(0, int(std::size(kLinkGrid))));
+
+TEST(LinkOrdering, FifoDeliveryUnderMixedSizes)
+{
+    sim::System sys;
+
+    class Recorder : public PcieNode
+    {
+      public:
+        void
+        receiveTlp(const TlpPtr &tlp, PcieNode *) override
+        {
+            order.push_back(tlp->tag);
+        }
+        const std::string &nodeName() const override { return name_; }
+        std::vector<std::uint8_t> order;
+
+      private:
+        std::string name_ = "rec";
+    } sink;
+
+    Link link(sys, "l", LinkConfig{});
+    link.connect(nullptr, &sink);
+
+    // Interleave big and small packets; arrival order must match
+    // send order (PCIe links are FIFO).
+    for (int i = 0; i < 10; ++i) {
+        std::uint32_t size = (i % 2 == 0) ? 64 * kKiB : 8;
+        auto tlp = std::make_shared<Tlp>(
+            Tlp::makeMemWriteSynthetic(wellknown::kTvm, 0, size));
+        tlp->tag = static_cast<std::uint8_t>(i);
+        link.send(tlp);
+    }
+    sys.run();
+    ASSERT_EQ(sink.order.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sink.order[i], i);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Adversarial attestation scenarios: man-in-the-middle platforms,
+ * certificate substitution, and cross-device quote confusion must
+ * all fail verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trust/attestation.hh"
+
+using namespace ccai;
+using namespace ccai::trust;
+
+namespace
+{
+
+struct Rig
+{
+    sim::Rng rng{77};
+    RootCa ca{rng};
+    HrotBlade cpu{"cpu", ca, rng};
+    HrotBlade blade{"blade", ca, rng};
+
+    Rig()
+    {
+        cpu.boot(rng);
+        blade.boot(rng);
+    }
+};
+
+} // namespace
+
+TEST(AttestationAttack, MitmPlatformWithOwnCaRejected)
+{
+    Rig rig;
+    // The attacker runs a fake platform with HRoTs certified by the
+    // attacker's own CA; the verifier only trusts the corporate CA.
+    sim::Rng evil_rng(666);
+    RootCa evil_ca(evil_rng);
+    HrotBlade evil_cpu("cpu", evil_ca, evil_rng);
+    HrotBlade evil_blade("blade", evil_ca, evil_rng);
+    evil_cpu.boot(evil_rng);
+    evil_blade.boot(evil_rng);
+
+    AttestationResponder evil(evil_cpu, evil_blade, evil_rng);
+    AttestationVerifier verifier(rig.ca, rig.rng);
+
+    Challenge c = verifier.makeChallenge(0, {2});
+    AttestationReport report = evil.respond(c);
+    VerifyResult vr = verifier.verifyReport(report, c, evil);
+    EXPECT_FALSE(vr.ok);
+    EXPECT_NE(vr.reason.find("Root CA"), std::string::npos);
+}
+
+TEST(AttestationAttack, QuoteFromDifferentDeviceRejected)
+{
+    Rig rig;
+    // A second legitimate blade (same vendor CA) answers with its
+    // own quote; the verifier checks the quote against the
+    // presented AK certificate, so the swap fails.
+    HrotBlade other("blade2", rig.ca, rig.rng);
+    other.boot(rig.rng);
+
+    AttestationResponder responder(rig.cpu, rig.blade, rig.rng);
+    AttestationVerifier verifier(rig.ca, rig.rng);
+    Challenge c = verifier.makeChallenge(0, {2});
+    AttestationReport report = responder.respond(c);
+    // Substitute the blade quote with one from the other device.
+    report.bladeQuote = other.quote(c.nonce, c.pcrSelection, rig.rng);
+    VerifyResult vr = verifier.verifyReport(report, c, responder);
+    EXPECT_FALSE(vr.ok);
+    EXPECT_NE(vr.reason.find("quote signature"), std::string::npos);
+}
+
+TEST(AttestationAttack, StaleAkFromPreviousBootRejected)
+{
+    Rig rig;
+    AttestationResponder responder(rig.cpu, rig.blade, rig.rng);
+    AttestationVerifier verifier(rig.ca, rig.rng);
+
+    Challenge c = verifier.makeChallenge(0, {2});
+    AttestationReport old_report = responder.respond(c);
+
+    // Platform reboots: fresh AKs. The old report's quotes no
+    // longer verify under the new AK certificates.
+    rig.blade.boot(rig.rng);
+    rig.cpu.boot(rig.rng);
+    AttestationResponder rebooted(rig.cpu, rig.blade, rig.rng);
+    VerifyResult vr = verifier.verifyReport(old_report, c, rebooted);
+    EXPECT_FALSE(vr.ok);
+}
+
+TEST(AttestationAttack, PcrSelectionSubstitutionRejected)
+{
+    Rig rig;
+    rig.blade.pcrs().extend(
+        8, crypto::Sha256::digest(std::string("fw")), "fw");
+    AttestationResponder responder(rig.cpu, rig.blade, rig.rng);
+    AttestationVerifier verifier(rig.ca, rig.rng);
+
+    // Verifier asks for PCR 8 (firmware); a compromised forwarder
+    // substitutes a report quoting only the still-zero PCR 2.
+    Challenge asked = verifier.makeChallenge(0, {8});
+    Challenge swapped = asked;
+    swapped.pcrSelection = {2};
+    AttestationReport report = responder.respond(swapped);
+    VerifyResult vr = verifier.verifyReport(report, asked, responder);
+    EXPECT_FALSE(vr.ok);
+    EXPECT_NE(vr.reason.find("selection"), std::string::npos);
+}

@@ -5,9 +5,17 @@
  * and HMAC throughput, and DH/attestation signing costs. These are
  * host-side (wall-clock) measurements of the functional crypto the
  * simulation uses — not simulated-time measurements.
+ *
+ * Unless the caller passes its own --benchmark_out, results are also
+ * written to BENCH_crypto.json (in the working directory) so the
+ * perf trajectory of the crypto data plane is machine-readable
+ * across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "crypto/dh.hh"
 #include "crypto/gcm.hh"
@@ -114,4 +122,28 @@ BM_AttestationSign(benchmark::State &state)
 }
 BENCHMARK(BM_AttestationSign);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out",
+                         sizeof("--benchmark_out") - 1) == 0)
+            has_out = true;
+    }
+    static char out_flag[] = "--benchmark_out=BENCH_crypto.json";
+    static char fmt_flag[] = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag);
+        args.push_back(fmt_flag);
+    }
+
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,11 +8,20 @@ namespace ccai::crypto
 namespace
 {
 
-/** Generate the AES S-box at startup from the finite-field inverse. */
+/**
+ * Generate the AES S-box and the encrypt-side T-tables at startup
+ * from the finite-field inverse.
+ */
 struct Tables
 {
     std::uint8_t sbox[256];
     std::uint8_t inv_sbox[256];
+    /** te0[x] = {02·S(x), S(x), S(x), 03·S(x)}; te1..te3 are its
+     * successive 8-bit right rotations (one table per state row). */
+    std::uint32_t te0[256];
+    std::uint32_t te1[256];
+    std::uint32_t te2[256];
+    std::uint32_t te3[256];
 
     static std::uint8_t
     gmul(std::uint8_t a, std::uint8_t b)
@@ -32,20 +41,25 @@ struct Tables
 
     Tables()
     {
-        // Multiplicative inverse table via exhaustive search (256^2
-        // is trivial at startup), then affine transform per FIPS-197.
-        std::uint8_t inv[256] = {0};
-        for (int a = 1; a < 256; ++a) {
-            for (int b = 1; b < 256; ++b) {
-                if (gmul(static_cast<std::uint8_t>(a),
-                         static_cast<std::uint8_t>(b)) == 1) {
-                    inv[a] = static_cast<std::uint8_t>(b);
-                    break;
-                }
-            }
+        // Multiplicative inverses from generator powers: 0x03
+        // generates GF(256)*, so with exp[i] = 3^i and log its
+        // inverse map, inv[x] = 3^(255 - log[x]). One 256-entry
+        // pass instead of a 256x256 search.
+        std::uint8_t exp[256] = {0};
+        std::uint8_t log[256] = {0};
+        std::uint8_t g = 1;
+        for (int i = 0; i < 255; ++i) {
+            exp[i] = g;
+            log[g] = static_cast<std::uint8_t>(i);
+            // g *= 3 (i.e. g = 2g + g in GF(256)).
+            g = static_cast<std::uint8_t>(
+                g ^ (g << 1) ^ ((g & 0x80) ? 0x1b : 0));
         }
+        exp[255] = exp[0]; // 3^255 = 1
+
         for (int i = 0; i < 256; ++i) {
-            std::uint8_t x = inv[i];
+            // Affine transform per FIPS-197 over the inverse.
+            std::uint8_t x = i ? exp[255 - log[i]] : 0;
             std::uint8_t y = x;
             for (int j = 0; j < 4; ++j) {
                 y = static_cast<std::uint8_t>((y << 1) | (y >> 7));
@@ -54,6 +68,21 @@ struct Tables
             x ^= 0x63;
             sbox[i] = x;
             inv_sbox[x] = static_cast<std::uint8_t>(i);
+        }
+
+        for (int i = 0; i < 256; ++i) {
+            std::uint8_t s = sbox[i];
+            std::uint8_t s2 = static_cast<std::uint8_t>(
+                (s << 1) ^ ((s & 0x80) ? 0x1b : 0));
+            std::uint8_t s3 = static_cast<std::uint8_t>(s ^ s2);
+            std::uint32_t w = (std::uint32_t(s2) << 24) |
+                              (std::uint32_t(s) << 16) |
+                              (std::uint32_t(s) << 8) |
+                              std::uint32_t(s3);
+            te0[i] = w;
+            te1[i] = (w >> 8) | (w << 24);
+            te2[i] = (w >> 16) | (w << 16);
+            te3[i] = (w >> 24) | (w << 8);
         }
     }
 };
@@ -138,56 +167,100 @@ Aes::Aes(const Bytes &key)
 }
 
 void
-Aes::encryptBlock(std::uint8_t b[kAesBlockSize]) const
+Aes::encryptWords(std::uint32_t s0, std::uint32_t s1, std::uint32_t s2,
+                  std::uint32_t s3,
+                  std::uint8_t out[kAesBlockSize]) const
 {
     const Tables &t = tables();
-    std::uint8_t s[16];
-    for (int i = 0; i < 16; ++i)
-        s[i] = b[i];
+    const std::uint32_t *rk = roundKeys_.data();
 
-    auto add_round_key = [&](int round) {
-        for (int c = 0; c < 4; ++c) {
-            std::uint32_t w = roundKeys_[4 * round + c];
-            s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
-            s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
-            s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
-            s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
-        }
-    };
+    s0 ^= rk[0];
+    s1 ^= rk[1];
+    s2 ^= rk[2];
+    s3 ^= rk[3];
+    rk += 4;
 
-    add_round_key(0);
-    for (int round = 1; round <= rounds_; ++round) {
-        // SubBytes
-        for (auto &v : s)
-            v = t.sbox[v];
-        // ShiftRows
-        std::uint8_t tmp[16];
-        for (int r = 0; r < 4; ++r)
-            for (int c = 0; c < 4; ++c)
-                tmp[4 * c + r] = s[4 * ((c + r) % 4) + r];
-        for (int i = 0; i < 16; ++i)
-            s[i] = tmp[i];
-        // MixColumns (all but last round)
-        if (round != rounds_) {
-            for (int c = 0; c < 4; ++c) {
-                std::uint8_t *col = s + 4 * c;
-                std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2],
-                             a3 = col[3];
-                col[0] = static_cast<std::uint8_t>(
-                    xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-                col[1] = static_cast<std::uint8_t>(
-                    a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-                col[2] = static_cast<std::uint8_t>(
-                    a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-                col[3] = static_cast<std::uint8_t>(
-                    (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-            }
-        }
-        add_round_key(round);
+    // Each T-table lookup folds SubBytes, ShiftRows and MixColumns
+    // for one state byte; a full round is 16 loads and 16 xors.
+    for (int round = 1; round < rounds_; ++round, rk += 4) {
+        std::uint32_t t0 = t.te0[s0 >> 24] ^
+                           t.te1[(s1 >> 16) & 0xff] ^
+                           t.te2[(s2 >> 8) & 0xff] ^
+                           t.te3[s3 & 0xff] ^ rk[0];
+        std::uint32_t t1 = t.te0[s1 >> 24] ^
+                           t.te1[(s2 >> 16) & 0xff] ^
+                           t.te2[(s3 >> 8) & 0xff] ^
+                           t.te3[s0 & 0xff] ^ rk[1];
+        std::uint32_t t2 = t.te0[s2 >> 24] ^
+                           t.te1[(s3 >> 16) & 0xff] ^
+                           t.te2[(s0 >> 8) & 0xff] ^
+                           t.te3[s1 & 0xff] ^ rk[2];
+        std::uint32_t t3 = t.te0[s3 >> 24] ^
+                           t.te1[(s0 >> 16) & 0xff] ^
+                           t.te2[(s1 >> 8) & 0xff] ^
+                           t.te3[s2 & 0xff] ^ rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
     }
 
-    for (int i = 0; i < 16; ++i)
-        b[i] = s[i];
+    // Final round: SubBytes + ShiftRows only.
+    std::uint32_t o0 = (std::uint32_t(t.sbox[s0 >> 24]) << 24) |
+                       (std::uint32_t(t.sbox[(s1 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(t.sbox[(s2 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(t.sbox[s3 & 0xff]);
+    std::uint32_t o1 = (std::uint32_t(t.sbox[s1 >> 24]) << 24) |
+                       (std::uint32_t(t.sbox[(s2 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(t.sbox[(s3 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(t.sbox[s0 & 0xff]);
+    std::uint32_t o2 = (std::uint32_t(t.sbox[s2 >> 24]) << 24) |
+                       (std::uint32_t(t.sbox[(s3 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(t.sbox[(s0 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(t.sbox[s1 & 0xff]);
+    std::uint32_t o3 = (std::uint32_t(t.sbox[s3 >> 24]) << 24) |
+                       (std::uint32_t(t.sbox[(s0 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(t.sbox[(s1 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(t.sbox[s2 & 0xff]);
+    o0 ^= rk[0];
+    o1 ^= rk[1];
+    o2 ^= rk[2];
+    o3 ^= rk[3];
+
+    for (int c = 0; c < 4; ++c) {
+        std::uint32_t w = c == 0 ? o0 : c == 1 ? o1 : c == 2 ? o2 : o3;
+        out[4 * c] = static_cast<std::uint8_t>(w >> 24);
+        out[4 * c + 1] = static_cast<std::uint8_t>(w >> 16);
+        out[4 * c + 2] = static_cast<std::uint8_t>(w >> 8);
+        out[4 * c + 3] = static_cast<std::uint8_t>(w);
+    }
+}
+
+void
+Aes::encryptBlock(std::uint8_t b[kAesBlockSize]) const
+{
+    auto w = [&](int c) {
+        return (std::uint32_t(b[4 * c]) << 24) |
+               (std::uint32_t(b[4 * c + 1]) << 16) |
+               (std::uint32_t(b[4 * c + 2]) << 8) |
+               std::uint32_t(b[4 * c + 3]);
+    };
+    encryptWords(w(0), w(1), w(2), w(3), b);
+}
+
+void
+Aes::ctrKeystream(const std::uint8_t iv[12], std::uint32_t counter,
+                  std::uint8_t *out, size_t nblocks) const
+{
+    auto w = [&](int i) {
+        return (std::uint32_t(iv[4 * i]) << 24) |
+               (std::uint32_t(iv[4 * i + 1]) << 16) |
+               (std::uint32_t(iv[4 * i + 2]) << 8) |
+               std::uint32_t(iv[4 * i + 3]);
+    };
+    std::uint32_t w0 = w(0), w1 = w(1), w2 = w(2);
+    for (size_t i = 0; i < nblocks; ++i, out += kAesBlockSize)
+        encryptWords(w0, w1, w2, counter++, out);
 }
 
 void

@@ -23,8 +23,14 @@ constexpr size_t kAesBlockSize = 16;
 
 /**
  * Key-expanded AES cipher. Supports 128-, 192- and 256-bit keys;
- * provides single-block encrypt/decrypt. Streaming modes (CTR, GCM)
- * are layered on top in gcm.hh.
+ * provides single-block encrypt/decrypt and batched CTR keystream
+ * generation. Streaming modes (CTR, GCM) are layered on top in
+ * gcm.hh.
+ *
+ * The encrypt side runs on 32-bit T-tables (four 1 KiB tables
+ * combining SubBytes/ShiftRows/MixColumns), which is what makes the
+ * GCM data plane fast; decrypt keeps the scalar reference rounds
+ * since no hot path block-decrypts (CTR mode only ever encrypts).
  */
 class Aes
 {
@@ -38,10 +44,24 @@ class Aes
     /** Decrypt one 16-byte block in place. */
     void decryptBlock(std::uint8_t block[kAesBlockSize]) const;
 
+    /**
+     * Write @p nblocks consecutive CTR keystream blocks to @p out
+     * (16 bytes each). The counter block is iv || be32(counter),
+     * with the counter incremented per block; the IV words are
+     * loaded once so no per-block counter-block memcpy is paid.
+     */
+    void ctrKeystream(const std::uint8_t iv[12], std::uint32_t counter,
+                      std::uint8_t *out, size_t nblocks) const;
+
     /** Number of rounds for the configured key size (10/12/14). */
     int rounds() const { return rounds_; }
 
   private:
+    /** T-table encryption of one block given as four BE words. */
+    void encryptWords(std::uint32_t s0, std::uint32_t s1,
+                      std::uint32_t s2, std::uint32_t s3,
+                      std::uint8_t out[kAesBlockSize]) const;
+
     /** Round keys: (rounds+1) x 4 32-bit words. */
     std::array<std::uint32_t, 60> roundKeys_{};
     int rounds_ = 0;

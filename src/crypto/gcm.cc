@@ -8,92 +8,186 @@
 namespace ccai::crypto
 {
 
+namespace
+{
+
+/**
+ * Reduction constants for the 4-bit table walk: kLast4[r] << 48 is
+ * (r * x^-4 mod P) folded into the high half, P the GHASH polynomial
+ * (0xe1 || 0^120).
+ */
+constexpr std::uint64_t kLast4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+};
+
+/** How many CTR blocks one keystream batch covers (2 KiB stack). */
+constexpr size_t kCtrBatchBlocks = 128;
+
+} // namespace
+
 AesGcm::AesGcm(const Bytes &key) : aes_(key)
 {
-    std::memset(h_, 0, sizeof(h_));
-    aes_.encryptBlock(h_);
+    // GHASH subkey H = E_K(0^128), then the 4-bit Shoup table:
+    // row i holds i*H so one multiply is 32 table lookups plus
+    // 4-bit reduction shifts instead of 128 conditional xors.
+    std::uint8_t h[16] = {0};
+    aes_.encryptBlock(h);
+
+    std::uint64_t vh = loadBe64(h);
+    std::uint64_t vl = loadBe64(h + 8);
+    hh_[8] = vh;
+    hl_[8] = vl;
+    hh_[0] = 0;
+    hl_[0] = 0;
+    for (int i = 4; i > 0; i >>= 1) {
+        // Halve: v <- v * x^-1 (right shift with reduction).
+        std::uint32_t t = (vl & 1) * 0xe1000000u;
+        vl = (vh << 63) | (vl >> 1);
+        vh = (vh >> 1) ^ (static_cast<std::uint64_t>(t) << 32);
+        hh_[i] = vh;
+        hl_[i] = vl;
+    }
+    for (int i = 2; i <= 8; i *= 2) {
+        for (int j = 1; j < i; ++j) {
+            hh_[i + j] = hh_[i] ^ hh_[j];
+            hl_[i + j] = hl_[i] ^ hl_[j];
+        }
+    }
 }
 
 void
-AesGcm::gmul(std::uint8_t x[16], const std::uint8_t y[16]) const
+AesGcm::gmult(std::uint64_t &yh, std::uint64_t &yl) const
 {
-    // Bitwise GF(2^128) multiplication, right-shift variant from
-    // SP 800-38D section 6.3. z = x * y.
-    std::uint8_t z[16] = {0};
-    std::uint8_t v[16];
-    std::memcpy(v, y, 16);
+    std::uint8_t x[16];
+    storeBe64(x, yh);
+    storeBe64(x + 8, yl);
 
-    for (int i = 0; i < 128; ++i) {
-        int byte = i / 8;
-        int bit = 7 - (i % 8);
-        if ((x[byte] >> bit) & 1) {
-            for (int j = 0; j < 16; ++j)
-                z[j] ^= v[j];
+    std::uint8_t lo = x[15] & 0xf;
+    std::uint64_t zh = hh_[lo];
+    std::uint64_t zl = hl_[lo];
+
+    for (int i = 15; i >= 0; --i) {
+        lo = x[i] & 0xf;
+        std::uint8_t hi = x[i] >> 4;
+        if (i != 15) {
+            std::uint8_t rem = zl & 0xf;
+            zl = (zh << 60) | (zl >> 4);
+            zh = (zh >> 4) ^ (kLast4[rem] << 48);
+            zh ^= hh_[lo];
+            zl ^= hl_[lo];
         }
-        bool lsb = v[15] & 1;
-        for (int j = 15; j > 0; --j)
-            v[j] = static_cast<std::uint8_t>((v[j] >> 1) |
-                                             ((v[j - 1] & 1) << 7));
-        v[0] >>= 1;
-        if (lsb)
-            v[0] ^= 0xe1;
+        std::uint8_t rem = zl & 0xf;
+        zl = (zh << 60) | (zl >> 4);
+        zh = (zh >> 4) ^ (kLast4[rem] << 48);
+        zh ^= hh_[hi];
+        zl ^= hl_[hi];
     }
-    std::memcpy(x, z, 16);
+    yh = zh;
+    yl = zl;
+}
+
+void
+AesGcm::ghashAbsorb(std::uint64_t &yh, std::uint64_t &yl,
+                    const std::uint8_t *data, size_t len) const
+{
+    size_t off = 0;
+    while (off + 16 <= len) {
+        yh ^= loadBe64(data + off);
+        yl ^= loadBe64(data + off + 8);
+        gmult(yh, yl);
+        off += 16;
+    }
+    if (off < len) {
+        std::uint8_t block[16] = {0};
+        std::memcpy(block, data + off, len - off);
+        yh ^= loadBe64(block);
+        yl ^= loadBe64(block + 8);
+        gmult(yh, yl);
+    }
 }
 
 Bytes
 AesGcm::ghash(const Bytes &aad, const Bytes &ciphertext) const
 {
-    std::uint8_t y[16] = {0};
+    std::uint64_t yh = 0, yl = 0;
+    ghashAbsorb(yh, yl, aad.data(), aad.size());
+    ghashAbsorb(yh, yl, ciphertext.data(), ciphertext.size());
+    yh ^= static_cast<std::uint64_t>(aad.size()) * 8;
+    yl ^= static_cast<std::uint64_t>(ciphertext.size()) * 8;
+    gmult(yh, yl);
 
-    auto absorb = [&](const Bytes &data) {
-        size_t off = 0;
-        while (off < data.size()) {
-            std::uint8_t block[16] = {0};
-            size_t take = std::min<size_t>(16, data.size() - off);
-            std::memcpy(block, data.data() + off, take);
-            for (int j = 0; j < 16; ++j)
-                y[j] ^= block[j];
-            gmul(y, h_);
-            off += take;
-        }
-    };
-
-    absorb(aad);
-    absorb(ciphertext);
-
-    std::uint8_t len_block[16];
-    storeBe64(len_block, aad.size() * 8);
-    storeBe64(len_block + 8, ciphertext.size() * 8);
-    for (int j = 0; j < 16; ++j)
-        y[j] ^= len_block[j];
-    gmul(y, h_);
-
-    return Bytes(y, y + 16);
+    Bytes out(16);
+    storeBe64(out.data(), yh);
+    storeBe64(out.data() + 8, yl);
+    return out;
 }
 
-Bytes
-AesGcm::ctrKeystreamApply(const Bytes &iv, const Bytes &input,
-                          std::uint32_t initial_counter) const
+void
+AesGcm::ctrApply(const Bytes &iv, std::uint8_t *data, size_t len,
+                 std::uint32_t counter) const
 {
     ccai_assert(iv.size() == kGcmIvSize);
-    Bytes out = input;
-    std::uint8_t counter_block[16];
-    std::memcpy(counter_block, iv.data(), 12);
-    std::uint32_t ctr = initial_counter;
-
+    std::uint8_t ks[kCtrBatchBlocks * kAesBlockSize];
     size_t off = 0;
-    while (off < out.size()) {
-        storeBe32(counter_block + 12, ctr++);
-        std::uint8_t ks[16];
-        std::memcpy(ks, counter_block, 16);
-        aes_.encryptBlock(ks);
-        size_t take = std::min<size_t>(16, out.size() - off);
+    while (off < len) {
+        size_t blocks = std::min(kCtrBatchBlocks,
+                                 (len - off + 15) / kAesBlockSize);
+        aes_.ctrKeystream(iv.data(), counter, ks, blocks);
+        counter += static_cast<std::uint32_t>(blocks);
+        size_t take = std::min(len - off, blocks * kAesBlockSize);
         for (size_t j = 0; j < take; ++j)
-            out[off + j] ^= ks[j];
+            data[off + j] ^= ks[j];
         off += take;
     }
-    return out;
+}
+
+void
+AesGcm::computeTag(const Bytes &iv, const std::uint8_t *ct, size_t len,
+                   const std::uint8_t *aad, size_t aadLen,
+                   std::uint8_t tag[kGcmTagSize]) const
+{
+    std::uint64_t yh = 0, yl = 0;
+    ghashAbsorb(yh, yl, aad, aadLen);
+    ghashAbsorb(yh, yl, ct, len);
+    yh ^= static_cast<std::uint64_t>(aadLen) * 8;
+    yl ^= static_cast<std::uint64_t>(len) * 8;
+    gmult(yh, yl);
+
+    // Tag = E_K(J0) xor S, where J0 = IV || 0^31 1.
+    std::uint8_t mask[kAesBlockSize];
+    aes_.ctrKeystream(iv.data(), 1, mask, 1);
+    storeBe64(tag, yh);
+    storeBe64(tag + 8, yl);
+    for (size_t i = 0; i < kGcmTagSize; ++i)
+        tag[i] ^= mask[i];
+}
+
+void
+AesGcm::sealInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
+                    const std::uint8_t *aad, size_t aadLen,
+                    std::uint8_t tag[kGcmTagSize]) const
+{
+    ctrApply(iv, data, len, 2);
+    computeTag(iv, data, len, aad, aadLen, tag);
+}
+
+bool
+AesGcm::openInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
+                    const std::uint8_t tag[kGcmTagSize],
+                    const std::uint8_t *aad, size_t aadLen) const
+{
+    std::uint8_t expect[kGcmTagSize];
+    computeTag(iv, data, len, aad, aadLen, expect);
+    // Constant-shape comparison (no early exit), matching hardware
+    // tag-check semantics.
+    std::uint8_t diff = 0;
+    for (size_t i = 0; i < kGcmTagSize; ++i)
+        diff |= expect[i] ^ tag[i];
+    if (diff != 0)
+        return false;
+    ctrApply(iv, data, len, 2);
+    return true;
 }
 
 Sealed
@@ -101,14 +195,10 @@ AesGcm::seal(const Bytes &iv, const Bytes &plaintext,
              const Bytes &aad) const
 {
     Sealed result;
-    result.ciphertext = ctrKeystreamApply(iv, plaintext, 2);
-
-    Bytes s = ghash(aad, result.ciphertext);
-    // Tag = E_K(J0) xor S, where J0 = IV || 0^31 1.
-    Bytes tag_mask = ctrKeystreamApply(iv, Bytes(16, 0), 1);
-    for (int i = 0; i < 16; ++i)
-        s[i] ^= tag_mask[i];
-    result.tag = std::move(s);
+    result.ciphertext = plaintext;
+    result.tag.resize(kGcmTagSize);
+    sealInPlace(iv, result.ciphertext.data(), result.ciphertext.size(),
+                aad.data(), aad.size(), result.tag.data());
     return result;
 }
 
@@ -116,13 +206,13 @@ std::optional<Bytes>
 AesGcm::open(const Bytes &iv, const Bytes &ciphertext, const Bytes &tag,
              const Bytes &aad) const
 {
-    Bytes s = ghash(aad, ciphertext);
-    Bytes tag_mask = ctrKeystreamApply(iv, Bytes(16, 0), 1);
-    for (int i = 0; i < 16; ++i)
-        s[i] ^= tag_mask[i];
-    if (!constantTimeEqual(s, tag))
+    if (tag.size() != kGcmTagSize)
         return std::nullopt;
-    return ctrKeystreamApply(iv, ciphertext, 2);
+    Bytes plaintext = ciphertext;
+    if (!openInPlace(iv, plaintext.data(), plaintext.size(), tag.data(),
+                     aad.data(), aad.size()))
+        return std::nullopt;
+    return plaintext;
 }
 
 } // namespace ccai::crypto

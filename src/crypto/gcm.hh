@@ -7,6 +7,16 @@
  * the TVM-side Adaptor both run; having one shared functional
  * implementation lets tests check that what the Adaptor encrypts, the
  * PCIe-SC decrypts bit-exactly (and vice versa for results).
+ *
+ * The implementation is throughput-oriented (this is the wall-clock
+ * hot path of every A2 chunk; simulated time is modelled separately
+ * by sc::AesGcmShaEngine / tvm::AdaptorTiming): GHASH runs on a
+ * per-key 4-bit Shoup table precomputed at construction, AES rounds
+ * are 32-bit T-tables, and the CTR keystream is generated in batches
+ * straight from register-held counter words. The span/in-place
+ * seal/open entry points let the data-plane engines encrypt and
+ * decrypt without round-tripping payloads through extra Bytes
+ * copies.
  */
 
 #ifndef CCAI_CRYPTO_GCM_HH
@@ -59,17 +69,48 @@ class AesGcm
                               const Bytes &tag,
                               const Bytes &aad = {}) const;
 
+    /**
+     * In-place seal: encrypts @p data (length @p len) in place and
+     * writes the 16-byte tag to @p tag. Equivalent to seal() without
+     * the ciphertext copy.
+     */
+    void sealInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
+                     const std::uint8_t *aad, size_t aadLen,
+                     std::uint8_t tag[kGcmTagSize]) const;
+
+    /**
+     * In-place open: verifies @p tag over the ciphertext in
+     * @p data and, on success, decrypts it in place. On failure
+     * returns false and leaves @p data untouched (still ciphertext).
+     */
+    bool openInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
+                     const std::uint8_t tag[kGcmTagSize],
+                     const std::uint8_t *aad, size_t aadLen) const;
+
     /** GHASH over aad||ciphertext with length block (exposed for
      * the AuthTagManager's incremental verification tests). */
     Bytes ghash(const Bytes &aad, const Bytes &ciphertext) const;
 
   private:
-    Bytes ctrKeystreamApply(const Bytes &iv, const Bytes &input,
-                            std::uint32_t initial_counter) const;
-    void gmul(std::uint8_t x[16], const std::uint8_t y[16]) const;
+    /** XOR the CTR keystream (starting at @p counter) into @p data. */
+    void ctrApply(const Bytes &iv, std::uint8_t *data, size_t len,
+                  std::uint32_t counter) const;
+    /** Absorb @p len bytes (zero-padded to blocks) into the GHASH
+     * accumulator held as two big-endian 64-bit halves. */
+    void ghashAbsorb(std::uint64_t &yh, std::uint64_t &yl,
+                     const std::uint8_t *data, size_t len) const;
+    /** Table-driven y <- y * H in GF(2^128). */
+    void gmult(std::uint64_t &yh, std::uint64_t &yl) const;
+    /** Full GHASH + E_K(J0) tag computation over aad || ct. */
+    void computeTag(const Bytes &iv, const std::uint8_t *ct, size_t len,
+                    const std::uint8_t *aad, size_t aadLen,
+                    std::uint8_t tag[kGcmTagSize]) const;
 
     Aes aes_;
-    std::uint8_t h_[16]; ///< GHASH subkey = AES_K(0^128).
+    /** 4-bit Shoup table for GHASH: hh_[i]/hl_[i] hold the high and
+     * low 64-bit halves of (i as a 4-bit coefficient) * H. */
+    std::uint64_t hh_[16];
+    std::uint64_t hl_[16];
 };
 
 } // namespace ccai::crypto

@@ -302,10 +302,15 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
         return;
     }
 
-    crypto::AesGcm cipher = tenant->keys->cipherForEpoch(
+    // Decrypt in place on a copy of the TLP under the cached epoch
+    // cipher (no plaintext round trip through a temporary).
+    const crypto::AesGcm &cipher = tenant->keys->cipherCached(
         trust::StreamDir::HostToDevice, rec->epoch);
-    auto plaintext = cipher.open(rec->iv, tlp->data, rec->tag);
-    if (!plaintext) {
+    auto out = std::make_shared<Tlp>(*tlp);
+    if (rec->tag.size() != crypto::kGcmTagSize ||
+        !cipher.openInPlace(rec->iv, out->data.data(),
+                            out->data.size(), rec->tag.data(),
+                            nullptr, 0)) {
         stats_.counter("a2_integrity_failures").inc();
         warn("%s: integrity failure on chunk %llu", name().c_str(),
              (unsigned long long)rec->chunkId);
@@ -314,8 +319,6 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
     }
     tenant->params.consume(rec->chunkId);
 
-    auto out = std::make_shared<Tlp>(*tlp);
-    out->data = std::move(*plaintext);
     out->lengthBytes = static_cast<std::uint32_t>(out->data.size());
     out->encrypted = false;
     forward(out, false, delay);
@@ -442,12 +445,15 @@ PcieSc::handleA2Upstream(const TlpPtr &tlp)
         rec.tag.assign(crypto::kGcmTagSize, 0);
         out = tlp;
     } else {
-        crypto::AesGcm cipher = tenant->keys->cipherForEpoch(
+        // Encrypt in place on a copy of the TLP under the cached
+        // epoch cipher.
+        const crypto::AesGcm &cipher = tenant->keys->cipherCached(
             trust::StreamDir::DeviceToHost, rec.epoch);
-        crypto::Sealed sealed = cipher.seal(rec.iv, tlp->data);
-        rec.tag = sealed.tag;
         auto enc = std::make_shared<Tlp>(*tlp);
-        enc->data = std::move(sealed.ciphertext);
+        rec.tag.resize(crypto::kGcmTagSize);
+        cipher.sealInPlace(rec.iv, enc->data.data(),
+                           enc->data.size(), nullptr, 0,
+                           rec.tag.data());
         enc->encrypted = true;
         out = enc;
     }

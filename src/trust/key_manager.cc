@@ -63,12 +63,50 @@ WorkloadKeyManager::cipherForEpoch(StreamDir dir,
     return crypto::AesGcm(keyForEpoch(dir, epoch));
 }
 
+namespace
+{
+
+std::uint64_t
+cacheKey(StreamDir dir, std::uint32_t epoch)
+{
+    return (static_cast<std::uint64_t>(dir) << 32) | epoch;
+}
+
+} // namespace
+
+const crypto::AesGcm &
+WorkloadKeyManager::cipherCached(StreamDir dir,
+                                 std::uint32_t epoch) const
+{
+    if (destroyed_)
+        fatal("WorkloadKeyManager: use after destroy()");
+    std::uint64_t k = cacheKey(dir, epoch);
+    auto it = cipherCache_.find(k);
+    if (it == cipherCache_.end()) {
+        // Miss: pay key derivation + key schedule + GHASH table once.
+        it = cipherCache_
+                 .try_emplace(k, keyForEpoch(dir, epoch))
+                 .first;
+    }
+    return it->second;
+}
+
 void
 WorkloadKeyManager::rotate(StreamDir dir)
 {
     KeyEpoch &e = epoch(dir);
     ++e.epochId;
     deriveEpoch(e, dir);
+
+    // Invalidate cached ciphers for this direction that fell out of
+    // the retention window; in-flight chunks from a recent epoch
+    // still hit the cache, anything older re-derives on demand.
+    std::uint32_t floor = e.epochId > kCipherCacheDepth
+                              ? e.epochId - kCipherCacheDepth
+                              : 0;
+    auto begin = cipherCache_.lower_bound(cacheKey(dir, 0));
+    auto end = cipherCache_.lower_bound(cacheKey(dir, floor));
+    cipherCache_.erase(begin, end);
 }
 
 Bytes
@@ -114,6 +152,9 @@ WorkloadKeyManager::destroy()
         std::fill(e->ivPrefix.begin(), e->ivPrefix.end(), 0);
         e->ivCounter = 0;
     }
+    // Cached contexts hold expanded key schedules; drop them with
+    // the rest of the key material.
+    cipherCache_.clear();
     destroyed_ = true;
 }
 

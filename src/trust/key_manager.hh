@@ -12,6 +12,7 @@
 #define CCAI_TRUST_KEY_MANAGER_HH
 
 #include <cstdint>
+#include <map>
 #include <optional>
 
 #include "crypto/drbg.hh"
@@ -80,12 +81,32 @@ class WorkloadKeyManager
     crypto::AesGcm cipherForEpoch(StreamDir dir,
                                   std::uint32_t epoch) const;
 
+    /**
+     * Cached GCM context for an epoch of @p dir. The first use of
+     * an epoch pays the key-schedule + GHASH-table construction;
+     * subsequent chunks of the same epoch reuse it. The cache keeps
+     * a small window of recent epochs per direction — on an
+     * IV-exhaustion rotation, entries older than the window are
+     * invalidated (a later request for them re-derives statelessly,
+     * so past-epoch chunks still decrypt). The reference stays valid
+     * until the next rotation of @p dir or destroy().
+     */
+    const crypto::AesGcm &cipherCached(StreamDir dir,
+                                       std::uint32_t epoch) const;
+
+    /** Number of live cache entries (tests observe invalidation). */
+    size_t cachedCipherCount() const { return cipherCache_.size(); }
+
     /** Zeroize all key material (end of session, §6). */
     void destroy();
 
     bool destroyed() const { return destroyed_; }
 
   private:
+    /** Epochs per direction the cipher cache retains past the
+     * current one; older entries are evicted on rotation. */
+    static constexpr std::uint32_t kCipherCacheDepth = 2;
+
     KeyEpoch &epoch(StreamDir dir);
     const KeyEpoch &epoch(StreamDir dir) const;
     void rotate(StreamDir dir);
@@ -96,6 +117,8 @@ class WorkloadKeyManager
     KeyEpoch d2h_;
     std::uint32_t ivLimit_;
     bool destroyed_ = false;
+    /** (dir, epoch) -> ready-to-use cipher context. */
+    mutable std::map<std::uint64_t, crypto::AesGcm> cipherCache_;
 };
 
 } // namespace ccai::trust

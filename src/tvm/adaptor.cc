@@ -37,7 +37,6 @@ Adaptor::establishSession(const Bytes &sessionSecret)
 {
     keys_ = std::make_unique<trust::WorkloadKeyManager>(
         sessionSecret, config_.ivExhaustionLimit);
-    h2dCipher_.emplace(keys_->key(trust::StreamDir::HostToDevice));
     signer_.setKey(
         crypto::kdf(sessionSecret, {}, "ccai-a3-integrity", 32));
     configCipher_.emplace(
@@ -151,13 +150,17 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
                 keys_->epochId(trust::StreamDir::HostToDevice);
             rec.synthetic = !data.has_value();
             if (data) {
+                // Encrypt the chunk in place (one copy out of the
+                // source buffer, none for the ciphertext) under the
+                // cached epoch cipher.
                 Bytes chunk(data->begin() + off,
                             data->begin() + off + take);
-                crypto::AesGcm cipher = keys_->cipherForEpoch(
+                const crypto::AesGcm &cipher = keys_->cipherCached(
                     trust::StreamDir::HostToDevice, rec.epoch);
-                crypto::Sealed sealed = cipher.seal(rec.iv, chunk);
-                rec.tag = sealed.tag;
-                tvm_.memory().write(bounce + off, sealed.ciphertext);
+                rec.tag.resize(crypto::kGcmTagSize);
+                cipher.sealInPlace(rec.iv, chunk.data(), chunk.size(),
+                                   nullptr, 0, rec.tag.data());
+                tvm_.memory().write(bounce + off, chunk);
             } else {
                 rec.tag.assign(crypto::kGcmTagSize, 0);
             }
@@ -260,10 +263,15 @@ Adaptor::collectD2h(Addr bounceAddr, std::uint64_t length,
                     for (const ChunkRecord &rec : mine) {
                         Bytes ct =
                             tvm_.memory().read(rec.addr, rec.length);
-                        crypto::AesGcm cipher = keys_->cipherForEpoch(
-                            trust::StreamDir::DeviceToHost, rec.epoch);
-                        auto pt = cipher.open(rec.iv, ct, rec.tag);
-                        if (!pt) {
+                        const crypto::AesGcm &cipher =
+                            keys_->cipherCached(
+                                trust::StreamDir::DeviceToHost,
+                                rec.epoch);
+                        if (rec.tag.size() != crypto::kGcmTagSize ||
+                            !cipher.openInPlace(rec.iv, ct.data(),
+                                                ct.size(),
+                                                rec.tag.data(),
+                                                nullptr, 0)) {
                             stats_.counter("d2h_integrity_failures")
                                 .inc();
                             warn("%s: D2H chunk %llu failed integrity",
@@ -271,8 +279,8 @@ Adaptor::collectD2h(Addr bounceAddr, std::uint64_t length,
                                  (unsigned long long)rec.chunkId);
                             continue;
                         }
-                        plaintext.insert(plaintext.end(), pt->begin(),
-                                         pt->end());
+                        plaintext.insert(plaintext.end(), ct.begin(),
+                                         ct.end());
                     }
                 }
                 stats_.counter("d2h_bytes").inc(length);
@@ -394,7 +402,6 @@ Adaptor::endTask(bool softResetSupported)
     if (keys_)
         keys_->destroy();
     keys_.reset();
-    h2dCipher_.reset();
     stats_.counter("tasks_ended").inc();
 }
 
@@ -402,7 +409,6 @@ void
 Adaptor::reset()
 {
     keys_.reset();
-    h2dCipher_.reset();
     configCipher_.reset();
     drbg_.reset();
     h2dCursor_ = d2hCursor_ = 0;

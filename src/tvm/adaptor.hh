@@ -214,7 +214,6 @@ class Adaptor : public sim::SimObject
     AdaptorTiming timing_;
 
     std::unique_ptr<trust::WorkloadKeyManager> keys_;
-    std::optional<crypto::AesGcm> h2dCipher_;
     sc::SignIntegrityEngine signer_; ///< A3 MAC computation
     std::optional<crypto::AesGcm> configCipher_;
     std::unique_ptr<crypto::Drbg> drbg_;

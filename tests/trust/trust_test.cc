@@ -424,6 +424,92 @@ TEST(KeyManager, DestroyZeroizes)
 }
 
 // ---------------------------------------------------------------------
+// Cipher cache
+// ---------------------------------------------------------------------
+
+TEST(KeyManager, CachedCipherMatchesFreshDerivation)
+{
+    WorkloadKeyManager km(Bytes(32, 0x88));
+    Bytes iv = km.nextIv(StreamDir::HostToDevice);
+    Bytes pt = {9, 8, 7, 6, 5};
+
+    auto from_cache =
+        km.cipherCached(StreamDir::HostToDevice, 0).seal(iv, pt);
+    auto fresh =
+        km.cipherForEpoch(StreamDir::HostToDevice, 0).seal(iv, pt);
+    EXPECT_EQ(from_cache.ciphertext, fresh.ciphertext);
+    EXPECT_EQ(from_cache.tag, fresh.tag);
+}
+
+TEST(KeyManager, CipherCacheReusedWithinEpoch)
+{
+    WorkloadKeyManager km(Bytes(32, 0x99));
+    EXPECT_EQ(km.cachedCipherCount(), 0u);
+    const crypto::AesGcm &a = km.cipherCached(StreamDir::HostToDevice, 0);
+    const crypto::AesGcm &b = km.cipherCached(StreamDir::HostToDevice, 0);
+    EXPECT_EQ(&a, &b); // same entry, no re-derivation
+    EXPECT_EQ(km.cachedCipherCount(), 1u);
+    km.cipherCached(StreamDir::DeviceToHost, 0);
+    EXPECT_EQ(km.cachedCipherCount(), 2u);
+}
+
+TEST(KeyManager, RotationInvalidatesStaleCacheEntries)
+{
+    // Tiny IV limit: every nextIv() call after the first two rotates.
+    WorkloadKeyManager km(Bytes(32, 0xaa), /*ivExhaustionLimit=*/2);
+
+    // Seal a chunk under epoch 0 via the cache.
+    Bytes iv0 = km.nextIv(StreamDir::DeviceToHost);
+    auto sealed =
+        km.cipherCached(StreamDir::DeviceToHost, 0).seal(iv0, {1, 2, 3});
+    EXPECT_EQ(km.cachedCipherCount(), 1u);
+
+    // Rotate well past the cache retention window.
+    while (km.epochId(StreamDir::DeviceToHost) < 5)
+        km.nextIv(StreamDir::DeviceToHost);
+
+    // The epoch-0 entry has been invalidated: only epochs within
+    // the retention window may remain cached.
+    std::uint32_t cur = km.epochId(StreamDir::DeviceToHost);
+    km.cipherCached(StreamDir::DeviceToHost, cur);
+    EXPECT_LE(km.cachedCipherCount(), 3u);
+
+    // A past-epoch chunk still decrypts: the cache re-derives the
+    // evicted epoch statelessly on demand.
+    auto opened = km.cipherCached(StreamDir::DeviceToHost, 0)
+                      .open(iv0, sealed.ciphertext, sealed.tag);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, Bytes({1, 2, 3}));
+}
+
+TEST(KeyManager, RotationOnlyEvictsOwnDirection)
+{
+    WorkloadKeyManager km(Bytes(32, 0xbb), /*ivExhaustionLimit=*/2);
+    km.cipherCached(StreamDir::HostToDevice, 0);
+    EXPECT_EQ(km.cachedCipherCount(), 1u);
+
+    // Rotate the *other* direction far enough to trigger eviction.
+    while (km.epochId(StreamDir::DeviceToHost) < 5)
+        km.nextIv(StreamDir::DeviceToHost);
+    km.cipherCached(StreamDir::DeviceToHost, 5);
+
+    // H2D epoch-0 entry survived D2H rotations.
+    EXPECT_EQ(km.cachedCipherCount(), 2u);
+}
+
+TEST(KeyManager, DestroyClearsCipherCache)
+{
+    WorkloadKeyManager km(Bytes(32, 0xcc));
+    km.cipherCached(StreamDir::HostToDevice, 0);
+    km.cipherCached(StreamDir::DeviceToHost, 0);
+    EXPECT_EQ(km.cachedCipherCount(), 2u);
+    km.destroy();
+    EXPECT_EQ(km.cachedCipherCount(), 0u);
+    EXPECT_DEATH(km.cipherCached(StreamDir::HostToDevice, 0),
+                 "destroy");
+}
+
+// ---------------------------------------------------------------------
 // Sealing
 // ---------------------------------------------------------------------
 

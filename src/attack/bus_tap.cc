@@ -74,6 +74,18 @@ BusTap::receiveTlp(const TlpPtr &tlp, pcie::PcieNode *from)
             });
         }
         return;
+      case TapMode::ReplayResequenced:
+        forward(tlp, towardsB);
+        if (targeted && tlp->ackRequired) {
+            // Queue the forgery right behind the original on the
+            // same link: the receiver accepts the original (rx
+            // becomes seqNo), then sees the forgery at exactly
+            // rx + 1 — past the duplicate gate, into the MAC check.
+            auto forged = std::make_shared<Tlp>(*tlp);
+            forged->seqNo += 1;
+            forward(forged, towardsB);
+        }
+        return;
       case TapMode::Drop:
         if (targeted) {
             ++dropped_;

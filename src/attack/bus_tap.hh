@@ -27,6 +27,11 @@ enum class TapMode
     SnoopOnly,    ///< record copies, forward unmodified
     TamperPayload,///< flip bits in data payloads
     Replay,       ///< forward and re-inject recorded packets
+    /** Replay with the sequence number re-stamped to the next value
+     * the receiver expects, defeating the transport-layer duplicate
+     * suppression — the forgery must instead fail the A3 MAC, which
+     * covers the sequence fields. */
+    ReplayResequenced,
     Drop,         ///< silently drop matching packets
     Reorder,      ///< delay packets to invert ordering
 };

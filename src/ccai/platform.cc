@@ -1,6 +1,7 @@
 #include "platform.hh"
 
 #include "common/logging.hh"
+#include "sim/rng.hh"
 
 namespace ccai
 {
@@ -11,8 +12,14 @@ using pcie::wellknown::kTvm;
 using pcie::wellknown::kXpu;
 
 Platform::Platform(const PlatformConfig &config)
-    : config_(config), rng_(config.seed)
+    : config_(config), effectiveSeed_(sim::resolveSeed(config.seed)),
+      rng_(effectiveSeed_)
 {
+    // A fault schedule left on the default seed follows the platform
+    // seed, so a CI log line with the seed replays the failing run;
+    // an explicitly-seeded schedule is honoured as-is.
+    if (config_.hostLinkFaults.seed == pcie::FaultConfig{}.seed)
+        config_.hostLinkFaults.seed = effectiveSeed_;
     buildTopology();
 }
 
@@ -22,6 +29,7 @@ void
 Platform::buildTopology()
 {
     rc_ = std::make_unique<pcie::RootComplex>(sys_, "rc", mem_);
+    rc_->setRetryConfig(config_.retry);
     tvm_ = std::make_unique<tvm::Tvm>(sys_, "tvm", *rc_, kTvm,
                                       config_.tvmTiming);
     switch_ = std::make_unique<pcie::Switch>(sys_, "root_switch");
@@ -40,8 +48,9 @@ Platform::buildTopology()
     switch_->mapRoutingId(pcie::wellknown::kRootComplex, up_port);
 
     if (config_.secure) {
-        sc_ = std::make_unique<sc::PcieSc>(sys_, "pcie_sc",
-                                           config_.scConfig);
+        sc::PcieScConfig sc_cfg = config_.scConfig;
+        sc_cfg.retry = config_.retry;
+        sc_ = std::make_unique<sc::PcieSc>(sys_, "pcie_sc", sc_cfg);
 
         // Switch <-> [optional bus attacker] <-> PCIe-SC.
         pcie::PcieNode *sc_upstream_neighbor = switch_.get();
@@ -86,6 +95,7 @@ Platform::buildTopology()
         // The owner TVM gets tenant slot 0 of the bounce/metadata
         // partitions (the whole regions when maxTenants == 1).
         tvm::AdaptorConfig owner_cfg = config_.adaptorConfig;
+        owner_cfg.retry = config_.retry;
         owner_cfg.h2dWindow = tenantSlice(mm::kBounceH2d, 0);
         owner_cfg.d2hWindow = tenantSlice(mm::kBounceD2h, 0);
         owner_cfg.metaWindow = tenantSlice(mm::kMetadataBuffer, 0);
@@ -130,6 +140,9 @@ Platform::buildTopology()
             nullptr);
         tvm_->configureIommu(false);
     }
+
+    if (config_.hostLinkFaults.anyEnabled())
+        setHostLinkFaults(config_.hostLinkFaults);
 }
 
 void
@@ -141,6 +154,39 @@ Platform::setHostLinkConfig(const pcie::LinkConfig &config)
         switchScLink_->setConfig(config);
     if (switchXpuLink_)
         switchXpuLink_->setConfig(config);
+}
+
+void
+Platform::setHostLinkFaults(const pcie::FaultConfig &faults)
+{
+    config_.hostLinkFaults = faults;
+    if (!switchScLink_) {
+        // Vanilla platform: no protected segment to make lossy (the
+        // unprotected path has no ARQ and would simply lose data).
+        warn("setHostLinkFaults: no host<->SC segment on this "
+             "platform; ignoring");
+        return;
+    }
+    switchScLink_->downstream().setFaultConfig(faults);
+    switchScLink_->upstream().setFaultConfig(faults);
+    if (tapScLink_) {
+        tapScLink_->downstream().setFaultConfig(faults);
+        tapScLink_->upstream().setFaultConfig(faults);
+    }
+}
+
+void
+Platform::clearHostLinkFaults()
+{
+    config_.hostLinkFaults = pcie::FaultConfig{};
+    if (!switchScLink_)
+        return;
+    switchScLink_->downstream().clearFaults();
+    switchScLink_->upstream().clearFaults();
+    if (tapScLink_) {
+        tapScLink_->downstream().clearFaults();
+        tapScLink_->upstream().clearFaults();
+    }
 }
 
 TrustReport
@@ -313,6 +359,7 @@ Platform::addTenant(pcie::Bdf bdf)
         sys_, prefix + ".tvm", *rc_, bdf, config_.tvmTiming);
 
     tvm::AdaptorConfig cfg = config_.adaptorConfig;
+    cfg.retry = config_.retry;
     cfg.h2dWindow = tenantSlice(mm::kBounceH2d, slot);
     cfg.d2hWindow = tenantSlice(mm::kBounceD2h, slot);
     cfg.metaWindow = tenantSlice(mm::kMetadataBuffer, slot);

@@ -16,6 +16,8 @@
 
 #include "attack/bus_tap.hh"
 #include "llm/inference.hh"
+#include "pcie/fault_injector.hh"
+#include "pcie/transport.hh"
 #include "sc/pcie_sc.hh"
 #include "trust/attestation.hh"
 #include "trust/sealing.hh"
@@ -40,7 +42,25 @@ struct PlatformConfig
     tvm::AdaptorConfig adaptorConfig;
     tvm::AdaptorTiming adaptorTiming;
     tvm::TvmTiming tvmTiming;
+    /**
+     * Fallback RNG seed; overridden by --seed / CCAI_SEED (see
+     * sim::resolveSeed). Platform::seed() reports the effective value.
+     */
     std::uint64_t seed = 0x5EED;
+    /**
+     * Secure-path retry policy, shared by the root complex, the
+     * PCIe-SC and every Adaptor. Defaults to enabled: the full
+     * topology always has both ARQ endpoints alive, so running the
+     * ack machinery even on a lossless fabric keeps the protected
+     * path identical whether or not faults are injected.
+     */
+    pcie::RetryConfig retry = pcie::RetryConfig::enabledDefaults();
+    /**
+     * Fault schedule applied at build time to both directions of the
+     * host<->PCIe-SC segment (the exposed segment in the threat
+     * model). setHostLinkFaults() can change it later.
+     */
+    pcie::FaultConfig hostLinkFaults; ///< all-zero rates: disabled
     /**
      * Splice a physical bus attacker (attack::BusTap) into the
      * host-side PCIe segment between the root switch and the
@@ -144,6 +164,19 @@ class Platform
     /** The link feeding the switch (bandwidth stress tests). */
     void setHostLinkConfig(const pcie::LinkConfig &config);
 
+    /**
+     * Install a deterministic fault schedule on both directions of
+     * the host<->PCIe-SC segment (through the BusTap when one is
+     * spliced in). Each constituent link derives an independent but
+     * per-seed reproducible stream from (config.seed, link name).
+     */
+    void setHostLinkFaults(const pcie::FaultConfig &faults);
+    /** Make the host<->PCIe-SC segment lossless again. */
+    void clearHostLinkFaults();
+
+    /** The effective RNG seed after --seed / CCAI_SEED overrides. */
+    std::uint64_t seed() const { return effectiveSeed_; }
+
   private:
     void buildTopology();
     pcie::AddrRange tenantSlice(pcie::AddrRange region,
@@ -151,6 +184,7 @@ class Platform
     void installPolicyForAllTenants();
 
     PlatformConfig config_;
+    std::uint64_t effectiveSeed_;
     sim::System sys_;
     sim::Rng rng_;
     pcie::HostMemory mem_;

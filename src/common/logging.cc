@@ -1,6 +1,8 @@
 #include "logging.hh"
 
 #include <cstdarg>
+#include <cstdint>
+#include <map>
 
 namespace ccai
 {
@@ -82,6 +84,25 @@ debugLog(const char *fmt, ...)
     std::string msg = detail::vformat(fmt, ap);
     va_end(ap);
     detail::logRecord(LogLevel::Debug, "debug", msg);
+}
+
+void
+warnRateLimited(const std::string &key, const char *fmt, ...)
+{
+    static constexpr std::uint64_t kMaxPerKey = 5;
+    static std::map<std::string, std::uint64_t> counts;
+
+    std::uint64_t n = ++counts[key];
+    if (n > kMaxPerKey)
+        return;
+
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    if (n == kMaxPerKey)
+        msg += " (further '" + key + "' warnings suppressed)";
+    detail::logRecord(LogLevel::Warn, "warn", msg);
 }
 
 } // namespace ccai

@@ -84,6 +84,15 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
+ * warn() that only reports the first few occurrences per call-site
+ * key, then goes quiet. Fault-injection runs can trigger the same
+ * recoverable condition thousands of times; the first handful of
+ * records carries all the signal.
+ */
+void warnRateLimited(const std::string &key, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
  * Exception thrown by simulation components on protocol/security
  * violations that tests want to observe rather than die on.
  */

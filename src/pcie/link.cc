@@ -32,6 +32,39 @@ Link::serializationDelay(const Tlp &tlp) const
 }
 
 void
+Link::setFaultConfig(const FaultConfig &config)
+{
+    injector_ = std::make_unique<FaultInjector>(config, name());
+}
+
+void
+Link::clearFaults()
+{
+    injector_.reset();
+    held_.reset();
+}
+
+void
+Link::deliver(const TlpPtr &tlp, Tick when)
+{
+    PcieNode *from = src_;
+    PcieNode *to = dst_;
+    eventq().schedule(when,
+                      [tlp, from, to] { to->receiveTlp(tlp, from); });
+}
+
+void
+Link::releaseHeld(Tick when)
+{
+    if (!held_)
+        return;
+    TlpPtr held = std::move(held_);
+    held_.reset();
+    ++holdGen_; // invalidates the pending deadline flush
+    deliver(held, when);
+}
+
+void
 Link::send(const TlpPtr &tlp)
 {
     if (!dst_)
@@ -47,16 +80,83 @@ Link::send(const TlpPtr &tlp)
     stats_.counter("payload_bytes")
         .inc(tlp->hasData() ? tlp->payloadBytes() : 0);
 
-    PcieNode *from = src_;
-    PcieNode *to = dst_;
-    eventq().schedule(arrival,
-                      [tlp, from, to] { to->receiveTlp(tlp, from); });
+    // Fast path: an unfaulted link is bit-identical to the seed model.
+    if (!injector_ || !injector_->enabled()) {
+        deliver(tlp, arrival);
+        return;
+    }
+
+    FaultDecision d = injector_->decide(*tlp, start);
+    if (d.any())
+        stats_.counter("faults_injected").inc();
+    if (d.flapStarted)
+        stats_.counter("fault_flap_episodes").inc();
+
+    if (d.drop) {
+        // Drops still occupied the wire: random loss and CRC
+        // discards happen at the far end, flap loss at the
+        // transmitter, but charging serialization uniformly keeps
+        // the timing model simple and deterministic.
+        if (d.flapDrop)
+            stats_.counter("fault_flap_drops").inc();
+        else if (d.crcDiscard)
+            stats_.counter("crc_discards").inc();
+        else
+            stats_.counter("fault_drops").inc();
+        // A dropped TLP cannot overtake anything; release any held
+        // packet so a drop right after a reorder-hold does not
+        // extend the hold indefinitely.
+        releaseHeld(arrival);
+        return;
+    }
+
+    TlpPtr out = tlp;
+    if (d.corruptSilent) {
+        stats_.counter("fault_corrupt_silent").inc();
+        out = std::make_shared<Tlp>(*tlp);
+        injector_->corruptPayload(*out);
+    }
+    if (d.extraDelay > 0) {
+        stats_.counter("fault_delays").inc();
+        arrival += d.extraDelay;
+    }
+
+    // Release any previously held TLP just after this one: the new
+    // packet overtakes it (the reorder the hold was for).
+    releaseHeld(arrival + 1);
+
+    if (d.reorderHold) {
+        stats_.counter("fault_reorders").inc();
+        held_ = out;
+        std::uint64_t gen = ++holdGen_;
+        // Deadline flush: if nothing overtakes it, deliver late
+        // anyway so the TLP is delayed, not lost.
+        Tick deadline = arrival + 20 * kTicksPerUs;
+        eventq().schedule(deadline, [this, gen, deadline] {
+            if (held_ && holdGen_ == gen) {
+                TlpPtr held = std::move(held_);
+                held_.reset();
+                deliver(held, deadline);
+            }
+        });
+        return;
+    }
+
+    deliver(out, arrival);
+    if (d.duplicate) {
+        stats_.counter("fault_duplicates").inc();
+        deliver(std::make_shared<Tlp>(*out), arrival + ser + 1);
+    }
 }
 
 void
 Link::reset()
 {
     busyUntil_ = 0;
+    held_.reset();
+    ++holdGen_;
+    if (injector_)
+        injector_->reset();
     stats_.reset();
 }
 

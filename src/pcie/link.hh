@@ -13,8 +13,11 @@
 #ifndef CCAI_PCIE_LINK_HH
 #define CCAI_PCIE_LINK_HH
 
+#include <memory>
+#include <optional>
 #include <string>
 
+#include "pcie/fault_injector.hh"
 #include "pcie/tlp.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -47,7 +50,16 @@ struct LinkConfig
     /** Per-wire-TLP framing overhead (STP/end, LCRC, DLLP share). */
     std::uint32_t framingBytes = 12;
 
-    /** Effective payload bandwidth in bytes per second. */
+    /**
+     * Raw post-encoding lane bandwidth in bytes per second. This is
+     * deliberately NOT net of framing: framingBytes is charged per
+     * wire-level TLP in Link::serializationDelay() (alongside the
+     * header bytes), because framing is a per-packet cost, not a
+     * rate derating — a 4 KiB burst pays 16 x (header + framing) at
+     * this raw rate. Dividing framing into the rate here as well
+     * would double-count it. tests/pcie/link_property_test.cc pins
+     * the resulting Gen3/Gen4/Gen5 per-TLP wire times.
+     */
     double
     bytesPerSecond() const
     {
@@ -77,6 +89,17 @@ class Link : public sim::SimObject
     const LinkConfig &config() const { return config_; }
     void setConfig(const LinkConfig &config) { config_ = config; }
 
+    /**
+     * Install (or replace) the deterministic fault injector. The
+     * injector's random stream is derived from (config.seed, link
+     * name), so two links sharing a FaultConfig still make
+     * independent — but per-seed reproducible — decisions.
+     */
+    void setFaultConfig(const FaultConfig &config);
+    /** Remove fault injection; the link becomes lossless again. */
+    void clearFaults();
+    FaultInjector *faultInjector() { return injector_.get(); }
+
     sim::StatGroup &stats() { return stats_; }
     sim::StatGroup *statGroup() override { return &stats_; }
 
@@ -86,11 +109,23 @@ class Link : public sim::SimObject
     void reset() override;
 
   private:
+    /** Schedule delivery of @p tlp at @p when. */
+    void deliver(const TlpPtr &tlp, Tick when);
+    /** Release a held (reordered) TLP, if any. */
+    void releaseHeld(Tick when);
+
     LinkConfig config_;
     PcieNode *src_ = nullptr;
     PcieNode *dst_ = nullptr;
     /** Time the link becomes free for the next TLP. */
     Tick busyUntil_ = 0;
+
+    std::unique_ptr<FaultInjector> injector_;
+    /** One-slot reorder buffer: (tlp, generation for the deadline
+     * flush that fires when no later TLP overtakes it). */
+    TlpPtr held_;
+    std::uint64_t holdGen_ = 0;
+
     sim::StatGroup stats_;
 };
 

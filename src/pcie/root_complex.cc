@@ -30,18 +30,117 @@ RootComplex::sendRead(Tlp tlp, CplCallback cb)
     if (!down_)
         panic("root complex: downstream link not connected");
     tlp.tag = allocTag();
-    outstanding_[tlp.tag] = std::move(cb);
+    std::uint8_t tag = tlp.tag;
+    auto req = std::make_shared<Tlp>(std::move(tlp));
+
+    OutstandingRead entry;
+    entry.cb = std::move(cb);
+    entry.request = req;
+    entry.gen = nextReadGen_++;
+    std::uint64_t gen = entry.gen;
+    outstanding_[tag] = std::move(entry);
+
     stats_.counter("reads_sent").inc();
-    down_->send(std::make_shared<Tlp>(std::move(tlp)));
+    down_->send(req);
+    if (retry_.enabled)
+        armReadTimer(tag, gen);
+}
+
+void
+RootComplex::armReadTimer(std::uint8_t tag, std::uint64_t gen)
+{
+    auto it = outstanding_.find(tag);
+    if (it == outstanding_.end())
+        return;
+    Tick timeout =
+        retry_.timeoutFor(retry_.readTimeout, it->second.attempts);
+    // The queue has no cancellation: the timer captures (tag, gen)
+    // and no-ops when the read completed or the tag was reused.
+    eventq().scheduleIn(timeout, [this, tag, gen] {
+        auto it = outstanding_.find(tag);
+        if (it == outstanding_.end() || it->second.gen != gen)
+            return;
+        OutstandingRead &o = it->second;
+        if (o.attempts >= retry_.maxReadRetries) {
+            // Budget exhausted: fabricate an abort completion so
+            // the caller's state machine can fail instead of hang.
+            CplCallback cb = std::move(o.cb);
+            TlpPtr req = o.request;
+            outstanding_.erase(it);
+            stats_.counter("read_retry_exhausted").inc();
+            stats_.counter("faults_fatal").inc();
+            warnRateLimited(
+                "rc-read-exhausted",
+                "root complex: read tag %d addr 0x%llx exhausted "
+                "its retry budget",
+                int(req->tag),
+                (unsigned long long)req->address);
+            auto cpl = std::make_shared<Tlp>(Tlp::makeCompletion(
+                req->completer, req->requester, req->tag, {},
+                CplStatus::CompleterAbort));
+            cb(cpl);
+            return;
+        }
+        ++o.attempts;
+        stats_.counter("read_retries").inc();
+        down_->send(o.request);
+        armReadTimer(tag, gen);
+    });
 }
 
 void
 RootComplex::sendWrite(Tlp tlp)
 {
+    sendWrite(std::make_shared<Tlp>(std::move(tlp)));
+}
+
+void
+RootComplex::sendWrite(const TlpPtr &tlp)
+{
     if (!down_)
         panic("root complex: downstream link not connected");
     stats_.counter("writes_sent").inc();
-    down_->send(std::make_shared<Tlp>(std::move(tlp)));
+    down_->send(tlp);
+}
+
+bool
+RootComplex::transportGate(const TlpPtr &tlp)
+{
+    if (!retry_.enabled || !tlp->ackRequired)
+        return true;
+    std::uint64_t &rx = rxSeq_[tlp->txChannel];
+    if (tlp->seqNo == rx + 1) {
+        rx = tlp->seqNo;
+        stats_.counter("transport_rx_accepted").inc();
+        sendAck(tlp->txChannel, rx, false);
+        return true;
+    }
+    if (tlp->seqNo <= rx) {
+        // Retransmit of something already delivered: re-ack so the
+        // sender's window advances, but do not apply twice.
+        stats_.counter("transport_rx_duplicates").inc();
+        sendAck(tlp->txChannel, rx, false);
+        return false;
+    }
+    // Gap: something before this TLP was lost. NAK the first
+    // missing seq; the sender goes back and retransmits from there.
+    stats_.counter("transport_rx_ooo").inc();
+    sendAck(tlp->txChannel, rx + 1, true);
+    return false;
+}
+
+void
+RootComplex::sendAck(std::uint16_t channel, std::uint64_t seq, bool nak)
+{
+    Tlp ack = Tlp::makeMessage(wellknown::kRootComplex,
+                               MsgCode::TransportAck);
+    ack.completer = wellknown::kPcieSc; // ID-routed back to the SC
+    ack.fmt = TlpFmt::FourDwData;
+    ack.data = encodeTransportAck(TransportAck{nak, channel, seq});
+    ack.lengthBytes = static_cast<std::uint32_t>(ack.data.size());
+    stats_.counter(nak ? "transport_naks_sent" : "transport_acks_sent")
+        .inc();
+    down_->send(std::make_shared<Tlp>(std::move(ack)));
 }
 
 void
@@ -49,20 +148,40 @@ RootComplex::receiveTlp(const TlpPtr &tlp, PcieNode *)
 {
     switch (tlp->type) {
       case TlpType::Completion: {
+        if (!transportGate(tlp))
+            return;
         auto it = outstanding_.find(tlp->tag);
         if (it == outstanding_.end()) {
+            // Benign under retry: the original completion of a read
+            // that was already answered by a retransmission.
             stats_.counter("orphan_completions").inc();
-            warn("root complex: completion with unknown tag %d",
-                 int(tlp->tag));
+            debugLog("root complex: completion with unknown tag %d",
+                     int(tlp->tag));
             return;
         }
-        CplCallback cb = std::move(it->second);
+        if (it->second.attempts > 0)
+            stats_.counter("faults_recovered").inc();
+        CplCallback cb = std::move(it->second.cb);
         outstanding_.erase(it);
         stats_.counter("completions").inc();
         cb(tlp);
         return;
       }
       case TlpType::Message: {
+        if (tlp->msgCode == MsgCode::TransportAck) {
+            // Dispatched before the MSI handlers: an ack must never
+            // pop an interrupt waiter.
+            stats_.counter("transport_acks_received").inc();
+            auto decoded = decodeTransportAck(tlp->data);
+            if (!decoded)
+                return;
+            auto it = transportHandlers_.find(tlp->completer.raw());
+            if (it != transportHandlers_.end())
+                it->second(*decoded);
+            return;
+        }
+        if (!transportGate(tlp))
+            return;
         stats_.counter("messages").inc();
         auto it = msgHandlers_.find(tlp->completer.raw());
         if (it != msgHandlers_.end()) {
@@ -75,6 +194,8 @@ RootComplex::receiveTlp(const TlpPtr &tlp, PcieNode *)
       }
       case TlpType::MemRead:
       case TlpType::MemWrite:
+        if (!transportGate(tlp))
+            return;
         handleInboundRequest(tlp);
         return;
       default:
@@ -130,6 +251,7 @@ RootComplex::reset()
 {
     outstanding_.clear();
     nextTag_ = 0;
+    rxSeq_.clear();
     stats_.reset();
 }
 

@@ -15,6 +15,7 @@
 
 #include "pcie/host_memory.hh"
 #include "pcie/link.hh"
+#include "pcie/transport.hh"
 #include "sim/stats.hh"
 
 namespace ccai::pcie
@@ -25,6 +26,9 @@ using CplCallback = std::function<void(const TlpPtr &)>;
 
 /** Callback invoked on MSI / message receipt. */
 using MsgCallback = std::function<void(const TlpPtr &)>;
+
+/** Callback invoked when a transport ACK/NAK arrives. */
+using TransportAckCallback = std::function<void(const TransportAck &)>;
 
 /**
  * The root complex owns host memory, a downstream link into the
@@ -54,6 +58,10 @@ class RootComplex : public sim::SimObject, public PcieNode
     /** Issue a posted write. */
     void sendWrite(Tlp tlp);
 
+    /** Issue a posted write without copying (ARQ retransmissions
+     * resend the same TLP instance they hold in the window). */
+    void sendWrite(const TlpPtr &tlp);
+
     /** Register the default MSI handler. */
     void setMsgHandler(MsgCallback cb) { msgHandler_ = std::move(cb); }
 
@@ -74,6 +82,28 @@ class RootComplex : public sim::SimObject, public PcieNode
     /** Install the IOMMU validation hook for inbound DMA. */
     void setIommuCheck(IommuCheck check) { iommu_ = std::move(check); }
 
+    /**
+     * Retry policy for non-posted reads and the inbound ARQ gate.
+     * With retries enabled, an unanswered read is retransmitted on
+     * the same tag with exponential backoff; after maxReadRetries
+     * the callback receives a fabricated CompleterAbort completion
+     * so callers never hang on a lossy fabric.
+     */
+    void setRetryConfig(const RetryConfig &config) { retry_ = config; }
+    const RetryConfig &retryConfig() const { return retry_; }
+
+    /**
+     * Register the consumer of transport ACKs addressed to
+     * @p routingId (the ARQ sender for that tenant, i.e. its
+     * Adaptor). Dispatched before the MSI handlers so acks never
+     * masquerade as interrupts.
+     */
+    void
+    addTransportHandler(std::uint16_t routingId, TransportAckCallback cb)
+    {
+        transportHandlers_[routingId] = std::move(cb);
+    }
+
     // PcieNode interface: inbound traffic from the fabric
     void receiveTlp(const TlpPtr &tlp, PcieNode *from) override;
     const std::string &nodeName() const override { return name(); }
@@ -85,16 +115,34 @@ class RootComplex : public sim::SimObject, public PcieNode
     void reset() override;
 
   private:
+    /** One in-flight non-posted request, kept for retransmission. */
+    struct OutstandingRead
+    {
+        CplCallback cb;
+        TlpPtr request; ///< retransmit copy (same tag)
+        int attempts = 0;
+        std::uint64_t gen = 0; ///< guards against stale timers
+    };
+
     std::uint8_t allocTag();
     void handleInboundRequest(const TlpPtr &tlp);
+    void armReadTimer(std::uint8_t tag, std::uint64_t gen);
+    /** In-order delivery gate for ackRequired TLPs; true = deliver. */
+    bool transportGate(const TlpPtr &tlp);
+    void sendAck(std::uint16_t channel, std::uint64_t seq, bool nak);
 
     HostMemory &mem_;
     Link *down_ = nullptr;
-    std::map<std::uint8_t, CplCallback> outstanding_;
+    std::map<std::uint8_t, OutstandingRead> outstanding_;
     std::uint8_t nextTag_ = 0;
+    std::uint64_t nextReadGen_ = 1;
     MsgCallback msgHandler_;
     std::map<std::uint16_t, MsgCallback> msgHandlers_;
+    std::map<std::uint16_t, TransportAckCallback> transportHandlers_;
+    /** Highest in-order seqNo accepted per upstream ARQ channel. */
+    std::map<std::uint16_t, std::uint64_t> rxSeq_;
     IommuCheck iommu_;
+    RetryConfig retry_;
     sim::StatGroup stats_;
 };
 

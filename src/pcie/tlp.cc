@@ -52,6 +52,9 @@ Tlp::serializeHeader() const
     storeBe32(out.data() + 16, lengthBytes);
     storeBe64(out.data() + 20, seqNo);
     out[28] = static_cast<std::uint8_t>(msgCode);
+    out[29] = ackRequired ? 1 : 0;
+    out[30] = static_cast<std::uint8_t>(txChannel >> 8);
+    out[31] = static_cast<std::uint8_t>(txChannel);
     return out;
 }
 

@@ -58,6 +58,8 @@ enum class MsgCode : std::uint8_t
     MsiInterrupt,
     PowerManagement,
     VendorDefined,
+    /** End-to-end transport ACK/NAK (see pcie/transport.hh). */
+    TransportAck,
 };
 
 /** Maximum payload per wire-level TLP (bytes). */
@@ -93,6 +95,14 @@ struct Tlp
     std::uint64_t seqNo = 0;
     /** Associated auth-tag packet ID (0 = none). */
     std::uint64_t authTagId = 0;
+    /**
+     * End-to-end ARQ: the receiver must acknowledge seqNo on the
+     * given channel and deliver in order (see pcie/transport.hh).
+     * Both fields are covered by serializeHeader() so a tampered
+     * flag fails the MAC rather than changing transport semantics.
+     */
+    bool ackRequired = false;
+    std::uint16_t txChannel = 0;
     /**
      * Inline integrity MAC carried in a vendor-defined TLP prefix
      * (the paper's sign-based integrity check for A3 packets).

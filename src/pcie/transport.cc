@@ -1,0 +1,56 @@
+#include "transport.hh"
+
+#include "common/bytes_util.hh"
+
+namespace ccai::pcie
+{
+
+namespace
+{
+
+constexpr std::size_t kAckBytes = 14;
+
+std::uint8_t
+ackChecksum(const Bytes &buf)
+{
+    std::uint8_t x = 0xA5;
+    for (std::size_t i = 0; i + 1 < kAckBytes; ++i)
+        x ^= buf[i];
+    return x;
+}
+
+} // namespace
+
+Bytes
+encodeTransportAck(const TransportAck &ack)
+{
+    Bytes out(kAckBytes, 0);
+    out[0] = 'T';
+    out[1] = 'A';
+    out[2] = ack.nak ? 1 : 0;
+    out[3] = static_cast<std::uint8_t>(ack.channel >> 8);
+    out[4] = static_cast<std::uint8_t>(ack.channel);
+    storeBe64(out.data() + 5, ack.seq);
+    out[kAckBytes - 1] = ackChecksum(out);
+    return out;
+}
+
+std::optional<TransportAck>
+decodeTransportAck(const Bytes &payload)
+{
+    if (payload.size() != kAckBytes)
+        return std::nullopt;
+    if (payload[0] != 'T' || payload[1] != 'A')
+        return std::nullopt;
+    if (payload[kAckBytes - 1] != ackChecksum(payload))
+        return std::nullopt;
+
+    TransportAck ack;
+    ack.nak = payload[2] != 0;
+    ack.channel = static_cast<std::uint16_t>(
+        (std::uint16_t(payload[3]) << 8) | payload[4]);
+    ack.seq = loadBe64(payload.data() + 5);
+    return ack;
+}
+
+} // namespace ccai::pcie

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reliable-transport support types for the secure path.
+ *
+ * The fabric model can now lose, corrupt, duplicate and reorder TLPs
+ * (see FaultInjector), so the protected paths carry an end-to-end
+ * ARQ: senders mark TLPs ackRequired, receivers acknowledge in-order
+ * sequence numbers per (tenant, channel), and NAKs trigger go-back-N
+ * retransmission. This header holds the shared pieces: the retry
+ * policy knobs and the TransportAck message codec.
+ */
+
+#ifndef CCAI_PCIE_TRANSPORT_HH
+#define CCAI_PCIE_TRANSPORT_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace ccai::pcie
+{
+
+/**
+ * Retry/timeout policy for the secure-path ARQ loops (Adaptor
+ * doorbell writes, RootComplex reads, PCIe-SC sensitive re-reads,
+ * D2H chunk re-requests). Timeouts back off exponentially:
+ * timeout * backoff^attempt, capped by maxRetries.
+ */
+struct RetryConfig
+{
+    /** Master switch; disabled reproduces the lossless-fabric legacy
+     * behaviour bit-for-bit (no acks on the wire, no timers). The
+     * raw-object default is off so unit fixtures without an ack peer
+     * keep working; Platform turns it on for the full topology. */
+    bool enabled = false;
+
+    /**
+     * Ack timeout for posted writes. Must exceed the worst-case
+     * queueing on a loaded link: at Gen4 x16 (~31 GB/s) a 200 us
+     * budget covers ~6 MB of queued traffic ahead of the ack.
+     */
+    Tick ackTimeout = 200 * kTicksPerUs;
+
+    /** Completion timeout for non-posted reads. */
+    Tick readTimeout = 500 * kTicksPerUs;
+
+    /** Multiplier applied to the timeout per retry attempt. */
+    double backoff = 2.0;
+
+    /** Attempts before a transfer is declared fatal. */
+    int maxRetries = 12;
+
+    /** Attempts for root-complex reads before a fabricated
+     * CompleterAbort completion unblocks the caller. */
+    int maxReadRetries = 8;
+
+    /**
+     * Minimum spacing between go-back-N retransmission rounds on one
+     * channel. Repeated NAKs for the same gap (every out-of-order
+     * packet behind one loss elicits a NAK) collapse into one round.
+     */
+    Tick retransmitGap = 10 * kTicksPerUs;
+
+    /** Timeout for attempt @p n (0-based), with exponential backoff. */
+    Tick
+    timeoutFor(Tick base, int attempt) const
+    {
+        double scaled = double(base);
+        for (int i = 0; i < attempt; ++i)
+            scaled *= backoff;
+        return Tick(scaled);
+    }
+
+    /** The full-topology (Platform) default: retries on. */
+    static RetryConfig
+    enabledDefaults()
+    {
+        RetryConfig r;
+        r.enabled = true;
+        return r;
+    }
+};
+
+/**
+ * Payload of a MsgCode::TransportAck message. Acks flow opposite to
+ * the data they acknowledge and are themselves unprotected (loss of
+ * an ack is healed by the sender's timeout, duplication by the
+ * receiver's dup-suppression).
+ *
+ *  - ACK(seq): every TLP on the channel with seqNo <= seq was
+ *    accepted; the sender drops them from its unacked window.
+ *  - NAK(seq): the receiver is missing seq; the sender retransmits
+ *    the window from seq (go-back-N).
+ */
+struct TransportAck
+{
+    bool nak = false;
+    std::uint16_t channel = 0; ///< sender-chosen stream id
+    std::uint64_t seq = 0;
+};
+
+/** Encode an ack payload (checksummed; corrupt acks are dropped). */
+Bytes encodeTransportAck(const TransportAck &ack);
+
+/** Decode; nullopt when the payload is malformed or checksum fails. */
+std::optional<TransportAck> decodeTransportAck(const Bytes &payload);
+
+} // namespace ccai::pcie
+
+#endif // CCAI_PCIE_TRANSPORT_HH

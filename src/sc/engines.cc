@@ -48,6 +48,17 @@ SignIntegrityEngine::verify(const pcie::Tlp &tlp)
     return true;
 }
 
+bool
+SignIntegrityEngine::verifyMac(const pcie::Tlp &tlp) const
+{
+    if (key_.empty())
+        return false;
+    if (tlp.synthetic)
+        return true; // timing-only traffic carries no MAC bytes
+    Bytes expected = computeMac(tlp);
+    return constantTimeEqual(expected, tlp.integrityTag);
+}
+
 Tick
 SignIntegrityEngine::verifyDelay(const pcie::Tlp &tlp) const
 {

@@ -83,6 +83,13 @@ class SignIntegrityEngine
      */
     bool verify(const pcie::Tlp &tlp);
 
+    /**
+     * MAC-only check, no sequence-state mutation. Used when the
+     * transport ARQ owns sequencing (a retransmitted packet carries
+     * a seqNo the strict monotonic check would wrongly reject).
+     */
+    bool verifyMac(const pcie::Tlp &tlp) const;
+
     /** Pipeline time to check one packet. */
     Tick verifyDelay(const pcie::Tlp &tlp) const;
 

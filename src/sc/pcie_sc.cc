@@ -61,6 +61,8 @@ PcieSc::establishTenant(pcie::Bdf tenant, const Bytes &sessionSecret,
     s.metaWindow = metaWindow;
     s.metaCursor = 0;
     s.metaDelivered = 0;
+    s.bdfRaw = tenant.raw();
+    s.d2hReplay.clear();
 
     // The first tenant (the owner TVM) controls the packet policy.
     if (sessions_.size() == 1) {
@@ -135,6 +137,9 @@ PcieSc::endTenant(pcie::Bdf tenant, bool device_supports_soft_reset)
     if (it->second.keys)
         it->second.keys->destroy();
     sessions_.erase(it);
+    // Abandon the tenant's upstream ARQ window: nothing behind it
+    // exists any more, and a live timer would retransmit forever.
+    upTx_.erase(tenant.raw());
     stats_.counter("tasks_ended").inc();
 
     // Scrub the shared device once the last tenant leaves.
@@ -191,6 +196,17 @@ PcieSc::forward(const TlpPtr &tlp, bool upstream, Tick delay)
 void
 PcieSc::processDownstreamBound(const TlpPtr &tlp)
 {
+    // Transport acks for the upstream ARQ channels terminate here,
+    // before classification: the filter has no rule for them and
+    // would A1-block the window from ever advancing.
+    if (tlp->type == TlpType::Message &&
+        tlp->msgCode == pcie::MsgCode::TransportAck) {
+        stats_.counter("transport_acks_received").inc();
+        if (auto ack = pcie::decodeTransportAck(tlp->data))
+            handleUpstreamAck(*ack);
+        return;
+    }
+
     stats_.counter("down_tlps").inc();
     Tick filter_delay = filter_.lookupDelay(*tlp);
     SecurityAction action = filter_.classify(*tlp);
@@ -207,6 +223,11 @@ PcieSc::processDownstreamBound(const TlpPtr &tlp)
         }
         return;
     }
+
+    // In-order admit gate for ackRequired traffic. Placed after the
+    // A1 check so disallowed packets are never acknowledged.
+    if (!transportAdmitDown(tlp, action))
+        return;
 
     // TLPs addressed to the controller's own BARs terminate here.
     if ((tlp->type == TlpType::MemRead ||
@@ -236,11 +257,17 @@ PcieSc::processDownstreamBound(const TlpPtr &tlp)
       case SecurityAction::A4_Transparent: {
         stats_.counter("a4_passthrough").inc();
         // Completions of sensitive device reads are upgraded to the
-        // A2 decrypt path via the pending-read tracker.
+        // A2 decrypt path via the pending-read tracker; link-level
+        // duplicates of already-decrypted completions are dropped
+        // (forwarding them would hand ciphertext to the device).
         if (tlp->type == TlpType::Completion) {
             auto it = pendingSensitiveReads_.find(tlp->tag);
             if (it != pendingSensitiveReads_.end()) {
                 handleA2Downstream(tlp);
+                return;
+            }
+            if (recentCompleted_.count(tlp->tag)) {
+                stats_.counter("a2_dup_completions").inc();
                 return;
             }
         }
@@ -265,19 +292,37 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
 
     Addr lookup_addr = tlp->address;
     TenantSession *tenant = nullptr;
+    PendingRead *pending = nullptr;
+    std::uint8_t tag = tlp->tag;
     if (tlp->type == TlpType::Completion) {
-        auto it = pendingSensitiveReads_.find(tlp->tag);
-        ccai_assert(it != pendingSensitiveReads_.end());
-        lookup_addr = it->second.addr;
-        tenant = session(it->second.tenant);
-        pendingSensitiveReads_.erase(it);
+        auto it = pendingSensitiveReads_.find(tag);
+        if (it == pendingSensitiveReads_.end()) {
+            // Duplicate or stale completion of a sensitive read that
+            // was already answered: benign under link faults, but it
+            // must not reach the device still encrypted.
+            stats_.counter("a2_orphan_completions").inc();
+            return;
+        }
+        pending = &it->second;
+        lookup_addr = pending->addr;
+        tenant = session(pending->tenant);
     } else {
         // Direct sensitive write: attribute by the requester.
         tenant = session(tlp->requester.raw());
     }
 
+    auto finishPending = [&] {
+        if (!pending)
+            return;
+        if (pending->attempts > 0)
+            stats_.counter("faults_recovered").inc();
+        recentCompleted_.insert(tag);
+        pendingSensitiveReads_.erase(tag);
+    };
+
     if (!tenant) {
         stats_.counter("a2_unknown_tenant").inc();
+        finishPending();
         return;
     }
     auto rec = tenant->params.lookup(lookup_addr);
@@ -285,6 +330,7 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
         stats_.counter("a2_unregistered").inc();
         warn("%s: A2 payload at 0x%llx has no registered chunk",
              name().c_str(), (unsigned long long)lookup_addr);
+        finishPending();
         return;
     }
 
@@ -298,6 +344,7 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
         // byte range rather than whole records.
         tenant->params.consumeRange(rec->chunkId,
                                     tlp->payloadBytes());
+        finishPending();
         forward(tlp, false, delay);
         return;
     }
@@ -312,12 +359,36 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
                             out->data.size(), rec->tag.data(),
                             nullptr, 0)) {
         stats_.counter("a2_integrity_failures").inc();
-        warn("%s: integrity failure on chunk %llu", name().c_str(),
-             (unsigned long long)rec->chunkId);
+        warnRateLimited(
+            "sc-a2-integrity",
+            "%s: integrity failure on chunk %llu", name().c_str(),
+            (unsigned long long)rec->chunkId);
+        // A tag failure on a tracked read means the ciphertext was
+        // tampered with in flight: keep the chunk registered and
+        // re-issue the read instead of silently dropping the data.
+        if (pending && config_.retry.enabled && pending->request &&
+            pending->attempts < config_.retry.maxReadRetries) {
+            ++pending->attempts;
+            stats_.counter("a2_read_retries").inc();
+            forward(std::make_shared<Tlp>(*pending->request), true, 0);
+            armSensitiveReadTimer(tag);
+            return;
+        }
+        stats_.counter("faults_fatal").inc();
         tenant->params.consume(rec->chunkId);
+        if (pending) {
+            // Unblock the device's DMA engine with an abort.
+            recentCompleted_.insert(tag);
+            pendingSensitiveReads_.erase(tag);
+            auto abort = std::make_shared<Tlp>(Tlp::makeCompletion(
+                pcie::wellknown::kPcieSc, tlp->requester, tag, {},
+                pcie::CplStatus::CompleterAbort));
+            forward(abort, false, delay);
+        }
         return;
     }
     tenant->params.consume(rec->chunkId);
+    finishPending();
 
     out->lengthBytes = static_cast<std::uint32_t>(out->data.size());
     out->encrypted = false;
@@ -338,7 +409,12 @@ PcieSc::handleA3(const TlpPtr &tlp)
         stats_.counter("a3_integrity_failures").inc();
         return false; // unknown requester fails closed
     }
-    if (!tenant->signer.verify(*tlp)) {
+    if (config_.retry.enabled && tlp->ackRequired) {
+        // Transport-sequenced packet: the admit gate already checked
+        // the MAC (which covers the ARQ fields) and enforced exactly-
+        // once in-order delivery. The strict monotonic check below
+        // would wrongly reject legitimate retransmissions.
+    } else if (!tenant->signer.verify(*tlp)) {
         stats_.counter("a3_integrity_failures").inc();
         return false;
     }
@@ -398,8 +474,27 @@ PcieSc::processUpstreamBound(const TlpPtr &tlp)
                     break;
                 }
             }
-            pendingSensitiveReads_[tlp->tag] =
-                PendingRead{tlp->address, tenant_raw};
+            PendingRead p;
+            p.addr = tlp->address;
+            p.tenant = tenant_raw;
+            if (config_.retry.enabled)
+                p.request = std::make_shared<Tlp>(*tlp);
+            // The tag is live again: a completion for it is no
+            // longer a duplicate of the previous read.
+            recentCompleted_.erase(tlp->tag);
+            pendingSensitiveReads_[tlp->tag] = std::move(p);
+            if (config_.retry.enabled)
+                armSensitiveReadTimer(tlp->tag);
+        }
+        // Device interrupts aimed at a sessioned tenant ride that
+        // tenant's ARQ channel so they are neither lost nor doubled
+        // (a duplicated MSI would pop two waiters).
+        if (tlp->type == TlpType::Message && config_.retry.enabled) {
+            TenantSession *t = session(tlp->completer.raw());
+            if (t) {
+                sendUpstreamArq(t->bdfRaw, tlp, filter_delay);
+                return;
+            }
         }
         forward(tlp, true, filter_delay);
         return;
@@ -443,7 +538,8 @@ PcieSc::handleA2Upstream(const TlpPtr &tlp)
     TlpPtr out;
     if (tlp->synthetic) {
         rec.tag.assign(crypto::kGcmTagSize, 0);
-        out = tlp;
+        // Copy so the ARQ wrapper never mutates the device's TLP.
+        out = std::make_shared<Tlp>(*tlp);
     } else {
         // Encrypt in place on a copy of the TLP under the cached
         // epoch cipher.
@@ -456,10 +552,22 @@ PcieSc::handleA2Upstream(const TlpPtr &tlp)
                            rec.tag.data());
         enc->encrypted = true;
         out = enc;
+        if (config_.retry.enabled) {
+            // Keep a pristine copy for kChunkRetry replays (wire
+            // tampering that evades the link CRC is only detected
+            // by the Adaptor's tag check, after delivery).
+            tenant->d2hReplay.emplace_back(
+                rec.chunkId, std::make_shared<Tlp>(*enc));
+            if (tenant->d2hReplay.size() > kD2hReplayCap)
+                tenant->d2hReplay.pop_front();
+        }
     }
 
     queueD2hRecord(*tenant, rec);
-    forward(out, true, delay);
+    if (config_.retry.enabled)
+        sendUpstreamArq(tenant->bdfRaw, out, delay);
+    else
+        forward(out, true, delay);
 }
 
 void
@@ -495,7 +603,13 @@ PcieSc::flushMetadataBatch(TenantSession &tenant)
     auto tlp = std::make_shared<Tlp>(Tlp::makeMemWrite(
         pcie::wellknown::kPcieSc, dst, std::move(blob)));
     stats_.counter("meta_batches").inc();
-    forward(tlp, true, 0);
+    // The batch rides the tenant's ARQ channel: the in-order gate at
+    // the root complex guarantees the record blob is in host memory
+    // before any later record-count completion is delivered.
+    if (config_.retry.enabled)
+        sendUpstreamArq(tenant.bdfRaw, tlp, 0);
+    else
+        forward(tlp, true, 0);
 }
 
 // ---------------------------------------------------------------------
@@ -586,6 +700,10 @@ PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
             tenant->d2hRecords.pop_front();
         return;
       }
+      case mm::screg::kChunkRetry:
+        if (tenant)
+            handleChunkRetry(*tenant, value);
+        return;
       case mm::screg::kEndTask:
         endTenant(tlp->requester, value != 0);
         return;
@@ -649,7 +767,239 @@ PcieSc::completeOwnRead(const TlpPtr &req, Bytes payload)
     auto cpl = std::make_shared<Tlp>(Tlp::makeCompletion(
         pcie::wellknown::kPcieSc, req->requester, req->tag,
         std::move(payload)));
-    forward(cpl, true, filter_.lookupDelay(*req));
+    // Sessioned requesters get their completions sequenced on the
+    // tenant ARQ channel so a record-count read can never overtake
+    // the metadata write it refers to. Foreign requesters (e.g. a
+    // probing device) keep the plain path.
+    TenantSession *t = session(req->requester.raw());
+    if (t && config_.retry.enabled)
+        sendUpstreamArq(t->bdfRaw, cpl, filter_.lookupDelay(*req));
+    else
+        forward(cpl, true, filter_.lookupDelay(*req));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end transport (retry/ARQ) plumbing
+// ---------------------------------------------------------------------
+
+void
+PcieSc::handleChunkRetry(TenantSession &tenant, std::uint64_t chunkId)
+{
+    for (const auto &[id, saved] : tenant.d2hReplay) {
+        if (id != chunkId)
+            continue;
+        stats_.counter("d2h_replays").inc();
+        auto copy = std::make_shared<Tlp>(*saved);
+        sendUpstreamArq(tenant.bdfRaw, copy, gcmEngine_.tagDelay());
+        return;
+    }
+    stats_.counter("d2h_replay_misses").inc();
+    warnRateLimited("sc-replay-miss",
+                    "%s: no replay buffer for chunk %llu",
+                    name().c_str(), (unsigned long long)chunkId);
+}
+
+bool
+PcieSc::transportAdmitDown(const TlpPtr &tlp, SecurityAction action)
+{
+    if (!config_.retry.enabled || !tlp->ackRequired)
+        return true;
+    std::uint64_t &rx = rxSeqDown_[tlp->txChannel];
+    if (tlp->seqNo <= rx) {
+        // Retransmit of something already applied: re-ack so the
+        // sender's window advances, but do not apply twice.
+        stats_.counter("transport_rx_duplicates").inc();
+        sendDownAck(tlp->txChannel, rx, false);
+        return false;
+    }
+    if (tlp->seqNo != rx + 1) {
+        // Gap: an earlier packet was lost; ask for it.
+        stats_.counter("transport_rx_ooo").inc();
+        sendDownAck(tlp->txChannel, rx + 1, true);
+        return false;
+    }
+    // Next in sequence. For A3 traffic the MAC (which covers the
+    // ARQ header fields) decides transport acceptance: a corrupted
+    // packet is NAK'd for retransmission instead of silently
+    // dropped. Application-level rejections past this point (env-
+    // guard violations, config authentication failures) are still
+    // transport-accepted, or the channel would wedge on a packet
+    // that will never become acceptable.
+    if (action == SecurityAction::A3_PlainIntegrity &&
+        sessionEstablished()) {
+        TenantSession *t = session(tlp->requester.raw());
+        if (!t || !t->signer.verifyMac(*tlp)) {
+            stats_.counter("a3_integrity_failures").inc();
+            sendDownAck(tlp->txChannel, rx + 1, true);
+            return false;
+        }
+    }
+    rx = tlp->seqNo;
+    stats_.counter("transport_rx_accepted").inc();
+    sendDownAck(tlp->txChannel, rx, false);
+    return true;
+}
+
+void
+PcieSc::sendDownAck(std::uint16_t channel, std::uint64_t seq, bool nak)
+{
+    Tlp ack = Tlp::makeMessage(pcie::wellknown::kPcieSc,
+                               pcie::MsgCode::TransportAck);
+    ack.completer = pcie::Bdf::fromRaw(channel); // ID-routed home
+    ack.fmt = pcie::TlpFmt::FourDwData;
+    ack.data = pcie::encodeTransportAck(
+        pcie::TransportAck{nak, channel, seq});
+    ack.lengthBytes = static_cast<std::uint32_t>(ack.data.size());
+    stats_.counter(nak ? "transport_naks_sent" : "transport_acks_sent")
+        .inc();
+    forward(std::make_shared<Tlp>(std::move(ack)), true, 0);
+}
+
+void
+PcieSc::sendUpstreamArq(std::uint16_t channel, const TlpPtr &tlp,
+                        Tick delay)
+{
+    if (!config_.retry.enabled) {
+        forward(tlp, true, delay);
+        return;
+    }
+    TxChannel &tx = upTx_[channel];
+    tlp->ackRequired = true;
+    tlp->txChannel = channel;
+    tlp->seqNo = tx.nextSeq++;
+    tx.unacked.push_back(tlp);
+    forward(tlp, true, delay);
+    if (tx.unacked.size() == 1)
+        armUpTxTimer(channel);
+}
+
+void
+PcieSc::handleUpstreamAck(const pcie::TransportAck &ack)
+{
+    auto it = upTx_.find(ack.channel);
+    if (it == upTx_.end())
+        return;
+    TxChannel &tx = it->second;
+    if (ack.nak) {
+        retransmitUpTx(ack.channel, ack.seq);
+        return;
+    }
+    std::size_t before = tx.unacked.size();
+    while (!tx.unacked.empty() &&
+           tx.unacked.front()->seqNo <= ack.seq) {
+        tx.unacked.pop_front();
+    }
+    std::size_t popped = before - tx.unacked.size();
+    if (popped == 0)
+        return; // stale cumulative ack
+    if (tx.dirty)
+        stats_.counter("faults_recovered").inc(popped);
+    tx.attempts = 0;
+    ++tx.timerGen; // retire the running timer chain
+    if (tx.unacked.empty())
+        tx.dirty = false;
+    else
+        armUpTxTimer(ack.channel);
+}
+
+void
+PcieSc::retransmitUpTx(std::uint16_t channel, std::uint64_t fromSeq)
+{
+    TxChannel &tx = upTx_[channel];
+    // A burst of NAKs (one per packet behind the gap) must trigger
+    // one go-back-N, not one resend-storm per NAK.
+    if (tx.lastGoBack != 0 &&
+        curTick() - tx.lastGoBack < config_.retry.retransmitGap)
+        return;
+    tx.lastGoBack = curTick();
+    std::uint64_t n = 0;
+    for (const auto &p : tx.unacked) {
+        if (p->seqNo >= fromSeq) {
+            forward(p, true, 0);
+            ++n;
+        }
+    }
+    if (n) {
+        tx.dirty = true;
+        stats_.counter("transport_retransmits").inc(n);
+    }
+}
+
+void
+PcieSc::armUpTxTimer(std::uint16_t channel)
+{
+    TxChannel &tx = upTx_[channel];
+    std::uint64_t gen = ++tx.timerGen;
+    Tick timeout =
+        config_.retry.timeoutFor(config_.retry.ackTimeout, tx.attempts);
+    // The queue has no cancellation: the timer captures (channel,
+    // gen) and no-ops once the window advanced or was abandoned.
+    eventq().scheduleIn(timeout, [this, channel, gen] {
+        auto it = upTx_.find(channel);
+        if (it == upTx_.end())
+            return;
+        TxChannel &tx = it->second;
+        if (tx.timerGen != gen || tx.unacked.empty())
+            return;
+        if (tx.attempts >= config_.retry.maxRetries) {
+            stats_.counter("faults_fatal").inc(tx.unacked.size());
+            warnRateLimited(
+                "sc-uptx-exhausted",
+                "%s: upstream channel %u exhausted its retry budget "
+                "(%zu packets abandoned)",
+                name().c_str(), unsigned(channel),
+                tx.unacked.size());
+            tx.unacked.clear();
+            tx.attempts = 0;
+            tx.dirty = false;
+            return;
+        }
+        ++tx.attempts;
+        tx.dirty = true;
+        stats_.counter("transport_timeout_retransmits").inc();
+        for (const auto &p : tx.unacked)
+            forward(p, true, 0);
+        armUpTxTimer(channel);
+    });
+}
+
+void
+PcieSc::armSensitiveReadTimer(std::uint8_t tag)
+{
+    auto it = pendingSensitiveReads_.find(tag);
+    if (it == pendingSensitiveReads_.end() || !it->second.request)
+        return;
+    it->second.gen = pendingGen_++;
+    std::uint64_t gen = it->second.gen;
+    Tick timeout = config_.retry.timeoutFor(config_.retry.readTimeout,
+                                            it->second.attempts);
+    eventq().scheduleIn(timeout, [this, tag, gen] {
+        auto it = pendingSensitiveReads_.find(tag);
+        if (it == pendingSensitiveReads_.end() ||
+            it->second.gen != gen)
+            return;
+        PendingRead &p = it->second;
+        if (p.attempts >= config_.retry.maxReadRetries) {
+            stats_.counter("faults_fatal").inc();
+            warnRateLimited(
+                "sc-read-exhausted",
+                "%s: sensitive read tag %d addr 0x%llx exhausted "
+                "its retry budget",
+                name().c_str(), int(tag),
+                (unsigned long long)p.addr);
+            auto abort = std::make_shared<Tlp>(Tlp::makeCompletion(
+                pcie::wellknown::kPcieSc, p.request->requester, tag,
+                {}, pcie::CplStatus::CompleterAbort));
+            recentCompleted_.insert(tag);
+            pendingSensitiveReads_.erase(it);
+            forward(abort, false, 0);
+            return;
+        }
+        ++p.attempts;
+        stats_.counter("a2_read_retries").inc();
+        forward(std::make_shared<Tlp>(*p.request), true, 0);
+        armSensitiveReadTimer(tag);
+    });
 }
 
 void
@@ -658,6 +1008,9 @@ PcieSc::reset()
     sessions_.clear();
     ownerTenant_ = 0;
     pendingSensitiveReads_.clear();
+    recentCompleted_.clear();
+    upTx_.clear();
+    rxSeqDown_.clear();
     upBusyUntil_ = 0;
     downBusyUntil_ = 0;
     stats_.reset();

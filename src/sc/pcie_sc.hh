@@ -21,9 +21,11 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "pcie/link.hh"
 #include "pcie/memory_map.hh"
+#include "pcie/transport.hh"
 #include "sc/control_panels.hh"
 #include "sc/engines.hh"
 #include "sc/env_guard.hh"
@@ -55,6 +57,13 @@ struct PcieScConfig
      * ample space; tests shrink it to exercise rotation live.
      */
     std::uint32_t ivExhaustionLimit = 0xffff0000u;
+    /**
+     * End-to-end retry policy shared with the Adaptor and the root
+     * complex: governs the downstream receive gate (NAK/re-ack), the
+     * upstream per-tenant ARQ channels, and the sensitive-read
+     * re-request timers. Disabled -> the seed's lossless behaviour.
+     */
+    pcie::RetryConfig retry;
 };
 
 /**
@@ -128,6 +137,9 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
     void reset() override;
 
   private:
+    /** Encrypted D2H TLPs kept for chunk-retry replays per tenant. */
+    static constexpr std::size_t kD2hReplayCap = 64;
+
     /** Per-tenant isolated secure channel (§9). */
     struct TenantSession
     {
@@ -140,6 +152,13 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
         Addr metaCursor = 0;
         std::uint64_t metaDelivered = 0;
         std::uint64_t nextChunkId = 1;
+        std::uint16_t bdfRaw = 0;
+        /**
+         * Pristine (pre-ARQ) encrypted copies of recent D2H writes,
+         * replayed when the Adaptor re-requests a chunk whose
+         * ciphertext was tampered with on the wire (kChunkRetry).
+         */
+        std::deque<std::pair<std::uint64_t, pcie::TlpPtr>> d2hReplay;
 
         explicit TenantSession(const EngineTiming &timing)
             : signer(timing)
@@ -151,6 +170,20 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
     {
         Addr addr = 0;
         std::uint16_t tenant = 0;
+        pcie::TlpPtr request; ///< re-request copy (retry enabled)
+        int attempts = 0;
+        std::uint64_t gen = 0; ///< guards against stale timers
+    };
+
+    /** Upstream ARQ sender state, one channel per tenant. */
+    struct TxChannel
+    {
+        std::uint64_t nextSeq = 1;
+        std::deque<pcie::TlpPtr> unacked;
+        int attempts = 0;       ///< consecutive ack timeouts
+        bool dirty = false;     ///< a retransmission is in flight
+        std::uint64_t timerGen = 0;
+        Tick lastGoBack = 0;    ///< NAK retransmit rate limiting
     };
 
     TenantSession *session(std::uint16_t tenantRaw);
@@ -177,6 +210,21 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
     // D2H record plumbing.
     void queueD2hRecord(TenantSession &tenant, const ChunkRecord &rec);
     void flushMetadataBatch(TenantSession &tenant);
+    void handleChunkRetry(TenantSession &tenant, std::uint64_t chunkId);
+
+    // End-to-end transport (retry/ARQ) plumbing.
+    /** In-order admit gate for ackRequired downstream TLPs. */
+    bool transportAdmitDown(const pcie::TlpPtr &tlp,
+                            SecurityAction action);
+    void sendDownAck(std::uint16_t channel, std::uint64_t seq,
+                     bool nak);
+    /** Stamp an upstream TLP onto a tenant channel and send it. */
+    void sendUpstreamArq(std::uint16_t channel, const pcie::TlpPtr &tlp,
+                         Tick delay);
+    void handleUpstreamAck(const pcie::TransportAck &ack);
+    void retransmitUpTx(std::uint16_t channel, std::uint64_t fromSeq);
+    void armUpTxTimer(std::uint16_t channel);
+    void armSensitiveReadTimer(std::uint8_t tag);
 
     PcieScConfig config_;
     PacketFilter filter_;
@@ -194,6 +242,19 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
 
     /** tag -> pending sensitive device read. */
     std::map<std::uint8_t, PendingRead> pendingSensitiveReads_;
+    /**
+     * Tags whose sensitive completion already went through the A2
+     * decrypt path: a link-level duplicate of the still-encrypted
+     * completion must be dropped here, or it could overtake the
+     * decrypted copy and feed ciphertext to the device.
+     */
+    std::set<std::uint8_t> recentCompleted_;
+    std::uint64_t pendingGen_ = 1;
+
+    /** Upstream ARQ channels, keyed by tenant requester ID. */
+    std::map<std::uint16_t, TxChannel> upTx_;
+    /** Highest in-order seqNo accepted per downstream ARQ channel. */
+    std::map<std::uint16_t, std::uint64_t> rxSeqDown_;
 
     /** Per-direction egress FIFO points. */
     Tick upBusyUntil_ = 0;

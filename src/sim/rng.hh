@@ -9,12 +9,41 @@
 #define CCAI_SIM_RNG_HH
 
 #include <cstdint>
+#include <optional>
 #include <random>
+#include <string>
 
 #include "common/types.hh"
 
 namespace ccai::sim
 {
+
+/**
+ * Global seed override for reproducible fuzz/soak runs.
+ *
+ * Priority: setSeedOverride() (the --seed flag) > the CCAI_SEED
+ * environment variable > the caller's fallback. resolveSeed() logs
+ * the effective seed the first time each distinct value is resolved,
+ * so a CI failure is reproducible from the log line alone.
+ */
+
+/** Programmatic override (what --seed parses into). */
+void setSeedOverride(std::optional<std::uint64_t> seed);
+
+/** Active override: the programmatic one, else CCAI_SEED, else none. */
+std::optional<std::uint64_t> seedOverride();
+
+/** The seed a component should actually use, with startup logging. */
+std::uint64_t resolveSeed(std::uint64_t fallback);
+
+/**
+ * Scan argv for "--seed N" / "--seed=N" and install the override.
+ * @return true when a seed flag was consumed.
+ */
+bool applySeedFlag(int argc, char **argv);
+
+/** FNV-1a hash for deriving per-component seeds from one root seed. */
+std::uint64_t seedHash(const std::string &salt);
 
 /** Seedable wrapper around a 64-bit Mersenne engine. */
 class Rng

@@ -80,6 +80,25 @@ class System
 
     const std::vector<SimObject *> &objects() const { return objects_; }
 
+    /**
+     * Sum a named counter across every registered object's stat
+     * group. Used by fault/soak tests to aggregate e.g.
+     * "faults_injected" over all links without enumerating them.
+     */
+    std::uint64_t
+    sumCounter(const std::string &name)
+    {
+        std::uint64_t total = 0;
+        for (SimObject *obj : objects_) {
+            if (sim::StatGroup *stats = obj->statGroup()) {
+                auto it = stats->counters().find(name);
+                if (it != stats->counters().end())
+                    total += it->second.value();
+            }
+        }
+        return total;
+    }
+
     /** Render every registered object's statistics (gem5-style). */
     std::string
     dumpStats()

@@ -17,6 +17,113 @@ Adaptor::Adaptor(sim::System &sys, std::string name, Tvm &tvm,
     : sim::SimObject(sys, std::move(name)), tvm_(tvm), config_(config),
       timing_(timing), stats_(this->name())
 {
+    // Consume transport acks for this tenant's ARQ channel. The
+    // handler is registered unconditionally (it is inert while
+    // retries are disabled) so enabling retries via setConfig works.
+    tvm_.rootComplex().addTransportHandler(
+        tvm_.bdf().raw(),
+        [this](const pcie::TransportAck &ack) {
+            handleTransportAck(ack);
+        });
+}
+
+void
+Adaptor::sendTransported(pcie::Tlp tlp, bool sign)
+{
+    tlp.seqNo = nextSeqNo_++;
+    if (retryEnabled()) {
+        tlp.ackRequired = true;
+        tlp.txChannel = tvm_.bdf().raw();
+    }
+    if (sign && signer_.hasKey())
+        tlp.integrityTag = signer_.computeMac(tlp);
+    auto ptr = std::make_shared<pcie::Tlp>(std::move(tlp));
+    if (retryEnabled()) {
+        txUnacked_.push_back(ptr);
+        if (txUnacked_.size() == 1)
+            armTxTimer();
+    }
+    tvm_.rootComplex().sendWrite(ptr);
+}
+
+void
+Adaptor::handleTransportAck(const pcie::TransportAck &ack)
+{
+    if (!retryEnabled())
+        return;
+    if (ack.nak) {
+        goBackN(ack.seq);
+        return;
+    }
+    std::size_t before = txUnacked_.size();
+    while (!txUnacked_.empty() &&
+           txUnacked_.front()->seqNo <= ack.seq) {
+        txUnacked_.pop_front();
+    }
+    std::size_t popped = before - txUnacked_.size();
+    if (popped == 0)
+        return; // stale cumulative ack
+    if (txDirty_)
+        stats_.counter("faults_recovered").inc(popped);
+    txAttempts_ = 0;
+    ++txTimerGen_; // retire the running timer chain
+    if (txUnacked_.empty())
+        txDirty_ = false;
+    else
+        armTxTimer();
+}
+
+void
+Adaptor::goBackN(std::uint64_t fromSeq)
+{
+    // One go-back-N round per gap, not one per NAK behind the gap.
+    if (lastGoBack_ != 0 &&
+        curTick() - lastGoBack_ < config_.retry.retransmitGap)
+        return;
+    lastGoBack_ = curTick();
+    std::uint64_t n = 0;
+    for (const auto &p : txUnacked_) {
+        if (p->seqNo >= fromSeq) {
+            tvm_.rootComplex().sendWrite(p);
+            ++n;
+        }
+    }
+    if (n) {
+        txDirty_ = true;
+        stats_.counter("transport_retransmits").inc(n);
+    }
+}
+
+void
+Adaptor::armTxTimer()
+{
+    std::uint64_t gen = ++txTimerGen_;
+    Tick timeout = config_.retry.timeoutFor(config_.retry.ackTimeout,
+                                            txAttempts_);
+    // The queue has no cancellation: the timer captures gen and
+    // no-ops once the window advanced or was abandoned.
+    eventq().scheduleIn(timeout, [this, gen] {
+        if (txTimerGen_ != gen || txUnacked_.empty())
+            return;
+        if (txAttempts_ >= config_.retry.maxRetries) {
+            stats_.counter("faults_fatal").inc(txUnacked_.size());
+            warnRateLimited(
+                "adaptor-tx-exhausted",
+                "%s: %zu transported writes exhausted the retry "
+                "budget",
+                name().c_str(), txUnacked_.size());
+            txUnacked_.clear();
+            txAttempts_ = 0;
+            txDirty_ = false;
+            return;
+        }
+        ++txAttempts_;
+        txDirty_ = true;
+        stats_.counter("transport_timeout_retransmits").inc();
+        for (const auto &p : txUnacked_)
+            tvm_.rootComplex().sendWrite(p);
+        armTxTimer();
+    });
 }
 
 void
@@ -58,19 +165,22 @@ Adaptor::pktFilterManage(const sc::RuleTables &tables)
     payload.insert(payload.end(), sealed.tag.begin(), sealed.tag.end());
     payload.insert(payload.end(), sealed.ciphertext.begin(),
                    sealed.ciphertext.end());
-    tvm_.mmioWrite(mm::kScRuleTable.base, std::move(payload));
+    // Not MAC-signed (the GCM seal authenticates it), but it still
+    // rides the ARQ channel so a lossy fabric cannot drop a policy
+    // update or reorder it against later doorbells.
+    sendTransported(pcie::Tlp::makeMemWrite(tvm_.bdf(),
+                                            mm::kScRuleTable.base,
+                                            std::move(payload)),
+                    /*sign=*/false);
     stats_.counter("policy_updates").inc();
 }
 
 void
 Adaptor::writeSigned(Addr addr, Bytes data)
 {
-    pcie::Tlp tlp =
-        pcie::Tlp::makeMemWrite(tvm_.bdf(), addr, std::move(data));
-    tlp.seqNo = nextSeqNo_++;
-    if (signer_.hasKey())
-        tlp.integrityTag = signer_.computeMac(tlp);
-    tvm_.rootComplex().sendWrite(std::move(tlp));
+    sendTransported(pcie::Tlp::makeMemWrite(tvm_.bdf(), addr,
+                                            std::move(data)),
+                    /*sign=*/true);
     stats_.counter("signed_writes").inc();
 }
 
@@ -203,12 +313,9 @@ Adaptor::allocD2hBounce(std::uint64_t length)
 void
 Adaptor::sendVendorMessage(Bytes payload)
 {
-    pcie::Tlp tlp =
-        pcie::Tlp::makeVendorMessage(tvm_.bdf(), std::move(payload));
-    tlp.seqNo = nextSeqNo_++;
-    if (signer_.hasKey())
-        tlp.integrityTag = signer_.computeMac(tlp);
-    tvm_.rootComplex().sendWrite(std::move(tlp));
+    sendTransported(pcie::Tlp::makeVendorMessage(tvm_.bdf(),
+                                                 std::move(payload)),
+                    /*sign=*/true);
     stats_.counter("vendor_messages").inc();
 }
 
@@ -219,82 +326,178 @@ Adaptor::collectD2h(Addr bounceAddr, std::uint64_t length,
     if (!keys_)
         fatal("Adaptor: collectD2h before session establishment");
 
-    auto decrypt_and_finish =
-        [this, bounceAddr, length, synthetic, scTerminated,
-         done = std::move(done)](
-            std::vector<ChunkRecord> records) {
-            // Keep only records covering this transfer.
-            std::vector<ChunkRecord> mine;
-            for (const ChunkRecord &rec : records) {
-                if (rec.addr >= bounceAddr &&
-                    rec.addr < bounceAddr + length)
-                    mine.push_back(rec);
-            }
-            std::sort(mine.begin(), mine.end(),
-                      [](const ChunkRecord &a, const ChunkRecord &b) {
-                          return a.addr < b.addr;
-                      });
+    auto st = std::make_shared<CollectState>();
+    st->bounceAddr = bounceAddr;
+    st->length = length;
+    st->synthetic = synthetic;
+    st->scTerminated = scTerminated;
+    st->done = std::move(done);
+    fetchForCollect(std::move(st));
+}
 
-            Tick cpu = timing_.perChunkSetup * mine.size();
-            if (!scTerminated) {
-                cpu += cryptoDelay(length);
-                // Collections larger than the staging slot stall
-                // the device while earlier slots drain.
-                std::uint64_t passes =
-                    (length + config_.d2hSlotBytes - 1) /
-                    config_.d2hSlotBytes;
-                if (passes > 1)
-                    cpu += (passes - 1) * timing_.slotDrainStall;
-            }
-            if (!config_.batchNotify) {
-                std::uint64_t subtasks =
-                    (length + config_.subtaskBytes - 1) /
-                    config_.subtaskBytes;
-                cpu += timing_.perSubtaskOverhead * subtasks;
-            }
-            if (!scTerminated)
-                cpu += tvm_.memcpyDelay(length); // bounce -> private
+void
+Adaptor::fetchForCollect(std::shared_ptr<CollectState> st)
+{
+    auto handle = [this, st](std::vector<ChunkRecord> records) {
+        // Keep only records covering this transfer.
+        for (ChunkRecord &rec : records) {
+            if (rec.addr >= st->bounceAddr &&
+                rec.addr < st->bounceAddr + st->length)
+                st->recs.push_back(std::move(rec));
+        }
+        // Sort by address. A link-level duplicate of a device write
+        // yields two records for one address — keep the newest.
+        std::sort(st->recs.begin(), st->recs.end(),
+                  [](const ChunkRecord &a, const ChunkRecord &b) {
+                      return a.addr != b.addr ? a.addr < b.addr
+                                              : a.chunkId < b.chunkId;
+                  });
+        std::vector<ChunkRecord> uniq;
+        for (ChunkRecord &rec : st->recs) {
+            if (!uniq.empty() && uniq.back().addr == rec.addr)
+                uniq.back() = std::move(rec);
+            else
+                uniq.push_back(std::move(rec));
+        }
+        st->recs = std::move(uniq);
 
-            runOnCpu(cpu, [this, mine = std::move(mine), synthetic,
-                           scTerminated, length,
-                           done = std::move(done)]() {
-                Bytes plaintext;
-                if (!synthetic && !scTerminated) {
-                    for (const ChunkRecord &rec : mine) {
-                        Bytes ct =
-                            tvm_.memory().read(rec.addr, rec.length);
-                        const crypto::AesGcm &cipher =
-                            keys_->cipherCached(
-                                trust::StreamDir::DeviceToHost,
-                                rec.epoch);
-                        if (rec.tag.size() != crypto::kGcmTagSize ||
-                            !cipher.openInPlace(rec.iv, ct.data(),
-                                                ct.size(),
-                                                rec.tag.data(),
-                                                nullptr, 0)) {
-                            stats_.counter("d2h_integrity_failures")
-                                .inc();
-                            warn("%s: D2H chunk %llu failed integrity",
-                                 name().c_str(),
-                                 (unsigned long long)rec.chunkId);
-                            continue;
-                        }
-                        plaintext.insert(plaintext.end(), ct.begin(),
-                                         ct.end());
-                    }
-                }
-                stats_.counter("d2h_bytes").inc(length);
-                done(std::move(plaintext));
-            });
-        };
+        if (!retryEnabled() || coverageComplete(*st) ||
+            st->fetchAttempts >= config_.retry.maxReadRetries) {
+            if (retryEnabled() && !coverageComplete(*st) &&
+                st->length != 0)
+                stats_.counter("record_fetch_incomplete").inc();
+            finishCollect(std::move(st));
+            return;
+        }
+        // Records may still sit behind a lost doorbell or an
+        // in-flight metadata write: back off and re-fetch. The
+        // doorbell/ack bookkeeping is consistent across rounds
+        // because each fetch acks everything it consumed.
+        ++st->fetchAttempts;
+        stats_.counter("record_fetch_retries").inc();
+        Tick wait = config_.retry.timeoutFor(config_.retry.ackTimeout,
+                                             st->fetchAttempts - 1);
+        eventq().scheduleIn(wait,
+                            [this, st] { fetchForCollect(st); });
+    };
 
     if (config_.batchMetadataReads) {
         std::uint64_t chunks =
-            (length + config_.chunkBytes - 1) / config_.chunkBytes;
-        fetchRecordsBatched(chunks, std::move(decrypt_and_finish));
+            (st->length + config_.chunkBytes - 1) / config_.chunkBytes;
+        fetchRecordsBatched(chunks, std::move(handle));
     } else {
-        fetchRecordsMmio(std::move(decrypt_and_finish));
+        fetchRecordsMmio(std::move(handle));
     }
+}
+
+bool
+Adaptor::coverageComplete(const CollectState &st) const
+{
+    // recs are addr-sorted and deduped: the transfer is fully
+    // described when they tile [bounceAddr, bounceAddr + length).
+    Addr next = st.bounceAddr;
+    for (const ChunkRecord &rec : st.recs) {
+        if (rec.addr > next)
+            return false;
+        next = std::max(next, rec.addr + rec.length);
+    }
+    return next >= st.bounceAddr + st.length;
+}
+
+void
+Adaptor::finishCollect(std::shared_ptr<CollectState> st)
+{
+    Tick cpu = timing_.perChunkSetup * st->recs.size();
+    if (!st->scTerminated) {
+        cpu += cryptoDelay(st->length);
+        // Collections larger than the staging slot stall the device
+        // while earlier slots drain.
+        std::uint64_t passes =
+            (st->length + config_.d2hSlotBytes - 1) /
+            config_.d2hSlotBytes;
+        if (passes > 1)
+            cpu += (passes - 1) * timing_.slotDrainStall;
+    }
+    if (!config_.batchNotify) {
+        std::uint64_t subtasks =
+            (st->length + config_.subtaskBytes - 1) /
+            config_.subtaskBytes;
+        cpu += timing_.perSubtaskOverhead * subtasks;
+    }
+    if (!st->scTerminated)
+        cpu += tvm_.memcpyDelay(st->length); // bounce -> private
+
+    runOnCpu(cpu, [this, st = std::move(st)]() mutable {
+        attemptDecrypt(std::move(st), 0);
+    });
+}
+
+void
+Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
+{
+    if (st->ok.empty() && !st->recs.empty()) {
+        st->ok.assign(st->recs.size(), 0);
+        st->plain.resize(st->recs.size());
+    }
+    std::vector<std::uint64_t> failed;
+    if (!st->synthetic && !st->scTerminated) {
+        for (std::size_t i = 0; i < st->recs.size(); ++i) {
+            if (st->ok[i])
+                continue;
+            const ChunkRecord &rec = st->recs[i];
+            Bytes ct = tvm_.memory().read(rec.addr, rec.length);
+            const crypto::AesGcm &cipher = keys_->cipherCached(
+                trust::StreamDir::DeviceToHost, rec.epoch);
+            if (rec.tag.size() != crypto::kGcmTagSize ||
+                !cipher.openInPlace(rec.iv, ct.data(), ct.size(),
+                                    rec.tag.data(), nullptr, 0)) {
+                stats_.counter("d2h_integrity_failures").inc();
+                warnRateLimited(
+                    "adaptor-d2h-integrity",
+                    "%s: D2H chunk %llu failed integrity",
+                    name().c_str(),
+                    (unsigned long long)rec.chunkId);
+                failed.push_back(rec.chunkId);
+                continue;
+            }
+            st->ok[i] = 1;
+            st->plain[i] = std::move(ct);
+            if (attempt > 0)
+                stats_.counter("faults_recovered").inc();
+        }
+    }
+
+    if (!failed.empty() && retryEnabled() &&
+        attempt < config_.retry.maxReadRetries) {
+        // The ciphertext in the bounce buffer was tampered with in
+        // flight: ask the controller to replay the affected chunks
+        // from its pristine buffer, then re-read and retry.
+        for (std::uint64_t chunkId : failed) {
+            Bytes v(8);
+            storeLe64(v.data(), chunkId);
+            writeSigned(mm::kScMmio.base + mm::screg::kChunkRetry,
+                        std::move(v));
+        }
+        stats_.counter("d2h_chunk_retries").inc(failed.size());
+        Tick wait =
+            config_.retry.timeoutFor(config_.retry.ackTimeout, attempt);
+        eventq().scheduleIn(wait, [this, st, attempt] {
+            attemptDecrypt(st, attempt + 1);
+        });
+        return;
+    }
+    if (!failed.empty())
+        stats_.counter("faults_fatal").inc(failed.size());
+
+    Bytes plaintext;
+    for (std::size_t i = 0; i < st->recs.size(); ++i) {
+        if (!st->ok.empty() && st->ok[i]) {
+            plaintext.insert(plaintext.end(), st->plain[i].begin(),
+                             st->plain[i].end());
+        }
+    }
+    stats_.counter("d2h_bytes").inc(st->length);
+    st->done(std::move(plaintext));
 }
 
 void
@@ -417,6 +620,11 @@ Adaptor::reset()
     metaConsumed_ = 0;
     metaReadCursor_ = 0;
     cpuBusyUntil_ = 0;
+    txUnacked_.clear();
+    txAttempts_ = 0;
+    txDirty_ = false;
+    ++txTimerGen_; // retire live timers
+    lastGoBack_ = 0;
     stats_.reset();
 }
 

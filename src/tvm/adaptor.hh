@@ -17,9 +17,11 @@
 #ifndef CCAI_TVM_ADAPTOR_HH
 #define CCAI_TVM_ADAPTOR_HH
 
+#include <deque>
 #include <functional>
 #include <optional>
 
+#include "pcie/transport.hh"
 #include "sc/control_panels.hh"
 #include "sc/engines.hh"
 #include "sc/rules.hh"
@@ -67,6 +69,14 @@ struct AdaptorConfig
     pcie::AddrRange h2dWindow = pcie::memmap::kBounceH2d;
     pcie::AddrRange d2hWindow = pcie::memmap::kBounceD2h;
     pcie::AddrRange metaWindow = pcie::memmap::kMetadataBuffer;
+
+    /**
+     * End-to-end retry policy (must match the PCIe-SC's): bounded
+     * retransmission of doorbell/config writes, record re-fetch, and
+     * D2H chunk re-requests. Off by default for raw fixtures; the
+     * Platform enables it together with the SC/root-complex sides.
+     */
+    pcie::RetryConfig retry;
 
     /** Fully non-optimized configuration (Figure 11 baseline). */
     static AdaptorConfig
@@ -194,8 +204,42 @@ class Adaptor : public sim::SimObject
     void reset() override;
 
   private:
+    /** In-flight state of one D2H collection under retry. */
+    struct CollectState
+    {
+        Addr bounceAddr = 0;
+        std::uint64_t length = 0;
+        bool synthetic = false;
+        bool scTerminated = false;
+        DataCb done;
+        std::vector<sc::ChunkRecord> recs; ///< deduped, addr-sorted
+        std::vector<Bytes> plain;          ///< per-record plaintext
+        std::vector<char> ok;              ///< per-record decrypt ok
+        int fetchAttempts = 0;
+    };
+
     /** Serialize work on the Adaptor's CPU context. */
     void runOnCpu(Tick duration, DoneCb then);
+
+    bool retryEnabled() const { return config_.retry.enabled; }
+
+    /**
+     * Stamp, (optionally) sign and send a posted TLP through the
+     * tenant's ARQ channel: with retries enabled the TLP enters the
+     * unacked window and is retransmitted on NAK or ack timeout.
+     * The MAC is computed after the ARQ fields are set (the header
+     * MAC covers them, so stripping ackRequired in flight fails
+     * verification).
+     */
+    void sendTransported(pcie::Tlp tlp, bool sign);
+    void handleTransportAck(const pcie::TransportAck &ack);
+    void goBackN(std::uint64_t fromSeq);
+    void armTxTimer();
+
+    void fetchForCollect(std::shared_ptr<CollectState> st);
+    void finishCollect(std::shared_ptr<CollectState> st);
+    void attemptDecrypt(std::shared_ptr<CollectState> st, int attempt);
+    bool coverageComplete(const CollectState &st) const;
 
     Addr allocBounce(pcie::AddrRange region, Addr &cursor,
                      std::uint64_t length);
@@ -226,6 +270,13 @@ class Adaptor : public sim::SimObject
     std::uint64_t metaConsumed_ = 0;
     Addr metaReadCursor_ = 0;
     Tick cpuBusyUntil_ = 0;
+
+    /** Downstream ARQ sender window (writes awaiting the SC's ack). */
+    std::deque<pcie::TlpPtr> txUnacked_;
+    int txAttempts_ = 0;
+    bool txDirty_ = false; ///< a retransmission is in flight
+    std::uint64_t txTimerGen_ = 0;
+    Tick lastGoBack_ = 0;
 
     sim::StatGroup stats_;
 };

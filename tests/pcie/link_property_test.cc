@@ -80,6 +80,48 @@ INSTANTIATE_TEST_SUITE_P(
     Generations, LinkGrid,
     ::testing::Range(0, int(std::size(kLinkGrid))));
 
+// Golden per-TLP wire times. bytesPerSecond() is deliberately the
+// raw post-encoding rate — framing is charged per wire TLP in
+// serializationDelay(), not folded into the rate (doing both would
+// double-count it; see the LinkConfig doc comment). These pins catch
+// any accidental change to that accounting.
+//
+// Wire bytes: payload + unitCount * (header + framingBytes).
+//  - 4 KiB burst at a 64-bit address: 4096 + 16*(16+12) = 4544 B.
+//  - 64 B write at a 32-bit address:    64 +  1*(12+12) =   88 B.
+TEST(LinkGoldens, PinnedPerTlpWireTimesAcrossGenerations)
+{
+    struct Golden
+    {
+        double gt;
+        Tick burst4k; ///< ticks (ps) for the 4 KiB burst
+        Tick small64; ///< ticks (ps) for the 64 B write
+    };
+    // ps/byte at x16 = 1e12 / (gt*1e9*16*(128/130)/8).
+    const Golden kGoldens[] = {
+        {8.0, 288437, 5585},  // Gen3 x16: 63.4765625 ps/B
+        {16.0, 144218, 2792}, // Gen4 x16: 31.73828125 ps/B
+        {32.0, 72109, 1396},  // Gen5 x16: 15.869140625 ps/B
+    };
+
+    for (const Golden &g : kGoldens) {
+        LinkConfig cfg;
+        cfg.gtPerSec = g.gt;
+        cfg.lanes = 16;
+        sim::System sys;
+        Link link(sys, "golden", cfg);
+
+        Tlp burst = Tlp::makeMemWriteSynthetic(
+            wellknown::kTvm, 0x10'0000'0000ull, 4 * kKiB);
+        Tlp small = Tlp::makeMemWrite(wellknown::kTvm, 0x1000,
+                                      Bytes(64, 0xab));
+        EXPECT_EQ(link.serializationDelay(burst), g.burst4k)
+            << g.gt << " GT/s burst";
+        EXPECT_EQ(link.serializationDelay(small), g.small64)
+            << g.gt << " GT/s small";
+    }
+}
+
 TEST(LinkOrdering, FifoDeliveryUnderMixedSizes)
 {
     sim::System sys;

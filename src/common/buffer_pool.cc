@@ -1,0 +1,121 @@
+#include "buffer_pool.hh"
+
+namespace ccai
+{
+
+// Classes are powers of two: 1 KiB, 2 KiB, ... 4 MiB.
+static_assert(BufferPool::kMinPooledBytes << (13 - 1) ==
+              BufferPool::kMaxPooledBytes);
+
+std::size_t
+BufferPool::classIndex(std::size_t size)
+{
+    std::size_t cap = kMinPooledBytes;
+    std::size_t cls = 0;
+    while (cap < size) {
+        cap <<= 1;
+        ++cls;
+    }
+    return cls;
+}
+
+std::size_t
+BufferPool::classCapacity(std::size_t cls)
+{
+    return kMinPooledBytes << cls;
+}
+
+Bytes
+BufferPool::acquire(std::size_t size)
+{
+    if (size < kMinPooledBytes || size > kMaxPooledBytes) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++misses_;
+        return Bytes(size);
+    }
+    std::size_t cls = classIndex(size);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &list = free_[cls];
+        if (!list.empty()) {
+            Bytes buf = std::move(list.back());
+            list.pop_back();
+            ++hits_;
+            // Capacity is at least the class size, so this resize
+            // never reallocates; contents are stale by contract.
+            buf.resize(size);
+            return buf;
+        }
+        ++misses_;
+    }
+    Bytes buf;
+    buf.reserve(classCapacity(cls));
+    buf.resize(size);
+    return buf;
+}
+
+void
+BufferPool::release(Bytes &&buf)
+{
+    std::size_t cap = buf.capacity();
+    if (cap < kMinPooledBytes || cap > kMaxPooledBytes * 2)
+        return; // unpooled allocation; let it free normally
+    // Park under the largest class the capacity fully covers.
+    std::size_t cls = classIndex(cap);
+    if (classCapacity(cls) > cap) {
+        if (cls == 0)
+            return;
+        --cls;
+    }
+    if (cls >= kClasses)
+        cls = kClasses - 1;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &list = free_[cls];
+    if (list.size() >= kMaxFreePerClass)
+        return;
+    list.push_back(std::move(buf));
+}
+
+std::uint64_t
+BufferPool::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+BufferPool::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+BufferPool::freeBuffers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &list : free_)
+        n += list.size();
+    return n;
+}
+
+void
+BufferPool::trim()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &list : free_)
+        list.clear();
+}
+
+BufferPool &
+BufferPool::global()
+{
+    // Intentionally leaked: TLP payloads release into this pool from
+    // destructors that may run during static teardown, after a
+    // function-local static would already be gone.
+    static BufferPool *pool = new BufferPool;
+    return *pool;
+}
+
+} // namespace ccai

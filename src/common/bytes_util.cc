@@ -99,6 +99,24 @@ loadLe64(const std::uint8_t *p)
     return v;
 }
 
+std::uint32_t
+loadLe32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+void
+storeLe32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        p[i] = static_cast<std::uint8_t>(v);
+        v >>= 8;
+    }
+}
+
 void
 storeLe64(std::uint8_t *p, std::uint64_t v)
 {

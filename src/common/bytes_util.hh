@@ -34,6 +34,12 @@ std::uint64_t loadBe64(const std::uint8_t *p);
 /** Store a big-endian 64-bit word. */
 void storeBe64(std::uint8_t *p, std::uint64_t v);
 
+/** Load a little-endian 32-bit word. */
+std::uint32_t loadLe32(const std::uint8_t *p);
+
+/** Store a little-endian 32-bit word. */
+void storeLe32(std::uint8_t *p, std::uint32_t v);
+
 /** Load a little-endian 64-bit word. */
 std::uint64_t loadLe64(const std::uint8_t *p);
 

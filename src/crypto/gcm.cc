@@ -1,9 +1,11 @@
 #include "gcm.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bytes_util.hh"
 #include "common/logging.hh"
+#include "crypto/worker_pool.hh"
 
 namespace ccai::crypto
 {
@@ -187,6 +189,174 @@ AesGcm::openInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
     if (diff != 0)
         return false;
     ctrApply(iv, data, len, 2);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Parallel data-engine entry points. The decomposition is exact: CTR
+// blocks are independent by construction, and GHASH distributes over
+// contiguous segments as Y_n = A*H^n + sum_k S_k * H^{n-e_k}, where
+// S_k is segment k's zero-seeded GHASH, e_k its last global block
+// index, and A the post-AAD accumulator. Tags are therefore
+// bit-identical to the serial path at any lane count.
+// ---------------------------------------------------------------------
+
+int
+AesGcm::parallelLanes(size_t len, int width)
+{
+    if (width <= 1 || len < kGcmParallelMinBytes)
+        return 1;
+    // Keep every lane at least half the threshold so the fork is
+    // never more expensive than the crypto it spreads.
+    size_t cap = len / (kGcmParallelMinBytes / 2);
+    return static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(width), cap));
+}
+
+void
+AesGcm::gf128Mul(std::uint64_t xh, std::uint64_t xl, std::uint64_t yh,
+                 std::uint64_t yl, std::uint64_t &zh, std::uint64_t &zl)
+{
+    // SP 800-38D Algorithm 1 in the bit-reflected convention the
+    // Shoup table uses: V <- V * x is a right shift reduced by
+    // R = 0xe1 << 120. The multiplicative identity is the block
+    // 0x80 0x00... i.e. (1 << 63, 0).
+    std::uint64_t vh = yh, vl = yl;
+    zh = 0;
+    zl = 0;
+    for (int i = 0; i < 128; ++i) {
+        std::uint64_t bit = i < 64 ? (xh >> (63 - i)) & 1
+                                   : (xl >> (127 - i)) & 1;
+        if (bit) {
+            zh ^= vh;
+            zl ^= vl;
+        }
+        std::uint64_t lsb = vl & 1;
+        vl = (vh << 63) | (vl >> 1);
+        vh >>= 1;
+        if (lsb)
+            vh ^= 0xe100000000000000ull;
+    }
+}
+
+void
+AesGcm::hPower(std::uint64_t t, std::uint64_t &ph,
+               std::uint64_t &pl) const
+{
+    std::uint64_t rh = 1ull << 63, rl = 0; // identity
+    std::uint64_t bh = hh_[8], bl = hl_[8]; // H
+    while (t) {
+        if (t & 1)
+            gf128Mul(rh, rl, bh, bl, rh, rl);
+        std::uint64_t sh, sl;
+        gf128Mul(bh, bl, bh, bl, sh, sl);
+        bh = sh;
+        bl = sl;
+        t >>= 1;
+    }
+    ph = rh;
+    pl = rl;
+}
+
+void
+AesGcm::ctrApplyParallel(const Bytes &iv, std::uint8_t *data,
+                         size_t len, WorkerPool &pool, int lanes) const
+{
+    size_t fullBlocks = len / kAesBlockSize;
+    size_t n = static_cast<size_t>(lanes);
+    pool.parallelFor(n, lanes, [&](size_t k) {
+        size_t b0 = fullBlocks * k / n;
+        size_t b1 = fullBlocks * (k + 1) / n;
+        size_t begin = b0 * kAesBlockSize;
+        size_t end = k + 1 == n ? len : b1 * kAesBlockSize;
+        if (end > begin)
+            ctrApply(iv, data + begin, end - begin,
+                     2 + static_cast<std::uint32_t>(b0));
+    });
+}
+
+void
+AesGcm::computeTagParallel(const Bytes &iv, const std::uint8_t *ct,
+                           size_t len, const std::uint8_t *aad,
+                           size_t aadLen,
+                           std::uint8_t tag[kGcmTagSize],
+                           WorkerPool &pool, int lanes) const
+{
+    size_t fullBlocks = len / kAesBlockSize;
+    size_t n = static_cast<size_t>(lanes);
+
+    std::vector<std::uint64_t> sh(n, 0), sl(n, 0);
+    pool.parallelFor(n, lanes, [&](size_t k) {
+        size_t b0 = fullBlocks * k / n;
+        size_t b1 = fullBlocks * (k + 1) / n;
+        ghashAbsorb(sh[k], sl[k], ct + b0 * kAesBlockSize,
+                    (b1 - b0) * kAesBlockSize);
+    });
+
+    // Serial fold, identical at any scheduling: XOR is commutative
+    // and every power is a pure function of the segment geometry.
+    std::uint64_t yh = 0, yl = 0;
+    ghashAbsorb(yh, yl, aad, aadLen);
+    if (yh || yl) {
+        std::uint64_t ph, pl;
+        hPower(fullBlocks, ph, pl);
+        gf128Mul(yh, yl, ph, pl, yh, yl);
+    }
+    for (size_t k = 0; k < n; ++k) {
+        size_t e = fullBlocks * (k + 1) / n;
+        std::uint64_t ph, pl, th, tl;
+        hPower(fullBlocks - e, ph, pl);
+        gf128Mul(sh[k], sl[k], ph, pl, th, tl);
+        yh ^= th;
+        yl ^= tl;
+    }
+    if (size_t tail = len % kAesBlockSize)
+        ghashAbsorb(yh, yl, ct + fullBlocks * kAesBlockSize, tail);
+    yh ^= static_cast<std::uint64_t>(aadLen) * 8;
+    yl ^= static_cast<std::uint64_t>(len) * 8;
+    gmult(yh, yl);
+
+    std::uint8_t mask[kAesBlockSize];
+    aes_.ctrKeystream(iv.data(), 1, mask, 1);
+    storeBe64(tag, yh);
+    storeBe64(tag + 8, yl);
+    for (size_t i = 0; i < kGcmTagSize; ++i)
+        tag[i] ^= mask[i];
+}
+
+void
+AesGcm::sealInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
+                    const std::uint8_t *aad, size_t aadLen,
+                    std::uint8_t tag[kGcmTagSize], WorkerPool &pool,
+                    int width) const
+{
+    int lanes = parallelLanes(len, width);
+    if (lanes <= 1) {
+        sealInPlace(iv, data, len, aad, aadLen, tag);
+        return;
+    }
+    ctrApplyParallel(iv, data, len, pool, lanes);
+    computeTagParallel(iv, data, len, aad, aadLen, tag, pool, lanes);
+}
+
+bool
+AesGcm::openInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
+                    const std::uint8_t tag[kGcmTagSize],
+                    const std::uint8_t *aad, size_t aadLen,
+                    WorkerPool &pool, int width) const
+{
+    int lanes = parallelLanes(len, width);
+    if (lanes <= 1)
+        return openInPlace(iv, data, len, tag, aad, aadLen);
+    std::uint8_t expect[kGcmTagSize];
+    computeTagParallel(iv, data, len, aad, aadLen, expect, pool,
+                       lanes);
+    std::uint8_t diff = 0;
+    for (size_t i = 0; i < kGcmTagSize; ++i)
+        diff |= expect[i] ^ tag[i];
+    if (diff != 0)
+        return false;
+    ctrApplyParallel(iv, data, len, pool, lanes);
     return true;
 }
 

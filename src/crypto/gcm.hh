@@ -30,8 +30,16 @@
 namespace ccai::crypto
 {
 
+class WorkerPool;
+
 constexpr size_t kGcmTagSize = 16;
 constexpr size_t kGcmIvSize = 12;
+
+/**
+ * Payloads shorter than this run serially even when a pool is
+ * offered: below it the dispatch overhead exceeds the crypto.
+ */
+constexpr size_t kGcmParallelMinBytes = 16 * 1024;
 
 /** Output of an AEAD seal operation. */
 struct Sealed
@@ -87,6 +95,25 @@ class AesGcm
                      const std::uint8_t tag[kGcmTagSize],
                      const std::uint8_t *aad, size_t aadLen) const;
 
+    /**
+     * Parallel in-place seal: splits the payload into @p width
+     * contiguous block-aligned segments, each lane running CTR at
+     * the segment's counter offset plus a segment-local GHASH; the
+     * segment hashes are folded exactly (S = sum_k S_k * H^{n-e_k}),
+     * so the tag is bit-identical to the serial sealInPlace at any
+     * width. Falls back to serial for width <= 1 or short payloads.
+     */
+    void sealInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
+                     const std::uint8_t *aad, size_t aadLen,
+                     std::uint8_t tag[kGcmTagSize], WorkerPool &pool,
+                     int width) const;
+
+    /** Parallel in-place open; same decomposition and guarantees. */
+    bool openInPlace(const Bytes &iv, std::uint8_t *data, size_t len,
+                     const std::uint8_t tag[kGcmTagSize],
+                     const std::uint8_t *aad, size_t aadLen,
+                     WorkerPool &pool, int width) const;
+
     /** GHASH over aad||ciphertext with length block (exposed for
      * the AuthTagManager's incremental verification tests). */
     Bytes ghash(const Bytes &aad, const Bytes &ciphertext) const;
@@ -105,6 +132,28 @@ class AesGcm
     void computeTag(const Bytes &iv, const std::uint8_t *ct, size_t len,
                     const std::uint8_t *aad, size_t aadLen,
                     std::uint8_t tag[kGcmTagSize]) const;
+
+    /** Lanes a parallel op over @p len bytes should use (1 = run
+     * the serial path). */
+    static int parallelLanes(size_t len, int width);
+    /** Generic z <- x * y in the GHASH field (bit-reflected
+     * convention, reduction by 0xe1 << 120). */
+    static void gf128Mul(std::uint64_t xh, std::uint64_t xl,
+                         std::uint64_t yh, std::uint64_t yl,
+                         std::uint64_t &zh, std::uint64_t &zl);
+    /** (ph, pl) <- H^t by square-and-multiply. */
+    void hPower(std::uint64_t t, std::uint64_t &ph,
+                std::uint64_t &pl) const;
+    /** Parallel CTR over block-aligned lane ranges. */
+    void ctrApplyParallel(const Bytes &iv, std::uint8_t *data,
+                          size_t len, WorkerPool &pool,
+                          int lanes) const;
+    /** Parallel GHASH + E_K(J0) via exact segment folding. */
+    void computeTagParallel(const Bytes &iv, const std::uint8_t *ct,
+                            size_t len, const std::uint8_t *aad,
+                            size_t aadLen,
+                            std::uint8_t tag[kGcmTagSize],
+                            WorkerPool &pool, int lanes) const;
 
     Aes aes_;
     /** 4-bit Shoup table for GHASH: hh_[i]/hl_[i] hold the high and

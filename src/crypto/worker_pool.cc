@@ -1,0 +1,150 @@
+#include "worker_pool.hh"
+
+#include <algorithm>
+
+namespace ccai::crypto
+{
+
+int
+WorkerPool::defaultWorkerCount()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    // Even on a single-core host keep a couple of real workers: the
+    // pool's value there is exercising the concurrent code paths
+    // (and TSan), not speedup.
+    return std::clamp<int>(static_cast<int>(hc), 2, 8);
+}
+
+WorkerPool::WorkerPool(int maxWorkers)
+    : maxWorkers_(std::max(1, maxWorkers))
+{
+    workers_.reserve(static_cast<std::size_t>(maxWorkers_));
+    for (int i = 0; i < maxWorkers_; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+}
+
+WorkerPool::~WorkerPool()
+{
+    stopping_.store(true, std::memory_order_relaxed);
+    for (auto &w : workers_) {
+        {
+            std::lock_guard<std::mutex> lock(w->mutex);
+        }
+        w->cv.notify_all();
+        if (w->started)
+            w->thread.join();
+    }
+}
+
+int
+WorkerPool::spawnedWorkers() const
+{
+    int n = 0;
+    for (const auto &w : workers_)
+        n += w->started ? 1 : 0;
+    return n;
+}
+
+void
+WorkerPool::ensureWorker(std::size_t index)
+{
+    Worker &w = *workers_[index];
+    if (!w.started) {
+        w.started = true;
+        w.thread = std::thread([this, &w] { workerLoop(w); });
+    }
+}
+
+void
+WorkerPool::workerLoop(Worker &w)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(w.mutex);
+            w.cv.wait(lock, [&] {
+                return !w.ring.empty() ||
+                       stopping_.load(std::memory_order_relaxed);
+            });
+            if (w.ring.empty())
+                return; // stopping
+            task = w.ring.front();
+            w.ring.erase(w.ring.begin());
+        }
+        runRange(task);
+        workerRanges_.fetch_add(1, std::memory_order_relaxed);
+        Batch &batch = *task.batch;
+        if (batch.pendingRanges.fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(batch.doneMutex);
+            batch.doneCv.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::runRange(const Task &task)
+{
+    for (std::size_t i = task.begin; i < task.end; ++i)
+        (*task.batch->fn)(i);
+}
+
+void
+WorkerPool::parallelFor(std::size_t n, int width,
+                        const std::function<void(std::size_t)> &fn)
+{
+    std::size_t lanes = static_cast<std::size_t>(std::max(1, width));
+    lanes = std::min(lanes, n);
+    if (lanes <= 1) {
+        ++inlineBatches_;
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    ++parallelBatches_;
+    Batch batch;
+    batch.fn = &fn;
+    batch.pendingRanges.store(lanes - 1, std::memory_order_relaxed);
+
+    // Contiguous split; lane 0 stays on the caller. Lane k always
+    // maps to ring (k-1) % workers so the decomposition — and with
+    // it every per-index result — is a pure function of (n, width).
+    std::vector<Task> mine;
+    for (std::size_t k = 0; k < lanes; ++k) {
+        Task task;
+        task.batch = &batch;
+        task.begin = n * k / lanes;
+        task.end = n * (k + 1) / lanes;
+        if (k == 0) {
+            mine.push_back(task);
+            continue;
+        }
+        std::size_t widx =
+            (k - 1) % static_cast<std::size_t>(maxWorkers_);
+        ensureWorker(widx);
+        Worker &w = *workers_[widx];
+        {
+            std::lock_guard<std::mutex> lock(w.mutex);
+            w.ring.push_back(task);
+        }
+        w.cv.notify_one();
+    }
+
+    runRange(mine.front());
+
+    std::unique_lock<std::mutex> lock(batch.doneMutex);
+    batch.doneCv.wait(lock, [&] {
+        return batch.pendingRanges.load(std::memory_order_acquire) ==
+               0;
+    });
+}
+
+WorkerPool &
+WorkerPool::shared()
+{
+    static WorkerPool pool;
+    return pool;
+}
+
+} // namespace ccai::crypto

@@ -1,11 +1,65 @@
 #include "tlp.hh"
 
+#include <cstring>
 #include <sstream>
 
+#include "common/buffer_pool.hh"
 #include "common/bytes_util.hh"
 
 namespace ccai::pcie
 {
+
+namespace
+{
+
+/** Payloads at least this large are copied via the buffer pool. */
+constexpr std::size_t kPooledPayloadBytes = 4096;
+
+Bytes
+copyPayload(const Bytes &src)
+{
+    if (src.size() < kPooledPayloadBytes)
+        return src;
+    Bytes out = BufferPool::global().acquire(src.size());
+    std::memcpy(out.data(), src.data(), src.size());
+    return out;
+}
+
+void
+retirePayload(Bytes &&buf)
+{
+    if (buf.capacity() >= BufferPool::kMinPooledBytes)
+        BufferPool::global().release(std::move(buf));
+}
+
+} // namespace
+
+Tlp::Tlp(const Tlp &other)
+    : fmt(other.fmt), type(other.type), requester(other.requester),
+      completer(other.completer), tag(other.tag),
+      address(other.address), lengthBytes(other.lengthBytes),
+      cplStatus(other.cplStatus), msgCode(other.msgCode),
+      data(copyPayload(other.data)), synthetic(other.synthetic),
+      encrypted(other.encrypted), seqNo(other.seqNo),
+      authTagId(other.authTagId), ackRequired(other.ackRequired),
+      txChannel(other.txChannel), integrityTag(other.integrityTag)
+{
+}
+
+Tlp &
+Tlp::operator=(const Tlp &other)
+{
+    if (this != &other) {
+        Tlp copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
+}
+
+Tlp::~Tlp()
+{
+    retirePayload(std::move(data));
+}
 
 std::string
 Bdf::toString() const

@@ -71,6 +71,20 @@ constexpr std::uint32_t kMaxPayloadBytes = 256;
  */
 struct Tlp
 {
+    /*
+     * Copies route payloads >= 4 KiB through BufferPool::global()
+     * and destruction retires them there, so the A2 hot path (the
+     * PCIe-SC's crypt-on-copy, retransmit queues, fault-injector
+     * duplicates) recycles payload storage instead of hitting the
+     * allocator once per packet. Moves transfer the pooled buffer.
+     */
+    Tlp() = default;
+    Tlp(const Tlp &other);
+    Tlp &operator=(const Tlp &other);
+    Tlp(Tlp &&) noexcept = default;
+    Tlp &operator=(Tlp &&) noexcept = default;
+    ~Tlp();
+
     // ---- header fields the Packet Filter matches on ----
     TlpFmt fmt = TlpFmt::ThreeDwNoData;
     TlpType type = TlpType::MemRead;

@@ -1,5 +1,7 @@
 #include "packet_filter.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace ccai::sc
@@ -13,6 +15,8 @@ void
 PacketFilter::install(const RuleTables &tables)
 {
     tables_ = tables;
+    ++generation_;
+    rebuildBoundaries();
 }
 
 void
@@ -38,14 +42,82 @@ PacketFilter::applyEncryptedConfig(const Bytes &iv,
         return false;
     }
     tables_ = RuleTables::deserialize(*plaintext);
+    ++generation_;
+    rebuildBoundaries();
     return true;
+}
+
+void
+PacketFilter::rebuildBoundaries()
+{
+    boundaries_.clear();
+    for (const auto &rule : tables_.l1()) {
+        if (rule.mask & kMatchAddress) {
+            boundaries_.push_back(rule.addrLo);
+            boundaries_.push_back(rule.addrHi);
+        }
+    }
+    for (const auto &rule : tables_.l2()) {
+        if (rule.addrHi != 0) {
+            boundaries_.push_back(rule.addrLo);
+            boundaries_.push_back(rule.addrHi);
+        }
+    }
+    std::sort(boundaries_.begin(), boundaries_.end());
+    boundaries_.erase(
+        std::unique(boundaries_.begin(), boundaries_.end()),
+        boundaries_.end());
+    // The interval index must fit the 16-bit key field; a policy
+    // with >32k address-bearing rules would overflow it, so fall
+    // back to an always-miss TLB rather than alias intervals.
+    if (boundaries_.size() >= 0xffff)
+        boundaries_.clear();
+}
+
+std::uint64_t
+PacketFilter::tlbKey(const pcie::Tlp &tlp) const
+{
+    // Classification consults only type, requester, completer,
+    // msgCode, and the address — and between two consecutive rule
+    // boundaries the address cannot change which rules match, so
+    // the interval ordinal stands in for the address.
+    auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                               tlp.address);
+    auto interval = static_cast<std::uint64_t>(
+        it - boundaries_.begin());
+    return (static_cast<std::uint64_t>(tlp.type) << 56) |
+           (static_cast<std::uint64_t>(tlp.msgCode) << 48) |
+           (static_cast<std::uint64_t>(tlp.requester.raw()) << 32) |
+           (static_cast<std::uint64_t>(tlp.completer.raw()) << 16) |
+           interval;
+}
+
+size_t
+PacketFilter::tlbIndex(std::uint64_t key)
+{
+    // Fibonacci hashing spreads the packed fields across the
+    // direct-mapped set; the top bits index 64 entries.
+    return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> 58);
 }
 
 SecurityAction
 PacketFilter::classify(const pcie::Tlp &tlp)
 {
     classified_.inc();
-    SecurityAction action = tables_.classify(tlp);
+    unitsClassified_.inc(tlp.unitCount());
+
+    const std::uint64_t key = tlbKey(tlp);
+    TlbEntry &entry = tlb_[tlbIndex(key)];
+    SecurityAction action;
+    if (entry.valid && entry.generation == generation_ &&
+        entry.key == key) {
+        tlbHits_.inc();
+        action = entry.action;
+    } else {
+        tlbMisses_.inc();
+        action = tables_.classify(tlp);
+        entry = TlbEntry{key, generation_, action, true};
+    }
     if (action == SecurityAction::A1_Disallow)
         blocked_.inc();
     return action;
@@ -54,11 +126,22 @@ PacketFilter::classify(const pcie::Tlp &tlp)
 Tick
 PacketFilter::lookupDelay(const pcie::Tlp &tlp) const
 {
-    // The match pipeline inspects headers in parallel with payload
-    // streaming, so a burst TLP pays the L1+L2 fill latency once;
-    // throughput is bounded by the crypto engines, not the filter.
-    (void)tlp;
+    const std::uint64_t key = tlbKey(tlp);
+    const TlbEntry &entry = tlb_[tlbIndex(key)];
+    if (entry.valid && entry.generation == generation_ &&
+        entry.key == key)
+        return timing_.tlbHitLatency;
     return timing_.l1LookupLatency + timing_.l2LookupLatency;
+}
+
+double
+PacketFilter::tlbHitRate() const
+{
+    const std::uint64_t total = tlbHits_.value() + tlbMisses_.value();
+    return total == 0
+               ? 0.0
+               : static_cast<double>(tlbHits_.value()) /
+                     static_cast<double>(total);
 }
 
 } // namespace ccai::sc

@@ -3,12 +3,24 @@
  * The Packet Filter (paper §4.1): classifies every TLP traversing
  * the PCIe-SC against the L1/L2 tables and supports dynamic,
  * encrypted policy updates through a dedicated configuration space.
+ *
+ * A small direct-mapped rule TLB sits in front of the table walk:
+ * classification is a pure function of the TLP's match header
+ * (type, requester, completer, msgCode) and of which inter-boundary
+ * address interval the target falls into, so steady-state streaming
+ * traffic — thousands of chunk TLPs walking a bounce window covered
+ * by one rule span — resolves from the cache instead of re-walking
+ * L1+L2 per packet. A generation counter bumped on every table
+ * change (install or authenticated config update) guarantees stale
+ * entries can never classify a packet under a superseded policy.
  */
 
 #ifndef CCAI_SC_PACKET_FILTER_HH
 #define CCAI_SC_PACKET_FILTER_HH
 
+#include <array>
 #include <optional>
+#include <vector>
 
 #include "crypto/gcm.hh"
 #include "sc/rules.hh"
@@ -22,6 +34,8 @@ struct FilterTiming
 {
     Tick l1LookupLatency = 16 * kTicksPerNs;
     Tick l2LookupLatency = 24 * kTicksPerNs;
+    /** Service time when the rule TLB resolves the TLP. */
+    Tick tlbHitLatency = 2 * kTicksPerNs;
 };
 
 /**
@@ -35,6 +49,9 @@ struct FilterTiming
 class PacketFilter
 {
   public:
+    /** Direct-mapped rule-TLB size (entries). */
+    static constexpr size_t kTlbEntries = 64;
+
     explicit PacketFilter(const FilterTiming &timing = {});
 
     /** Install plaintext tables directly (boot-time defaults). */
@@ -46,14 +63,27 @@ class PacketFilter
     /**
      * Apply an encrypted policy blob from the configuration space.
      * @return false when authentication fails (injected config).
+     * A rejected blob leaves the tables — and the TLB generation —
+     * untouched; only an authenticated update invalidates the cache.
      */
     bool applyEncryptedConfig(const Bytes &iv, const Bytes &ciphertext,
                               const Bytes &tag);
 
-    /** Classify one TLP. */
+    /** Classify one TLP (TLB probe, walk + fill on miss). */
     SecurityAction classify(const pcie::Tlp &tlp);
 
-    /** Filter service time for a TLP (all wire units). */
+    /**
+     * Filter service time for a TLP. The match pipeline inspects
+     * headers in parallel with payload streaming, so a burst TLP
+     * (payload > 256 B, standing for several wire packets) pays the
+     * pipeline fill once for the whole burst — the first wire unit
+     * covers l1+l2 (or the TLB-hit latency) and the trailing units
+     * ride the already-resolved verdict. unitsClassified() exposes
+     * the wire-unit count so tests can check the amortization.
+     *
+     * Const peek: reports what classify() is about to experience
+     * without touching TLB state or counters.
+     */
     Tick lookupDelay(const pcie::Tlp &tlp) const;
 
     const RuleTables &tables() const { return tables_; }
@@ -65,13 +95,50 @@ class PacketFilter
         return rejectedConfigs_.value();
     }
 
+    /** TLB probes resolved from the cache. */
+    std::uint64_t tlbHits() const { return tlbHits_.value(); }
+    /** TLB probes that fell through to the L1/L2 walk. */
+    std::uint64_t tlbMisses() const { return tlbMisses_.value(); }
+    /** Hit fraction over all classify() calls (0 when none). */
+    double tlbHitRate() const;
+    /** Wire-level TLP units classified (burst = several units). */
+    std::uint64_t unitsClassified() const
+    {
+        return unitsClassified_.value();
+    }
+    /** Monotonic table version; bumped per successful update. */
+    std::uint32_t policyGeneration() const { return generation_; }
+
   private:
+    /** One cached classification. */
+    struct TlbEntry
+    {
+        std::uint64_t key = 0;
+        std::uint32_t generation = 0;
+        SecurityAction action = SecurityAction::A1_Disallow;
+        bool valid = false;
+    };
+
+    /** Rebuild the sorted rule address boundaries after a table
+     * change; classification is address-invariant between them. */
+    void rebuildBoundaries();
+    std::uint64_t tlbKey(const pcie::Tlp &tlp) const;
+    static size_t tlbIndex(std::uint64_t key);
+
     RuleTables tables_;
     FilterTiming timing_;
     std::optional<crypto::AesGcm> configKey_;
     sim::Counter classified_;
     sim::Counter blocked_;
     sim::Counter rejectedConfigs_;
+
+    std::array<TlbEntry, kTlbEntries> tlb_{};
+    /** Sorted, deduplicated rule address edges (addrLo/addrHi). */
+    std::vector<Addr> boundaries_;
+    std::uint32_t generation_ = 1;
+    sim::Counter tlbHits_;
+    sim::Counter tlbMisses_;
+    sim::Counter unitsClassified_;
 };
 
 } // namespace ccai::sc

@@ -3,6 +3,7 @@
 #include "common/bytes_util.hh"
 #include "common/logging.hh"
 #include "crypto/sha256.hh"
+#include "crypto/worker_pool.hh"
 
 namespace ccai::sc
 {
@@ -357,7 +358,9 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
     if (rec->tag.size() != crypto::kGcmTagSize ||
         !cipher.openInPlace(rec->iv, out->data.data(),
                             out->data.size(), rec->tag.data(),
-                            nullptr, 0)) {
+                            nullptr, 0,
+                            crypto::WorkerPool::shared(),
+                            config_.dataEngineThreads)) {
         stats_.counter("a2_integrity_failures").inc();
         warnRateLimited(
             "sc-a2-integrity",
@@ -549,7 +552,9 @@ PcieSc::handleA2Upstream(const TlpPtr &tlp)
         rec.tag.resize(crypto::kGcmTagSize);
         cipher.sealInPlace(rec.iv, enc->data.data(),
                            enc->data.size(), nullptr, 0,
-                           rec.tag.data());
+                           rec.tag.data(),
+                           crypto::WorkerPool::shared(),
+                           config_.dataEngineThreads);
         enc->encrypted = true;
         out = enc;
         if (config_.retry.enabled) {

@@ -64,6 +64,13 @@ struct PcieScConfig
      * re-request timers. Disabled -> the seed's lossless behaviour.
      */
     pcie::RetryConfig retry;
+    /**
+     * Wall-clock lanes the A2 data engines split one payload across
+     * (segmented-GHASH parallel GCM; bit-identical tags at any
+     * width). Purely a host-side execution knob: simulated engine
+     * timing stays the line-rate EngineTiming model.
+     */
+    int dataEngineThreads = 1;
 };
 
 /**

@@ -1,9 +1,12 @@
 #include "adaptor.hh"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/buffer_pool.hh"
 #include "common/bytes_util.hh"
 #include "common/logging.hh"
+#include "crypto/worker_pool.hh"
 
 namespace ccai::tvm
 {
@@ -234,7 +237,11 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
     // SC-terminated traffic (KV-cache swapping) never exists as TVM
     // plaintext: the PCIe-SC en/decrypts it at line rate and the
     // Adaptor only manages records, so no CPU crypto is charged.
-    Tick cpu = timing_.perChunkSetup * chunks;
+    // Chunk bookkeeping and staging ride the crypto worker lanes, so
+    // the per-chunk setup amortizes across cryptoThreads like the
+    // crypto itself; only the serial notify path stays per-thread.
+    const int width = std::max(1, config_.cryptoThreads);
+    Tick cpu = timing_.perChunkSetup * chunks / width;
     if (!scTerminated)
         cpu += cryptoDelay(length);
     if (!config_.batchNotify)
@@ -242,8 +249,17 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
 
     runOnCpu(cpu, [this, data = std::move(data), length, bounce, chunks,
                    subtasks, done = std::move(done)]() mutable {
+        // Three-stage parallel seal, deterministic at any thread
+        // count: (1) serial record build — nextIv() draws and epoch
+        // rotation must happen in chunkId order, and cipherCached()
+        // may construct/evict, so both stay on the sim thread;
+        // (2) parallel in-place seal into disjoint per-chunk staging
+        // buffers; (3) serial in-order commit to the bounce buffer
+        // (HostMemory is not thread-safe) and stat updates.
         std::vector<ChunkRecord> records;
         records.reserve(chunks);
+        std::vector<Bytes> staged; ///< pooled per-chunk ciphertext
+        std::vector<const crypto::AesGcm *> ciphers;
         std::uint64_t off = 0;
         while (off < length) {
             std::uint64_t take =
@@ -260,22 +276,41 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
                 keys_->epochId(trust::StreamDir::HostToDevice);
             rec.synthetic = !data.has_value();
             if (data) {
-                // Encrypt the chunk in place (one copy out of the
-                // source buffer, none for the ciphertext) under the
-                // cached epoch cipher.
-                Bytes chunk(data->begin() + off,
-                            data->begin() + off + take);
-                const crypto::AesGcm &cipher = keys_->cipherCached(
-                    trust::StreamDir::HostToDevice, rec.epoch);
+                Bytes chunk = BufferPool::global().acquire(take);
+                std::memcpy(chunk.data(), data->data() + off, take);
+                staged.push_back(std::move(chunk));
+                ciphers.push_back(&keys_->cipherCached(
+                    trust::StreamDir::HostToDevice, rec.epoch));
                 rec.tag.resize(crypto::kGcmTagSize);
-                cipher.sealInPlace(rec.iv, chunk.data(), chunk.size(),
-                                   nullptr, 0, rec.tag.data());
-                tvm_.memory().write(bounce + off, chunk);
             } else {
                 rec.tag.assign(crypto::kGcmTagSize, 0);
             }
             records.push_back(std::move(rec));
             off += take;
+        }
+
+        if (!staged.empty()) {
+            const int width = std::max(1, config_.cryptoThreads);
+            crypto::WorkerPool &pool = crypto::WorkerPool::shared();
+            if (staged.size() == 1) {
+                // Single chunk: parallelize inside the payload via
+                // the segmented-GHASH seal (bit-identical tag).
+                ciphers[0]->sealInPlace(
+                    records[0].iv, staged[0].data(), staged[0].size(),
+                    nullptr, 0, records[0].tag.data(), pool, width);
+            } else {
+                pool.parallelFor(
+                    staged.size(), width, [&](std::size_t i) {
+                        ciphers[i]->sealInPlace(
+                            records[i].iv, staged[i].data(),
+                            staged[i].size(), nullptr, 0,
+                            records[i].tag.data());
+                    });
+            }
+            for (std::size_t i = 0; i < staged.size(); ++i) {
+                tvm_.memory().write(records[i].addr, staged[i]);
+                BufferPool::global().release(std::move(staged[i]));
+            }
         }
         stats_.counter("h2d_chunks").inc(chunks);
         stats_.counter("h2d_bytes").inc(length);
@@ -407,7 +442,12 @@ Adaptor::coverageComplete(const CollectState &st) const
 void
 Adaptor::finishCollect(std::shared_ptr<CollectState> st)
 {
-    Tick cpu = timing_.perChunkSetup * st->recs.size();
+    // Per-record bookkeeping and the bounce->private copy ride the
+    // crypto worker lanes (each lane drains its own records), so both
+    // scale with cryptoThreads; the slot-drain stall is a device
+    // round trip and the notify writes are MMIO — both stay serial.
+    const int width = std::max(1, config_.cryptoThreads);
+    Tick cpu = timing_.perChunkSetup * st->recs.size() / width;
     if (!st->scTerminated) {
         cpu += cryptoDelay(st->length);
         // Collections larger than the staging slot stall the device
@@ -425,7 +465,7 @@ Adaptor::finishCollect(std::shared_ptr<CollectState> st)
         cpu += timing_.perSubtaskOverhead * subtasks;
     }
     if (!st->scTerminated)
-        cpu += tvm_.memcpyDelay(st->length); // bounce -> private
+        cpu += tvm_.memcpyDelay(st->length) / width; // bounce -> private
 
     runOnCpu(cpu, [this, st = std::move(st)]() mutable {
         attemptDecrypt(std::move(st), 0);
@@ -441,16 +481,54 @@ Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
     }
     std::vector<std::uint64_t> failed;
     if (!st->synthetic && !st->scTerminated) {
+        // Three-stage parallel open, mirroring prepareH2d: serial
+        // bounce reads + cipher fetch (HostMemory and the epoch
+        // cipher cache are not thread-safe), parallel in-place
+        // verify+decrypt into disjoint slots, then a serial commit
+        // in record order so stats, warnings, and the failed list
+        // are identical at any thread count.
+        std::vector<std::size_t> pending;
+        std::vector<const crypto::AesGcm *> ciphers(st->recs.size(),
+                                                    nullptr);
         for (std::size_t i = 0; i < st->recs.size(); ++i) {
             if (st->ok[i])
                 continue;
             const ChunkRecord &rec = st->recs[i];
-            Bytes ct = tvm_.memory().read(rec.addr, rec.length);
-            const crypto::AesGcm &cipher = keys_->cipherCached(
+            st->plain[i] = tvm_.memory().read(rec.addr, rec.length);
+            ciphers[i] = &keys_->cipherCached(
                 trust::StreamDir::DeviceToHost, rec.epoch);
-            if (rec.tag.size() != crypto::kGcmTagSize ||
-                !cipher.openInPlace(rec.iv, ct.data(), ct.size(),
-                                    rec.tag.data(), nullptr, 0)) {
+            pending.push_back(i);
+        }
+        std::vector<char> okNow(st->recs.size(), 0);
+        const int width = std::max(1, config_.cryptoThreads);
+        crypto::WorkerPool &pool = crypto::WorkerPool::shared();
+        auto openOne = [&](std::size_t i, int lanes) {
+            const ChunkRecord &rec = st->recs[i];
+            Bytes &ct = st->plain[i];
+            bool ok = rec.tag.size() == crypto::kGcmTagSize;
+            if (ok && lanes > 1) {
+                ok = ciphers[i]->openInPlace(rec.iv, ct.data(),
+                                             ct.size(), rec.tag.data(),
+                                             nullptr, 0, pool, lanes);
+            } else if (ok) {
+                ok = ciphers[i]->openInPlace(rec.iv, ct.data(),
+                                             ct.size(), rec.tag.data(),
+                                             nullptr, 0);
+            }
+            okNow[i] = ok ? 1 : 0;
+        };
+        if (pending.size() == 1) {
+            // Single record: parallelize inside the payload.
+            openOne(pending[0], width);
+        } else if (!pending.empty()) {
+            pool.parallelFor(pending.size(), width,
+                             [&](std::size_t k) {
+                                 openOne(pending[k], 1);
+                             });
+        }
+        for (std::size_t i : pending) {
+            const ChunkRecord &rec = st->recs[i];
+            if (!okNow[i]) {
                 stats_.counter("d2h_integrity_failures").inc();
                 warnRateLimited(
                     "adaptor-d2h-integrity",
@@ -458,10 +536,10 @@ Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
                     name().c_str(),
                     (unsigned long long)rec.chunkId);
                 failed.push_back(rec.chunkId);
+                st->plain[i].clear(); // still ciphertext; drop it
                 continue;
             }
             st->ok[i] = 1;
-            st->plain[i] = std::move(ct);
             if (attempt > 0)
                 stats_.counter("faults_recovered").inc();
         }

@@ -1,7 +1,10 @@
 #include "runtime.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "pcie/memory_map.hh"
+#include "xpu/xpu_device.hh"
 
 namespace ccai::tvm
 {
@@ -15,6 +18,16 @@ Runtime::Runtime(sim::System &sys, std::string name, Tvm &tvm,
 {
     if (mode_ == RuntimeMode::Secure && !adaptor_)
         fatal("Runtime: secure mode requires an Adaptor");
+}
+
+std::uint32_t
+Runtime::secureBurstBytes() const
+{
+    if (mode_ != RuntimeMode::Secure || !adaptor_)
+        return 0;
+    std::uint64_t chunk = adaptor_->config().chunkBytes;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(chunk, xpu::XpuDevice::kDmaBurst));
 }
 
 Addr
@@ -80,6 +93,7 @@ Runtime::memcpyH2DPiece(Addr devAddr, std::optional<Bytes> data,
         cmd.devAddr = devAddr;
         cmd.length = length;
         cmd.synthetic = synthetic;
+        cmd.burstBytes = secureBurstBytes();
         driver_.submitCommand(cmd);
         driver_.fence(std::move(done));
     };
@@ -151,6 +165,7 @@ Runtime::memcpyD2HPiece(Addr devAddr, std::uint64_t length,
         cmd.devAddr = devAddr;
         cmd.length = length;
         cmd.synthetic = synthetic;
+        cmd.burstBytes = secureBurstBytes();
         driver_.submitCommand(cmd);
         driver_.fence([this, bounce, length, synthetic, kind,
                        done = std::move(done)]() {

@@ -93,6 +93,13 @@ class Runtime : public sim::SimObject
 
   private:
     Addr allocStaging(std::uint64_t length);
+    /**
+     * DMA burst override for secure transfers: device bursts are
+     * clamped to the Adaptor's chunk size so every burst maps onto
+     * exactly one A2 chunk record at the PCIe-SC (0 in vanilla mode
+     * leaves the device default).
+     */
+    std::uint32_t secureBurstBytes() const;
     void h2dPiece(Addr devAddr, std::optional<Bytes> data,
                   std::uint64_t offset, std::uint64_t total,
                   TransferKind kind, DoneCb done);

@@ -19,6 +19,7 @@ XpuCommand::serialize() const
     storeLe64(out.data() + 40, length);
     out[48] = static_cast<std::uint8_t>(msiTarget >> 8);
     out[49] = static_cast<std::uint8_t>(msiTarget);
+    storeLe32(out.data() + 52, burstBytes);
     return out;
 }
 
@@ -38,6 +39,7 @@ XpuCommand::deserialize(const Bytes &raw)
     cmd.length = loadLe64(raw.data() + 40);
     cmd.msiTarget =
         static_cast<std::uint16_t>((raw[48] << 8) | raw[49]);
+    cmd.burstBytes = loadLe32(raw.data() + 52);
     return cmd;
 }
 

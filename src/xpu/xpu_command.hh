@@ -45,6 +45,13 @@ struct XpuCommand
      * legacy implicit routing to the root.
      */
     std::uint16_t msiTarget = 0;
+    /**
+     * DMA burst granularity in bytes; 0 selects the device default.
+     * Secure transfers set this to the Adaptor's chunk size so each
+     * device burst is one A2 chunk record — the PCIe-SC's data
+     * engines crypt whole records, so bursts must not straddle them.
+     */
+    std::uint32_t burstBytes = 0;
 
     /** Serialize to the 64-byte wire format. */
     Bytes serialize() const;

@@ -164,8 +164,10 @@ XpuDevice::startNextCommand()
         std::uint64_t remaining = cmd.length;
         Addr host = cmd.hostAddr;
         Addr dev = cmd.devAddr;
+        const std::uint64_t burstMax =
+            cmd.burstBytes ? cmd.burstBytes : kDmaBurst;
         while (remaining > 0) {
-            std::uint64_t burst = std::min(remaining, kDmaBurst);
+            std::uint64_t burst = std::min(remaining, burstMax);
             pcie::TlpPtr tlp;
             if (cmd.synthetic) {
                 tlp = std::make_shared<pcie::Tlp>(
@@ -219,8 +221,11 @@ XpuDevice::pumpDmaRead()
     while (dmaRead_.inflight < kDmaReadWindow &&
            dmaRead_.nextOffset < dmaRead_.cmd.length) {
         std::uint64_t offset = dmaRead_.nextOffset;
-        std::uint64_t burst =
-            std::min(dmaRead_.cmd.length - offset, kDmaBurst);
+        std::uint64_t burst = std::min(
+            dmaRead_.cmd.length - offset,
+            dmaRead_.cmd.burstBytes
+                ? static_cast<std::uint64_t>(dmaRead_.cmd.burstBytes)
+                : kDmaBurst);
         dmaRead_.nextOffset += burst;
         ++dmaRead_.inflight;
 

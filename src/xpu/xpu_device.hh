@@ -51,6 +51,10 @@ struct XpuEnvState
 class XpuDevice : public sim::SimObject, public pcie::PcieNode
 {
   public:
+    /** Default DMA burst size for device-initiated transfers
+     * (XpuCommand::burstBytes == 0). */
+    static constexpr std::uint64_t kDmaBurst = 256 * kKiB;
+
     XpuDevice(sim::System &sys, std::string name, const XpuSpec &spec,
               pcie::Bdf bdf = pcie::wellknown::kXpu);
 
@@ -124,8 +128,6 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
     XpuEnvState env_;
     sim::StatGroup stats_;
 
-    /** DMA burst size for device-initiated reads. */
-    static constexpr std::uint64_t kDmaBurst = 256 * kKiB;
     /** Outstanding read bursts (read-tag window). */
     static constexpr std::uint32_t kDmaReadWindow = 8;
 };

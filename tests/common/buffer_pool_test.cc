@@ -1,0 +1,95 @@
+/**
+ * @file
+ * BufferPool tests: size-class recycling, the RAII lease, bypass of
+ * out-of-range sizes, and concurrent acquire/release.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/buffer_pool.hh"
+
+using namespace ccai;
+
+TEST(BufferPool, RecyclesWithinSizeClass)
+{
+    BufferPool pool;
+    Bytes a = pool.acquire(4096);
+    EXPECT_EQ(a.size(), 4096u);
+    EXPECT_EQ(pool.misses(), 1u);
+    const std::uint8_t *storage = a.data();
+    pool.release(std::move(a));
+    EXPECT_EQ(pool.freeBuffers(), 1u);
+
+    // Any size in the same class reuses the parked storage.
+    Bytes b = pool.acquire(3000);
+    EXPECT_EQ(b.size(), 3000u);
+    EXPECT_EQ(pool.hits(), 1u);
+    EXPECT_EQ(b.data(), storage);
+}
+
+TEST(BufferPool, OutOfRangeSizesBypass)
+{
+    BufferPool pool;
+    Bytes tiny = pool.acquire(16);
+    EXPECT_EQ(tiny.size(), 16u);
+    Bytes huge = pool.acquire(2 * BufferPool::kMaxPooledBytes + 1);
+    EXPECT_EQ(huge.size(), 2 * BufferPool::kMaxPooledBytes + 1);
+    pool.release(std::move(tiny));
+    pool.release(std::move(huge));
+    // Neither is parked: tiny is below the minimum class, huge
+    // above the maximum.
+    EXPECT_EQ(pool.freeBuffers(), 0u);
+    EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(BufferPool, LeaseReturnsOnDestruction)
+{
+    BufferPool pool;
+    {
+        BufferPool::Lease lease = pool.lease(64 * 1024);
+        EXPECT_TRUE(lease.active());
+        EXPECT_EQ(lease.size(), 64u * 1024);
+        lease.data()[0] = 0xAB;
+    }
+    EXPECT_EQ(pool.freeBuffers(), 1u);
+    BufferPool::Lease again = pool.lease(64 * 1024);
+    EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPool, FreeListIsBounded)
+{
+    BufferPool pool;
+    std::vector<Bytes> bufs;
+    for (std::size_t i = 0; i < BufferPool::kMaxFreePerClass + 8; ++i)
+        bufs.push_back(pool.acquire(2048));
+    for (auto &b : bufs)
+        pool.release(std::move(b));
+    EXPECT_EQ(pool.freeBuffers(), BufferPool::kMaxFreePerClass);
+    pool.trim();
+    EXPECT_EQ(pool.freeBuffers(), 0u);
+}
+
+TEST(BufferPool, ConcurrentAcquireRelease)
+{
+    BufferPool pool;
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&pool, t] {
+            for (int i = 0; i < kRounds; ++i) {
+                std::size_t size = 1024u << (std::size_t(i + t) % 6);
+                Bytes buf = pool.acquire(size);
+                buf[0] = static_cast<std::uint8_t>(i);
+                buf[buf.size() - 1] = static_cast<std::uint8_t>(t);
+                pool.release(std::move(buf));
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(pool.hits() + pool.misses(),
+              std::uint64_t(kThreads) * kRounds);
+}

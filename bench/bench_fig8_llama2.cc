@@ -6,7 +6,13 @@
  *   (b) fix-token (=128) E2E latency over batch sizes 1..96
  *   (c/d) the same sweeps for TPS
  *   (e/f) the same sweeps for TTFT
+ *
+ * --quick trims both sweeps to their first two points (CI smoke).
+ * Results also go to BENCH_fig8.json, including p50/p99 latency
+ * summaries over each sweep.
  */
+
+#include <cstring>
 
 #include "bench_util.hh"
 
@@ -14,14 +20,21 @@ using namespace ccai;
 using namespace ccai::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     LogConfig::Quiet quiet;
 
-    const std::vector<std::uint32_t> token_sweep = {64,  128, 256,
-                                                    512, 1024, 2048};
-    const std::vector<std::uint32_t> batch_sweep = {1,  3,  6, 12,
-                                                    24, 48, 96};
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        quick = quick || std::strcmp(argv[i], "--quick") == 0;
+
+    std::vector<std::uint32_t> token_sweep = {64,  128,  256,
+                                              512, 1024, 2048};
+    std::vector<std::uint32_t> batch_sweep = {1, 3, 6, 12, 24, 48, 96};
+    if (quick) {
+        token_sweep.resize(2);
+        batch_sweep.resize(2);
+    }
 
     std::vector<Row> fix_batch, fix_token;
 
@@ -70,6 +83,45 @@ main()
     printHeader("(f) Fix-token TTFT", "TTFT");
     for (const Row &row : fix_token)
         printTtftRow(row);
+
+    // Machine-readable results with latency percentile summaries
+    // (microsecond histograms over each sweep's rows).
+    BenchJson out("BENCH_fig8.json", "fig8-llama2-7b-a100");
+    obs::JsonEmitter &json = out.json();
+    json.field("quick", quick);
+
+    auto writeSeries = [&](const char *key,
+                           const std::vector<Row> &rows) {
+        obs::Histogram vanilla_e2e_us, secure_e2e_us;
+        json.key(key);
+        json.beginArray();
+        for (const Row &row : rows) {
+            json.beginObject();
+            json.field("label", row.label);
+            json.field("vanilla_e2e_s", row.result.vanilla.e2eSeconds);
+            json.field("secure_e2e_s", row.result.secure.e2eSeconds);
+            json.field("e2e_overhead_pct", row.result.e2eOverheadPct());
+            json.field("vanilla_tps", row.result.vanilla.tps);
+            json.field("secure_tps", row.result.secure.tps);
+            json.field("vanilla_ttft_s",
+                       row.result.vanilla.ttftSeconds);
+            json.field("secure_ttft_s", row.result.secure.ttftSeconds);
+            json.field("ttft_overhead_pct",
+                       row.result.ttftOverheadPct());
+            json.endObject();
+            vanilla_e2e_us.sample(static_cast<std::uint64_t>(
+                row.result.vanilla.e2eSeconds * 1e6));
+            secure_e2e_us.sample(static_cast<std::uint64_t>(
+                row.result.secure.e2eSeconds * 1e6));
+        }
+        json.endArray();
+        out.latency(std::string(key) + "_vanilla_e2e_us",
+                    vanilla_e2e_us);
+        out.latency(std::string(key) + "_secure_e2e_us",
+                    secure_e2e_us);
+    };
+    writeSeries("fix_batch", fix_batch);
+    writeSeries("fix_token", fix_token);
 
     return 0;
 }

@@ -67,6 +67,10 @@ struct SweepResult
     std::uint64_t a1Blocked = 0;
     std::uint64_t digest = 0;
     bool dataOk = true;
+    /** Adaptor stage-latency histograms (sim ticks), copied out
+     * before the per-width Platform is torn down. */
+    obs::Histogram h2dPrepareTicks;
+    obs::Histogram d2hCollectTicks;
 };
 
 SweepResult
@@ -163,6 +167,10 @@ runMix(int threads, std::uint64_t &totalBytes)
     r.tlbHits = filter.tlbHits();
     r.tlbMisses = filter.tlbMisses();
     r.a1Blocked = p.system().sumCounter("a1_blocked");
+    r.h2dPrepareTicks =
+        p.adaptor()->stats().histogram("h2d_prepare_ticks");
+    r.d2hCollectTicks =
+        p.adaptor()->stats().histogram("d2h_collect_ticks");
     return r;
 }
 
@@ -203,39 +211,40 @@ main()
     }
     double speedupAt4 = rows[0].simSeconds / rows[2].simSeconds;
 
-    std::FILE *json = std::fopen("BENCH_pipeline.json", "w");
-    if (json) {
-        std::fprintf(json, "{\n  \"workload\": \"fig8-llama2-transfer-"
-                           "mix\",\n  \"chunk_bytes\": 4096,\n"
-                           "  \"total_bytes\": %llu,\n  \"sweep\": [\n",
-                     (unsigned long long)totalBytes);
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const SweepResult &r = rows[i];
-            std::fprintf(
-                json,
-                "    {\"crypto_threads\": %d, \"sim_seconds\": %.9f, "
-                "\"throughput_mib_s\": %.1f, \"speedup\": %.3f, "
-                "\"wall_seconds\": %.3f, \"tlb_hit_rate\": %.4f, "
-                "\"tlb_hits\": %llu, \"tlb_misses\": %llu, "
-                "\"a1_blocked\": %llu, \"digest\": \"%016llx\"}%s\n",
-                r.threads, r.simSeconds, r.mibPerSec,
-                rows.front().simSeconds / r.simSeconds, r.wallSeconds,
-                r.tlbHitRate, (unsigned long long)r.tlbHits,
-                (unsigned long long)r.tlbMisses,
-                (unsigned long long)r.a1Blocked,
-                (unsigned long long)r.digest,
-                i + 1 < rows.size() ? "," : "");
+    {
+        bench::BenchJson out("BENCH_pipeline.json",
+                             "fig8-llama2-transfer-mix");
+        obs::JsonEmitter &json = out.json();
+        json.field("chunk_bytes", 4096);
+        json.field("total_bytes", totalBytes);
+        json.key("sweep");
+        json.beginArray();
+        for (const SweepResult &r : rows) {
+            char digest[17];
+            std::snprintf(digest, sizeof(digest), "%016llx",
+                          (unsigned long long)r.digest);
+            json.beginObject();
+            json.field("crypto_threads", r.threads);
+            json.field("sim_seconds", r.simSeconds);
+            json.field("throughput_mib_s", r.mibPerSec);
+            json.field("speedup",
+                       rows.front().simSeconds / r.simSeconds);
+            json.field("wall_seconds", r.wallSeconds);
+            json.field("tlb_hit_rate", r.tlbHitRate);
+            json.field("tlb_hits", r.tlbHits);
+            json.field("tlb_misses", r.tlbMisses);
+            json.field("a1_blocked", r.a1Blocked);
+            json.field("digest", digest);
+            out.latency("h2d_prepare_ticks", r.h2dPrepareTicks);
+            out.latency("d2h_collect_ticks", r.d2hCollectTicks);
+            json.endObject();
         }
-        std::fprintf(json,
-                     "  ],\n  \"speedup_at_4_threads\": %.3f,\n"
-                     "  \"bit_identical_across_widths\": %s,\n"
-                     "  \"roundtrip_verified\": %s,\n"
-                     "  \"tlb_hit_rate_ge_0_9\": %s,\n"
-                     "  \"zero_stale_classifications\": %s\n}\n",
-                     speedupAt4, identical ? "true" : "false",
-                     verified ? "true" : "false",
-                     tlbOk ? "true" : "false", clean ? "true" : "false");
-        std::fclose(json);
+        json.endArray();
+        json.field("speedup_at_4_threads", speedupAt4);
+        json.field("bit_identical_across_widths", identical);
+        json.field("roundtrip_verified", verified);
+        json.field("tlb_hit_rate_ge_0_9", tlbOk);
+        json.field("zero_stale_classifications", clean);
     }
 
     bool pass = identical && verified && tlbOk && clean &&

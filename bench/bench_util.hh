@@ -1,20 +1,69 @@
 /**
  * @file
  * Shared helpers for the figure/table benchmark binaries: series
- * printing in the paper's format and quiet-log scoping.
+ * printing in the paper's format, quiet-log scoping, and the one
+ * BENCH_*.json writer every benchmark shares. All machine-readable
+ * output goes through obs::JsonEmitter so every file has the same
+ * escaping and number formatting, the same schema_version header,
+ * and the same latency-summary shape (count/mean/min/max/p50..p999).
  */
 
 #ifndef CCAI_BENCH_BENCH_UTIL_HH
 #define CCAI_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "ccai/experiment.hh"
+#include "obs/json.hh"
+#include "obs/stats.hh"
 
 namespace ccai::bench
 {
+
+/**
+ * RAII writer for a BENCH_*.json result file. Opens the root object
+ * and stamps the shared header fields; the benchmark fills in its
+ * own fields/arrays through json() and the destructor closes the
+ * root object.
+ */
+class BenchJson
+{
+  public:
+    BenchJson(const std::string &path, const std::string &workload)
+        : os_(path, std::ios::trunc), json_(os_)
+    {
+        json_.beginObject();
+        json_.field("schema_version", 1);
+        json_.field("workload", workload);
+    }
+
+    ~BenchJson()
+    {
+        json_.endObject();
+        os_ << "\n";
+    }
+
+    BenchJson(const BenchJson &) = delete;
+    BenchJson &operator=(const BenchJson &) = delete;
+
+    obs::JsonEmitter &json() { return json_; }
+    bool ok() const { return os_.good(); }
+
+    /** key: {count, mean, min, max, p50, p90, p99, p999}. */
+    void
+    latency(std::string_view key, const obs::Histogram &h)
+    {
+        json_.key(key);
+        h.writeJson(json_, /*withBuckets=*/false);
+    }
+
+  private:
+    std::ofstream os_;
+    obs::JsonEmitter json_;
+};
 
 /** One row of a vanilla-vs-ccAI series. */
 struct Row

@@ -26,6 +26,8 @@ main()
     PlatformConfig cfg{.secure = true};
     cfg.maxTenants = 2;
     Platform platform(cfg);
+    // Record the run: each tenant's Adaptor gets its own trace track.
+    platform.setTracingEnabled(true);
     if (!platform.establishTrust().ok())
         return 1;
 
@@ -90,5 +92,11 @@ main()
     platform.run();
     std::printf("owner ended; device scrubbed: %s\n",
                 platform.xpu().envState().clean() ? "yes" : "NO");
+
+    if (platform.exportTrace("multi_tenant_trace.json"))
+        std::printf("trace with per-tenant tracks: "
+                    "multi_tenant_trace.json (%zu events) — open in "
+                    "ui.perfetto.dev\n",
+                    platform.tracer().eventCount());
     return 0;
 }

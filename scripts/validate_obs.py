@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate the observability plane's machine-readable outputs.
+
+Usage:
+    validate_obs.py METRICS_JSON SCHEMA_JSON [TRACE_JSON]
+
+Checks:
+  1. METRICS_JSON parses and validates against SCHEMA_JSON. Uses the
+     `jsonschema` package when importable; otherwise falls back to a
+     small built-in validator covering the subset of JSON Schema the
+     checked-in schema uses (type / required / properties /
+     additionalProperties / const / minimum). No pip installs.
+  2. TRACE_JSON (optional) parses, has a traceEvents array, and its
+     duration events are balanced: equal numbers of 'B' and 'E'
+     events overall and per track, with depth never going negative in
+     record order.
+
+Exits non-zero with a message on the first failure.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+    "null": type(None),
+}
+
+
+def fallback_validate(instance, schema, path="$"):
+    """Minimal draft-07 subset validator (see module docstring)."""
+    expected = schema.get("type")
+    if expected is not None:
+        py = TYPES[expected]
+        ok = isinstance(instance, py)
+        # bool is a subclass of int in Python; keep them distinct.
+        if expected in ("integer", "number") and isinstance(
+            instance, bool
+        ):
+            ok = False
+        if not ok:
+            raise ValueError(
+                f"{path}: expected {expected}, "
+                f"got {type(instance).__name__}"
+            )
+    if "const" in schema and instance != schema["const"]:
+        raise ValueError(
+            f"{path}: expected const {schema['const']!r}, "
+            f"got {instance!r}"
+        )
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            raise ValueError(
+                f"{path}: {instance} < minimum {schema['minimum']}"
+            )
+    if isinstance(instance, dict):
+        for req in schema.get("required", []):
+            if req not in instance:
+                raise ValueError(f"{path}: missing required '{req}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, value in instance.items():
+            if key in props:
+                fallback_validate(value, props[key], f"{path}.{key}")
+            elif isinstance(extra, dict):
+                fallback_validate(value, extra, f"{path}.{key}")
+
+
+def check_metrics(metrics_path, schema_path):
+    with open(metrics_path) as f:
+        metrics = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        import jsonschema
+
+        jsonschema.validate(metrics, schema)
+        how = "jsonschema"
+    except ImportError:
+        fallback_validate(metrics, schema)
+        how = "builtin validator"
+    groups = metrics.get("groups", {})
+    if not groups:
+        raise ValueError("metrics snapshot has no metric groups")
+    print(
+        f"metrics ok ({how}): {len(groups)} groups, "
+        f"sim_now_ticks={metrics['sim_now_ticks']}"
+    )
+
+
+def check_trace(trace_path):
+    with open(trace_path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace has no traceEvents array")
+    depth = {}
+    counts = {"B": 0, "E": 0, "X": 0, "i": 0, "M": 0}
+    for ev in events:
+        ph = ev.get("ph")
+        counts[ph] = counts.get(ph, 0) + 1
+        tid = ev.get("tid")
+        if ph == "B":
+            depth[tid] = depth.get(tid, 0) + 1
+        elif ph == "E":
+            depth[tid] = depth.get(tid, 0) - 1
+            if depth[tid] < 0:
+                raise ValueError(
+                    f"trace: 'E' without matching 'B' on tid {tid} "
+                    f"({ev.get('name')})"
+                )
+    unbalanced = {t: d for t, d in depth.items() if d}
+    if unbalanced:
+        raise ValueError(f"trace: unbalanced B/E spans: {unbalanced}")
+    print(
+        f"trace ok: {len(events)} events "
+        f"(B={counts['B']} E={counts['E']} X={counts['X']} "
+        f"i={counts['i']})"
+    )
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        check_metrics(argv[1], argv[2])
+        if len(argv) == 4:
+            check_trace(argv[3])
+    except (ValueError, KeyError, OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,11 @@
 #include "platform.hh"
 
+#include <fstream>
+#include <sstream>
+
 #include "common/logging.hh"
+#include "crypto/worker_pool.hh"
+#include "obs/json.hh"
 #include "sim/rng.hh"
 
 namespace ccai
@@ -189,6 +194,32 @@ Platform::clearHostLinkFaults()
     }
 }
 
+namespace
+{
+
+/** Balanced B/E span on the "trust" track for one trust phase. */
+class TrustSpan
+{
+  public:
+    TrustSpan(sim::System &sys, obs::TrackId track, const char *name)
+        : sys_(sys), track_(track), name_(name)
+    {
+        sys_.tracer().begin(track_, name_, sys_.now());
+    }
+
+    ~TrustSpan() { sys_.tracer().end(track_, name_, sys_.now()); }
+
+    TrustSpan(const TrustSpan &) = delete;
+    TrustSpan &operator=(const TrustSpan &) = delete;
+
+  private:
+    sim::System &sys_;
+    obs::TrackId track_;
+    const char *name_;
+};
+
+} // namespace
+
 TrustReport
 Platform::establishTrust()
 {
@@ -199,7 +230,10 @@ Platform::establishTrust()
         return report;
     }
 
+    const obs::TrackId trust_track = sys_.tracer().track("trust");
+
     // ---- Manufacturing: CA, HRoTs, encrypted flash images ----
+    TrustSpan manufacturing_span(sys_, trust_track, "manufacturing");
     ca_ = std::make_unique<trust::RootCa>(rng_);
     cpuHrot_ =
         std::make_unique<trust::HrotBlade>("cpu-hrot", *ca_, rng_);
@@ -223,6 +257,7 @@ Platform::establishTrust()
     flash.store("pcie-sc.firmware", trust::pcridx::kScFirmware,
                 firmware_image, flash_key, drbg);
 
+    TrustSpan secure_boot_span(sys_, trust_track, "secure_boot");
     trust::SecureBoot boot(*blade_, flash_key);
     boot.addGoldenDigest("pcie-sc.packet-filter",
                          crypto::Sha256::digest(filter_image));
@@ -238,6 +273,7 @@ Platform::establishTrust()
     }
 
     // ---- TVM-side measurements (kernel + Adaptor + trust mods) ----
+    TrustSpan measurements_span(sys_, trust_track, "tvm_measurements");
     cpuHrot_->pcrs().extend(trust::pcridx::kTvmImage,
                             crypto::Sha256::digest(std::string(
                                 "tvm-kernel+ccai_adaptor")),
@@ -248,6 +284,7 @@ Platform::establishTrust()
                             "cpu-firmware");
 
     // ---- Chassis sealing ----
+    TrustSpan sealing_span(sys_, trust_track, "chassis_sealing");
     sealing_ = std::make_unique<trust::ChassisSealing>(
         sys_, "sealing", *blade_);
     sealing_->addSensor({"pressure", trust::SensorKind::Pressure,
@@ -260,6 +297,7 @@ Platform::establishTrust()
     report.sealed = !sealing_->tamperDetected();
 
     // ---- Remote attestation (Figure 6) ----
+    TrustSpan attestation_span(sys_, trust_track, "attestation");
     trust::AttestationResponder responder(*cpuHrot_, *blade_, rng_);
     trust::AttestationVerifier verifier(*ca_, rng_);
 
@@ -300,6 +338,7 @@ Platform::establishTrust()
     report.attestationOk = true;
 
     // ---- TVM <-> PCIe-SC workload key negotiation ----
+    TrustSpan keyneg_span(sys_, trust_track, "key_negotiation");
     crypto::KeyPair tvm_keys = crypto::generateKeyPair(rng_);
     crypto::KeyPair sc_keys = blade_->makeSessionKeys(rng_);
     Bytes secret_tvm =
@@ -314,6 +353,7 @@ Platform::establishTrust()
     adaptor_->establishSession(secret_tvm);
 
     // ---- Packet policy ----
+    TrustSpan policy_span(sys_, trust_track, "policy_install");
     installPolicyForAllTenants();
     adaptor_->hwInit();
 
@@ -395,7 +435,88 @@ Platform::addTenant(pcie::Bdf bdf)
     // Authorize the new requester ID in the packet policy.
     installPolicyForAllTenants();
     tenants_.back()->adaptor->hwInit();
+    sys_.tracer().instant(sys_.tracer().track("trust"),
+                          "tenant_attached", sys_.now(), prefix);
     return *tenants_.back();
+}
+
+std::string
+Platform::exportMetricsJson(bool includeWall)
+{
+    std::ostringstream os;
+    obs::JsonEmitter json(os);
+    json.beginObject();
+    json.field("schema_version", 1);
+    json.field("seed", effectiveSeed_);
+    json.field("sim_now_ticks", sys_.now());
+    json.field("secure", config_.secure);
+
+    json.key("groups");
+    sys_.metrics().writeJson(json, /*withBuckets=*/false);
+
+    // Per-tenant traffic rollups, derived from each Adaptor's
+    // counters. Cold path: the string-keyed lookups are fine here.
+    json.key("tenants");
+    json.beginObject();
+    auto rollup = [&](const std::string &label, tvm::Adaptor &ad) {
+        const auto &counters = ad.stats().counters();
+        auto get = [&](const char *name) -> std::uint64_t {
+            auto it = counters.find(name);
+            return it != counters.end() ? it->second.value() : 0;
+        };
+        json.key(label);
+        json.beginObject();
+        json.field("h2d_bytes", get("h2d_bytes"));
+        json.field("d2h_bytes", get("d2h_bytes"));
+        json.field("h2d_chunks", get("h2d_chunks"));
+        json.field("d2h_integrity_failures",
+                   get("d2h_integrity_failures"));
+        json.field("d2h_chunk_retries", get("d2h_chunk_retries"));
+        json.field("transport_retransmits",
+                   get("transport_retransmits"));
+        json.endObject();
+    };
+    if (adaptor_)
+        rollup("owner", *adaptor_);
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+        rollup("tenant" + std::to_string(i + 1),
+               *tenants_[i]->adaptor);
+    json.endObject();
+
+    if (includeWall) {
+        // Wall-clock data lives in its own section: it varies run to
+        // run and across hosts, unlike every sim-time section above.
+        crypto::WorkerPool &pool = crypto::WorkerPool::shared();
+        json.key("wall");
+        json.beginObject();
+        json.key("worker_pool");
+        json.beginObject();
+        json.field("max_workers", pool.maxWorkers());
+        json.field("spawned_workers", pool.spawnedWorkers());
+        json.field("parallel_batches", pool.parallelBatches());
+        json.field("inline_batches", pool.inlineBatches());
+        json.field("worker_ranges", pool.workerRanges());
+        json.key("queue_wait_ns");
+        pool.queueWaitHistogram().writeJson(json,
+                                            /*withBuckets=*/false);
+        json.endObject();
+        json.endObject();
+    }
+
+    json.endObject();
+    os << "\n";
+    return os.str();
+}
+
+bool
+Platform::exportTrace(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return false;
+    sys_.tracer().writeChromeTrace(os);
+    os.flush();
+    return os.good();
 }
 
 } // namespace ccai

@@ -177,6 +177,37 @@ class Platform
     /** The effective RNG seed after --seed / CCAI_SEED overrides. */
     std::uint64_t seed() const { return effectiveSeed_; }
 
+    // ---- Observability plane ----
+
+    /** Directory of every component's metric group. */
+    obs::MetricsRegistry &metrics() { return sys_.metrics(); }
+    const obs::MetricsRegistry &metrics() const
+    {
+        return sys_.metrics();
+    }
+
+    /** Span tracer (compiled in, off by default). */
+    obs::Tracer &tracer() { return sys_.tracer(); }
+    void setTracingEnabled(bool on) { sys_.tracer().setEnabled(on); }
+
+    /**
+     * Whole-machine metrics snapshot as pretty-printed JSON:
+     * schema_version / seed / sim_now_ticks, every registered metric
+     * group keyed by prefix, per-tenant traffic rollups, and — when
+     * @p includeWall is set — a "wall" section with the shared crypto
+     * worker pool's wall-clock stats. The sim-time sections are
+     * deterministic (same config + seed => byte-identical); the wall
+     * section varies run to run, so determinism tests pass false.
+     */
+    std::string exportMetricsJson(bool includeWall = true);
+
+    /**
+     * Write the recorded span trace as Chrome trace_event JSON,
+     * loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+     * Returns false when @p path cannot be written.
+     */
+    bool exportTrace(const std::string &path) const;
+
   private:
     void buildTopology();
     pcie::AddrRange tenantSlice(pcie::AddrRange region,

@@ -70,6 +70,10 @@ WorkerPool::workerLoop(Worker &w)
                 return; // stopping
             task = w.ring.front();
             w.ring.erase(w.ring.begin());
+            w.queueWaitNs.sample(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - task.enqueued)
+                    .count()));
         }
         runRange(task);
         workerRanges_.fetch_add(1, std::memory_order_relaxed);
@@ -126,6 +130,7 @@ WorkerPool::parallelFor(std::size_t n, int width,
         Worker &w = *workers_[widx];
         {
             std::lock_guard<std::mutex> lock(w.mutex);
+            task.enqueued = std::chrono::steady_clock::now();
             w.ring.push_back(task);
         }
         w.cv.notify_one();
@@ -138,6 +143,17 @@ WorkerPool::parallelFor(std::size_t n, int width,
         return batch.pendingRanges.load(std::memory_order_acquire) ==
                0;
     });
+}
+
+obs::Histogram
+WorkerPool::queueWaitHistogram() const
+{
+    obs::Histogram merged;
+    for (const auto &w : workers_) {
+        std::lock_guard<std::mutex> lock(w->mutex);
+        merged.merge(w->queueWaitNs);
+    }
+    return merged;
 }
 
 WorkerPool &

@@ -18,6 +18,7 @@
 #define CCAI_CRYPTO_WORKER_POOL_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -25,6 +26,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/stats.hh"
 
 namespace ccai::crypto
 {
@@ -74,6 +77,15 @@ class WorkerPool
     std::uint64_t workerRanges() const { return workerRanges_; }
 
     /**
+     * Wall-clock nanoseconds a task range waited in a worker ring
+     * before a thread picked it up, merged across every worker's
+     * private histogram on demand. Wall-clock data: report it in a
+     * separate section from deterministic sim metrics — it varies
+     * run to run and across host machines.
+     */
+    obs::Histogram queueWaitHistogram() const;
+
+    /**
      * Process-wide shared pool: the Adaptor's chunk batches and the
      * PCIe-SC's data engines all draw from one set of threads, like
      * kernel crypto worker kthreads would.
@@ -92,6 +104,8 @@ class WorkerPool
         Batch *batch = nullptr;
         std::size_t begin = 0;
         std::size_t end = 0;
+        /** Ring-push time for the queue-wait histogram. */
+        std::chrono::steady_clock::time_point enqueued{};
     };
 
     /** Shared state of one parallelFor dispatch. */
@@ -111,6 +125,8 @@ class WorkerPool
         std::condition_variable cv;
         std::vector<Task> ring; ///< FIFO; bounded by width per batch
         bool started = false;
+        /** Queue-wait samples (ns); guarded by `mutex`. */
+        obs::Histogram queueWaitNs;
     };
 
     void ensureWorker(std::size_t index);

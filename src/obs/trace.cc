@@ -1,0 +1,106 @@
+#include "trace.hh"
+
+#include "obs/json.hh"
+
+namespace ccai::obs
+{
+
+TrackId
+Tracer::track(const std::string &name)
+{
+    for (std::size_t i = 0; i < tracks_.size(); ++i)
+        if (tracks_[i] == name)
+            return static_cast<TrackId>(i);
+    tracks_.push_back(name);
+    return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void
+Tracer::record(TraceEvent ev)
+{
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(ev));
+}
+
+void
+Tracer::clear()
+{
+    events_.clear();
+    dropped_ = 0;
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    JsonEmitter json(os);
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.key("traceEvents");
+    json.beginArray();
+
+    json.beginObject();
+    json.field("name", "process_name");
+    json.field("ph", "M");
+    json.field("pid", 1);
+    json.field("tid", 0);
+    json.key("args");
+    json.beginObject();
+    json.field("name", "ccai-sim");
+    json.endObject();
+    json.endObject();
+
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        json.beginObject();
+        json.field("name", "thread_name");
+        json.field("ph", "M");
+        json.field("pid", 1);
+        json.field("tid", i);
+        json.key("args");
+        json.beginObject();
+        json.field("name", tracks_[i]);
+        json.endObject();
+        json.endObject();
+
+        json.beginObject();
+        json.field("name", "thread_sort_index");
+        json.field("ph", "M");
+        json.field("pid", 1);
+        json.field("tid", i);
+        json.key("args");
+        json.beginObject();
+        json.field("sort_index", i);
+        json.endObject();
+        json.endObject();
+    }
+
+    // Ticks are picoseconds; trace_event timestamps are microseconds.
+    constexpr double kTicksPerUsD = static_cast<double>(kTicksPerUs);
+    for (const TraceEvent &ev : events_) {
+        json.beginObject();
+        json.field("name", ev.name);
+        json.field("ph", std::string_view(&ev.phase, 1));
+        json.field("pid", 1);
+        json.field("tid", ev.track);
+        json.field("ts", static_cast<double>(ev.ts) / kTicksPerUsD);
+        if (ev.phase == 'X')
+            json.field("dur",
+                       static_cast<double>(ev.dur) / kTicksPerUsD);
+        if (ev.phase == 'i')
+            json.field("s", "t"); // thread-scoped instant
+        if (!ev.detail.empty()) {
+            json.key("args");
+            json.beginObject();
+            json.field("detail", ev.detail);
+            json.endObject();
+        }
+        json.endObject();
+    }
+
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace ccai::obs

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Span tracer for the secure data path: named tracks (one per
+ * component, tenant, or logical stream), begin/end spans, complete
+ * (known-duration) spans and instant events, all stamped with
+ * simulated time. Fully compiled in but disabled by default — every
+ * record call is a single predictable branch when off — and exported
+ * as Chrome trace_event JSON that loads directly in Perfetto or
+ * chrome://tracing.
+ */
+
+#ifndef CCAI_OBS_TRACE_HH
+#define CCAI_OBS_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccai::obs
+{
+
+class JsonEmitter;
+
+/** Index into the tracer's track table ("tid" in the export). */
+using TrackId = std::uint32_t;
+constexpr TrackId kNoTrack = 0xffffffffu;
+
+/** One recorded event. */
+struct TraceEvent
+{
+    std::string name;
+    char phase = 'i'; ///< 'B', 'E', 'X', 'i'
+    TrackId track = 0;
+    Tick ts = 0;
+    Tick dur = 0;       ///< 'X' only
+    std::string detail; ///< optional args.detail string
+};
+
+/**
+ * Event recorder. Not thread-safe by design: all recording happens
+ * on the simulation thread (events are sim-time stamped; wall-clock
+ * worker threads aggregate via histogram merge instead).
+ */
+class Tracer
+{
+  public:
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** Find-or-create the track named @p name. Always available so
+     * components can resolve ids before tracing is switched on. */
+    TrackId track(const std::string &name);
+
+    /** Memoizing helper: resolves @p name once into @p slot. */
+    TrackId
+    trackCached(TrackId &slot, const std::string &name)
+    {
+        if (slot == kNoTrack)
+            slot = track(name);
+        return slot;
+    }
+
+    const std::vector<std::string> &trackNames() const
+    {
+        return tracks_;
+    }
+
+    void
+    begin(TrackId track, std::string name, Tick ts)
+    {
+        if (!enabled_)
+            return;
+        record({std::move(name), 'B', track, ts, 0, {}});
+    }
+
+    void
+    end(TrackId track, std::string name, Tick ts)
+    {
+        if (!enabled_)
+            return;
+        record({std::move(name), 'E', track, ts, 0, {}});
+    }
+
+    /** Span with a known duration (does not nest on the track). */
+    void
+    complete(TrackId track, std::string name, Tick ts, Tick dur)
+    {
+        if (!enabled_)
+            return;
+        record({std::move(name), 'X', track, ts, dur, {}});
+    }
+
+    void
+    instant(TrackId track, std::string name, Tick ts,
+            std::string detail = {})
+    {
+        if (!enabled_)
+            return;
+        record({std::move(name), 'i', track, ts, 0,
+                std::move(detail)});
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::size_t eventCount() const { return events_.size(); }
+    /** Events discarded after the recording cap was hit. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Forget recorded events (track table survives). */
+    void clear();
+
+    /**
+     * Chrome trace_event JSON ("traceEvents" array form): one
+     * metadata thread_name record per track, then every event, with
+     * timestamps converted from ticks to microseconds.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    void record(TraceEvent ev);
+
+    bool enabled_ = false;
+    std::vector<std::string> tracks_;
+    std::vector<TraceEvent> events_;
+    /** Bounds memory for pathological runs (~1M events). */
+    std::size_t capacity_ = 1u << 20;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace ccai::obs
+
+#endif // CCAI_OBS_TRACE_HH

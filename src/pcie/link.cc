@@ -7,9 +7,27 @@
 namespace ccai::pcie
 {
 
+Link::Handles::Handles(sim::StatGroup &g)
+    : tlps(g.counterHandle("tlps")),
+      wireTlps(g.counterHandle("wire_tlps")),
+      payloadBytes(g.counterHandle("payload_bytes")),
+      faultsInjected(g.counterHandle("faults_injected")),
+      faultFlapEpisodes(g.counterHandle("fault_flap_episodes")),
+      faultFlapDrops(g.counterHandle("fault_flap_drops")),
+      crcDiscards(g.counterHandle("crc_discards")),
+      faultDrops(g.counterHandle("fault_drops")),
+      faultCorruptSilent(g.counterHandle("fault_corrupt_silent")),
+      faultDelays(g.counterHandle("fault_delays")),
+      faultReorders(g.counterHandle("fault_reorders")),
+      faultDuplicates(g.counterHandle("fault_duplicates")),
+      wireTicks(g.histogramHandle("wire_ticks")),
+      queueTicks(g.histogramHandle("queue_ticks"))
+{}
+
 Link::Link(sim::System &sys, std::string name, const LinkConfig &config)
     : sim::SimObject(sys, std::move(name)), config_(config),
-      stats_(this->name())
+      stats_(sys.metrics(), this->name()), s_(stats_),
+      tracer_(&sys.tracer())
 {
 }
 
@@ -75,10 +93,13 @@ Link::send(const TlpPtr &tlp)
     busyUntil_ = start + ser;
     Tick arrival = busyUntil_ + config_.propagationDelay;
 
-    stats_.counter("tlps").inc();
-    stats_.counter("wire_tlps").inc(tlp->unitCount());
-    stats_.counter("payload_bytes")
-        .inc(tlp->hasData() ? tlp->payloadBytes() : 0);
+    s_.tlps.inc();
+    s_.wireTlps.inc(tlp->unitCount());
+    s_.payloadBytes.inc(tlp->hasData() ? tlp->payloadBytes() : 0);
+    s_.wireTicks.sample(ser);
+    s_.queueTicks.sample(start - curTick());
+    if (tracer_->enabled())
+        tracer_->complete(traceTrack(), "wire", start, ser);
 
     // Fast path: an unfaulted link is bit-identical to the seed model.
     if (!injector_ || !injector_->enabled()) {
@@ -87,10 +108,13 @@ Link::send(const TlpPtr &tlp)
     }
 
     FaultDecision d = injector_->decide(*tlp, start);
-    if (d.any())
-        stats_.counter("faults_injected").inc();
+    if (d.any()) {
+        s_.faultsInjected.inc();
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "fault", curTick());
+    }
     if (d.flapStarted)
-        stats_.counter("fault_flap_episodes").inc();
+        s_.faultFlapEpisodes.inc();
 
     if (d.drop) {
         // Drops still occupied the wire: random loss and CRC
@@ -98,11 +122,11 @@ Link::send(const TlpPtr &tlp)
         // transmitter, but charging serialization uniformly keeps
         // the timing model simple and deterministic.
         if (d.flapDrop)
-            stats_.counter("fault_flap_drops").inc();
+            s_.faultFlapDrops.inc();
         else if (d.crcDiscard)
-            stats_.counter("crc_discards").inc();
+            s_.crcDiscards.inc();
         else
-            stats_.counter("fault_drops").inc();
+            s_.faultDrops.inc();
         // A dropped TLP cannot overtake anything; release any held
         // packet so a drop right after a reorder-hold does not
         // extend the hold indefinitely.
@@ -112,12 +136,12 @@ Link::send(const TlpPtr &tlp)
 
     TlpPtr out = tlp;
     if (d.corruptSilent) {
-        stats_.counter("fault_corrupt_silent").inc();
+        s_.faultCorruptSilent.inc();
         out = std::make_shared<Tlp>(*tlp);
         injector_->corruptPayload(*out);
     }
     if (d.extraDelay > 0) {
-        stats_.counter("fault_delays").inc();
+        s_.faultDelays.inc();
         arrival += d.extraDelay;
     }
 
@@ -126,7 +150,7 @@ Link::send(const TlpPtr &tlp)
     releaseHeld(arrival + 1);
 
     if (d.reorderHold) {
-        stats_.counter("fault_reorders").inc();
+        s_.faultReorders.inc();
         held_ = out;
         std::uint64_t gen = ++holdGen_;
         // Deadline flush: if nothing overtakes it, deliver late
@@ -144,7 +168,7 @@ Link::send(const TlpPtr &tlp)
 
     deliver(out, arrival);
     if (d.duplicate) {
-        stats_.counter("fault_duplicates").inc();
+        s_.faultDuplicates.inc();
         deliver(std::make_shared<Tlp>(*out), arrival + ser + 1);
     }
 }

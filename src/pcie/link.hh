@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/trace.hh"
 #include "pcie/fault_injector.hh"
 #include "pcie/tlp.hh"
 #include "sim/sim_object.hh"
@@ -127,6 +128,35 @@ class Link : public sim::SimObject
     std::uint64_t holdGen_ = 0;
 
     sim::StatGroup stats_;
+
+    /** Typed handles resolved once; no name lookup per TLP. */
+    struct Handles
+    {
+        explicit Handles(sim::StatGroup &g);
+
+        obs::CounterHandle tlps;
+        obs::CounterHandle wireTlps;
+        obs::CounterHandle payloadBytes;
+        obs::CounterHandle faultsInjected;
+        obs::CounterHandle faultFlapEpisodes;
+        obs::CounterHandle faultFlapDrops;
+        obs::CounterHandle crcDiscards;
+        obs::CounterHandle faultDrops;
+        obs::CounterHandle faultCorruptSilent;
+        obs::CounterHandle faultDelays;
+        obs::CounterHandle faultReorders;
+        obs::CounterHandle faultDuplicates;
+
+        obs::HistogramHandle wireTicks;
+        obs::HistogramHandle queueTicks;
+    } s_;
+
+    obs::Tracer *tracer_;
+    obs::TrackId track_ = obs::kNoTrack;
+    obs::TrackId traceTrack()
+    {
+        return tracer_->trackCached(track_, name());
+    }
 };
 
 /**

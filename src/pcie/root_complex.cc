@@ -5,10 +5,37 @@
 namespace ccai::pcie
 {
 
+RootComplex::Handles::Handles(sim::StatGroup &g)
+    : readsSent(g.counterHandle("reads_sent")),
+      writesSent(g.counterHandle("writes_sent")),
+      completions(g.counterHandle("completions")),
+      orphanCompletions(g.counterHandle("orphan_completions")),
+      messages(g.counterHandle("messages")),
+      unsupported(g.counterHandle("unsupported")),
+      readRetries(g.counterHandle("read_retries")),
+      readRetryExhausted(g.counterHandle("read_retry_exhausted")),
+      faultsRecovered(g.counterHandle("faults_recovered")),
+      faultsFatal(g.counterHandle("faults_fatal")),
+      iommuBlocked(g.counterHandle("iommu_blocked")),
+      dmaWrites(g.counterHandle("dma_writes")),
+      dmaReads(g.counterHandle("dma_reads")),
+      transportRxAccepted(
+          g.counterHandle("transport_rx_accepted")),
+      transportRxDuplicates(
+          g.counterHandle("transport_rx_duplicates")),
+      transportRxOoo(g.counterHandle("transport_rx_ooo")),
+      transportAcksSent(g.counterHandle("transport_acks_sent")),
+      transportNaksSent(g.counterHandle("transport_naks_sent")),
+      transportAcksReceived(
+          g.counterHandle("transport_acks_received")),
+      readLatencyTicks(g.histogramHandle("read_latency_ticks"))
+{}
+
 RootComplex::RootComplex(sim::System &sys, std::string name,
                          HostMemory &mem)
     : sim::SimObject(sys, std::move(name)), mem_(mem),
-      stats_(this->name())
+      stats_(sys.metrics(), this->name()), s_(stats_),
+      tracer_(&sys.tracer())
 {
 }
 
@@ -37,10 +64,11 @@ RootComplex::sendRead(Tlp tlp, CplCallback cb)
     entry.cb = std::move(cb);
     entry.request = req;
     entry.gen = nextReadGen_++;
+    entry.issued = curTick();
     std::uint64_t gen = entry.gen;
     outstanding_[tag] = std::move(entry);
 
-    stats_.counter("reads_sent").inc();
+    s_.readsSent.inc();
     down_->send(req);
     if (retry_.enabled)
         armReadTimer(tag, gen);
@@ -67,8 +95,8 @@ RootComplex::armReadTimer(std::uint8_t tag, std::uint64_t gen)
             CplCallback cb = std::move(o.cb);
             TlpPtr req = o.request;
             outstanding_.erase(it);
-            stats_.counter("read_retry_exhausted").inc();
-            stats_.counter("faults_fatal").inc();
+            s_.readRetryExhausted.inc();
+            s_.faultsFatal.inc();
             warnRateLimited(
                 "rc-read-exhausted",
                 "root complex: read tag %d addr 0x%llx exhausted "
@@ -82,7 +110,9 @@ RootComplex::armReadTimer(std::uint8_t tag, std::uint64_t gen)
             return;
         }
         ++o.attempts;
-        stats_.counter("read_retries").inc();
+        s_.readRetries.inc();
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "read.retry", curTick());
         down_->send(o.request);
         armReadTimer(tag, gen);
     });
@@ -99,7 +129,7 @@ RootComplex::sendWrite(const TlpPtr &tlp)
 {
     if (!down_)
         panic("root complex: downstream link not connected");
-    stats_.counter("writes_sent").inc();
+    s_.writesSent.inc();
     down_->send(tlp);
 }
 
@@ -111,20 +141,20 @@ RootComplex::transportGate(const TlpPtr &tlp)
     std::uint64_t &rx = rxSeq_[tlp->txChannel];
     if (tlp->seqNo == rx + 1) {
         rx = tlp->seqNo;
-        stats_.counter("transport_rx_accepted").inc();
+        s_.transportRxAccepted.inc();
         sendAck(tlp->txChannel, rx, false);
         return true;
     }
     if (tlp->seqNo <= rx) {
         // Retransmit of something already delivered: re-ack so the
         // sender's window advances, but do not apply twice.
-        stats_.counter("transport_rx_duplicates").inc();
+        s_.transportRxDuplicates.inc();
         sendAck(tlp->txChannel, rx, false);
         return false;
     }
     // Gap: something before this TLP was lost. NAK the first
     // missing seq; the sender goes back and retransmits from there.
-    stats_.counter("transport_rx_ooo").inc();
+    s_.transportRxOoo.inc();
     sendAck(tlp->txChannel, rx + 1, true);
     return false;
 }
@@ -138,8 +168,7 @@ RootComplex::sendAck(std::uint16_t channel, std::uint64_t seq, bool nak)
     ack.fmt = TlpFmt::FourDwData;
     ack.data = encodeTransportAck(TransportAck{nak, channel, seq});
     ack.lengthBytes = static_cast<std::uint32_t>(ack.data.size());
-    stats_.counter(nak ? "transport_naks_sent" : "transport_acks_sent")
-        .inc();
+    (nak ? s_.transportNaksSent : s_.transportAcksSent).inc();
     down_->send(std::make_shared<Tlp>(std::move(ack)));
 }
 
@@ -154,16 +183,21 @@ RootComplex::receiveTlp(const TlpPtr &tlp, PcieNode *)
         if (it == outstanding_.end()) {
             // Benign under retry: the original completion of a read
             // that was already answered by a retransmission.
-            stats_.counter("orphan_completions").inc();
+            s_.orphanCompletions.inc();
             debugLog("root complex: completion with unknown tag %d",
                      int(tlp->tag));
             return;
         }
         if (it->second.attempts > 0)
-            stats_.counter("faults_recovered").inc();
+            s_.faultsRecovered.inc();
+        Tick issued = it->second.issued;
+        s_.readLatencyTicks.sample(curTick() - issued);
+        if (tracer_->enabled())
+            tracer_->complete(traceTrack(), "read", issued,
+                              curTick() - issued);
         CplCallback cb = std::move(it->second.cb);
         outstanding_.erase(it);
-        stats_.counter("completions").inc();
+        s_.completions.inc();
         cb(tlp);
         return;
       }
@@ -171,7 +205,7 @@ RootComplex::receiveTlp(const TlpPtr &tlp, PcieNode *)
         if (tlp->msgCode == MsgCode::TransportAck) {
             // Dispatched before the MSI handlers: an ack must never
             // pop an interrupt waiter.
-            stats_.counter("transport_acks_received").inc();
+            s_.transportAcksReceived.inc();
             auto decoded = decodeTransportAck(tlp->data);
             if (!decoded)
                 return;
@@ -182,7 +216,7 @@ RootComplex::receiveTlp(const TlpPtr &tlp, PcieNode *)
         }
         if (!transportGate(tlp))
             return;
-        stats_.counter("messages").inc();
+        s_.messages.inc();
         auto it = msgHandlers_.find(tlp->completer.raw());
         if (it != msgHandlers_.end()) {
             it->second(tlp);
@@ -199,7 +233,7 @@ RootComplex::receiveTlp(const TlpPtr &tlp, PcieNode *)
         handleInboundRequest(tlp);
         return;
       default:
-        stats_.counter("unsupported").inc();
+        s_.unsupported.inc();
         warn("root complex: unsupported inbound %s",
              tlp->toString().c_str());
         return;
@@ -214,7 +248,7 @@ RootComplex::handleInboundRequest(const TlpPtr &tlp)
     // can reject accesses to protected ranges.
     if (iommu_ && !iommu_(tlp->requester, tlp->address,
                           tlp->lengthBytes)) {
-        stats_.counter("iommu_blocked").inc();
+        s_.iommuBlocked.inc();
         if (tlp->type == TlpType::MemRead) {
             auto cpl = std::make_shared<Tlp>(Tlp::makeCompletion(
                 wellknown::kRootComplex, tlp->requester, tlp->tag, {},
@@ -225,13 +259,13 @@ RootComplex::handleInboundRequest(const TlpPtr &tlp)
     }
 
     if (tlp->type == TlpType::MemWrite) {
-        stats_.counter("dma_writes").inc();
+        s_.dmaWrites.inc();
         if (!tlp->synthetic)
             mem_.write(tlp->address, tlp->data);
         return;
     }
 
-    stats_.counter("dma_reads").inc();
+    s_.dmaReads.inc();
     TlpPtr cpl;
     if (tlp->synthetic) {
         cpl = std::make_shared<Tlp>(Tlp::makeCompletionSynthetic(

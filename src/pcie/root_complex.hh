@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 
+#include "obs/trace.hh"
 #include "pcie/host_memory.hh"
 #include "pcie/link.hh"
 #include "pcie/transport.hh"
@@ -122,6 +123,7 @@ class RootComplex : public sim::SimObject, public PcieNode
         TlpPtr request; ///< retransmit copy (same tag)
         int attempts = 0;
         std::uint64_t gen = 0; ///< guards against stale timers
+        Tick issued = 0;       ///< for the read-latency histogram
     };
 
     std::uint8_t allocTag();
@@ -144,6 +146,41 @@ class RootComplex : public sim::SimObject, public PcieNode
     IommuCheck iommu_;
     RetryConfig retry_;
     sim::StatGroup stats_;
+
+    /** Typed handles resolved once; no name lookup per TLP. */
+    struct Handles
+    {
+        explicit Handles(sim::StatGroup &g);
+
+        obs::CounterHandle readsSent;
+        obs::CounterHandle writesSent;
+        obs::CounterHandle completions;
+        obs::CounterHandle orphanCompletions;
+        obs::CounterHandle messages;
+        obs::CounterHandle unsupported;
+        obs::CounterHandle readRetries;
+        obs::CounterHandle readRetryExhausted;
+        obs::CounterHandle faultsRecovered;
+        obs::CounterHandle faultsFatal;
+        obs::CounterHandle iommuBlocked;
+        obs::CounterHandle dmaWrites;
+        obs::CounterHandle dmaReads;
+        obs::CounterHandle transportRxAccepted;
+        obs::CounterHandle transportRxDuplicates;
+        obs::CounterHandle transportRxOoo;
+        obs::CounterHandle transportAcksSent;
+        obs::CounterHandle transportNaksSent;
+        obs::CounterHandle transportAcksReceived;
+
+        obs::HistogramHandle readLatencyTicks;
+    } s_;
+
+    obs::Tracer *tracer_;
+    obs::TrackId track_ = obs::kNoTrack;
+    obs::TrackId traceTrack()
+    {
+        return tracer_->trackCached(track_, name());
+    }
 };
 
 } // namespace ccai::pcie

@@ -7,7 +7,8 @@ namespace ccai::pcie
 
 Switch::Switch(sim::System &sys, std::string name, Tick forwardLatency)
     : sim::SimObject(sys, std::move(name)),
-      forwardLatency_(forwardLatency), stats_(this->name())
+      forwardLatency_(forwardLatency),
+      stats_(sys.metrics(), this->name()), s_(stats_)
 {
 }
 
@@ -70,10 +71,10 @@ Switch::routePort(const Tlp &tlp) const
 void
 Switch::receiveTlp(const TlpPtr &tlp, PcieNode *)
 {
-    stats_.counter("forwarded").inc();
+    s_.forwarded.inc();
     int port = routePort(*tlp);
     if (port < 0) {
-        stats_.counter("dropped").inc();
+        s_.dropped.inc();
         warn("switch %s: no route for %s", name().c_str(),
              tlp->toString().c_str());
         return;

@@ -77,6 +77,18 @@ class Switch : public sim::SimObject, public PcieNode
     int defaultPort_ = -1;
     Tick forwardLatency_;
     sim::StatGroup stats_;
+
+    /** Typed handles resolved once; no name lookup per TLP. */
+    struct Handles
+    {
+        explicit Handles(sim::StatGroup &g)
+            : forwarded(g.counterHandle("forwarded")),
+              dropped(g.counterHandle("dropped"))
+        {}
+
+        obs::CounterHandle forwarded;
+        obs::CounterHandle dropped;
+    } s_;
 };
 
 } // namespace ccai::pcie

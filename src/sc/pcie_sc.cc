@@ -13,11 +13,65 @@ using pcie::Tlp;
 using pcie::TlpPtr;
 using pcie::TlpType;
 
+PcieSc::Handles::Handles(sim::StatGroup &g)
+    : sessionsEstablished(g.counterHandle("sessions_established")),
+      tasksEnded(g.counterHandle("tasks_ended")),
+      transportAcksReceived(
+          g.counterHandle("transport_acks_received")),
+      downTlps(g.counterHandle("down_tlps")),
+      upTlps(g.counterHandle("up_tlps")),
+      a1Blocked(g.counterHandle("a1_blocked")),
+      a4Passthrough(g.counterHandle("a4_passthrough")),
+      a2Downstream(g.counterHandle("a2_downstream")),
+      a2Upstream(g.counterHandle("a2_upstream")),
+      a2NoSession(g.counterHandle("a2_no_session")),
+      a2UnknownTenant(g.counterHandle("a2_unknown_tenant")),
+      a2Unregistered(g.counterHandle("a2_unregistered")),
+      a2OrphanCompletions(
+          g.counterHandle("a2_orphan_completions")),
+      a2DupCompletions(g.counterHandle("a2_dup_completions")),
+      a2IntegrityFailures(
+          g.counterHandle("a2_integrity_failures")),
+      a2ReadRetries(g.counterHandle("a2_read_retries")),
+      a3Checked(g.counterHandle("a3_checked")),
+      a3IntegrityFailures(
+          g.counterHandle("a3_integrity_failures")),
+      a3EnvViolations(g.counterHandle("a3_env_violations")),
+      faultsRecovered(g.counterHandle("faults_recovered")),
+      faultsFatal(g.counterHandle("faults_fatal")),
+      d2hRecords(g.counterHandle("d2h_records")),
+      h2dRecords(g.counterHandle("h2d_records")),
+      metaBatches(g.counterHandle("meta_batches")),
+      transferNotifies(g.counterHandle("transfer_notifies")),
+      ownMmioWrites(g.counterHandle("own_mmio_writes")),
+      ownMmioReads(g.counterHandle("own_mmio_reads")),
+      badConfigWrites(g.counterHandle("bad_config_writes")),
+      badParamWrites(g.counterHandle("bad_param_writes")),
+      unknownOwnWrites(g.counterHandle("unknown_own_writes")),
+      d2hReplays(g.counterHandle("d2h_replays")),
+      d2hReplayMisses(g.counterHandle("d2h_replay_misses")),
+      transportRxDuplicates(
+          g.counterHandle("transport_rx_duplicates")),
+      transportRxOoo(g.counterHandle("transport_rx_ooo")),
+      transportRxAccepted(
+          g.counterHandle("transport_rx_accepted")),
+      transportAcksSent(g.counterHandle("transport_acks_sent")),
+      transportNaksSent(g.counterHandle("transport_naks_sent")),
+      transportRetransmits(
+          g.counterHandle("transport_retransmits")),
+      transportTimeoutRetransmits(
+          g.counterHandle("transport_timeout_retransmits")),
+      a2DownCryptTicks(g.histogramHandle("a2_down_crypt_ticks")),
+      a2UpCryptTicks(g.histogramHandle("a2_up_crypt_ticks")),
+      forwardQueueTicks(g.histogramHandle("forward_queue_ticks"))
+{}
+
 PcieSc::PcieSc(sim::System &sys, std::string name,
                const PcieScConfig &config)
     : sim::SimObject(sys, std::move(name)), config_(config),
       filter_(config.filterTiming), gcmEngine_(config.engineTiming),
-      stats_(this->name())
+      stats_(sys.metrics(), this->name()), s_(stats_),
+      tracer_(&sys.tracer())
 {
 }
 
@@ -71,7 +125,7 @@ PcieSc::establishTenant(pcie::Bdf tenant, const Bytes &sessionSecret,
         filter_.setConfigKey(
             crypto::kdf(sessionSecret, {}, "ccai-filter-config", 16));
     }
-    stats_.counter("sessions_established").inc();
+    s_.sessionsEstablished.inc();
 }
 
 void
@@ -141,7 +195,7 @@ PcieSc::endTenant(pcie::Bdf tenant, bool device_supports_soft_reset)
     // Abandon the tenant's upstream ARQ window: nothing behind it
     // exists any more, and a live timer would retransmit forever.
     upTx_.erase(tenant.raw());
-    stats_.counter("tasks_ended").inc();
+    s_.tasksEnded.inc();
 
     // Scrub the shared device once the last tenant leaves.
     if (sessions_.empty()) {
@@ -184,8 +238,9 @@ PcieSc::forward(const TlpPtr &tlp, bool upstream, Tick delay)
     // crypto), or posted-write ordering breaks (e.g. a doorbell
     // arriving before its command descriptor).
     Tick &busy = upstream ? upBusyUntil_ : downBusyUntil_;
-    Tick when = std::max(curTick() + delay + config_.forwardLatency,
-                         busy);
+    Tick ready = curTick() + delay + config_.forwardLatency;
+    Tick when = std::max(ready, busy);
+    s_.forwardQueueTicks.sample(when - ready);
     busy = when;
     eventq().schedule(when, [out, tlp] { out->send(tlp); });
 }
@@ -202,18 +257,18 @@ PcieSc::processDownstreamBound(const TlpPtr &tlp)
     // would A1-block the window from ever advancing.
     if (tlp->type == TlpType::Message &&
         tlp->msgCode == pcie::MsgCode::TransportAck) {
-        stats_.counter("transport_acks_received").inc();
+        s_.transportAcksReceived.inc();
         if (auto ack = pcie::decodeTransportAck(tlp->data))
             handleUpstreamAck(*ack);
         return;
     }
 
-    stats_.counter("down_tlps").inc();
+    s_.downTlps.inc();
     Tick filter_delay = filter_.lookupDelay(*tlp);
     SecurityAction action = filter_.classify(*tlp);
 
     if (action == SecurityAction::A1_Disallow) {
-        stats_.counter("a1_blocked").inc();
+        s_.a1Blocked.inc();
         if (tlp->type == TlpType::MemRead ||
             tlp->type == TlpType::CfgRead) {
             // Abort the read so the requester does not hang.
@@ -256,7 +311,7 @@ PcieSc::processDownstreamBound(const TlpPtr &tlp)
         return;
       }
       case SecurityAction::A4_Transparent: {
-        stats_.counter("a4_passthrough").inc();
+        s_.a4Passthrough.inc();
         // Completions of sensitive device reads are upgraded to the
         // A2 decrypt path via the pending-read tracker; link-level
         // duplicates of already-decrypted completions are dropped
@@ -268,7 +323,7 @@ PcieSc::processDownstreamBound(const TlpPtr &tlp)
                 return;
             }
             if (recentCompleted_.count(tlp->tag)) {
-                stats_.counter("a2_dup_completions").inc();
+                s_.a2DupCompletions.inc();
                 return;
             }
         }
@@ -283,9 +338,9 @@ PcieSc::processDownstreamBound(const TlpPtr &tlp)
 void
 PcieSc::handleA2Downstream(const TlpPtr &tlp)
 {
-    stats_.counter("a2_downstream").inc();
+    s_.a2Downstream.inc();
     if (!sessionEstablished()) {
-        stats_.counter("a2_no_session").inc();
+        s_.a2NoSession.inc();
         warn("%s: A2 packet before session establishment",
              name().c_str());
         return;
@@ -301,7 +356,7 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
             // Duplicate or stale completion of a sensitive read that
             // was already answered: benign under link faults, but it
             // must not reach the device still encrypted.
-            stats_.counter("a2_orphan_completions").inc();
+            s_.a2OrphanCompletions.inc();
             return;
         }
         pending = &it->second;
@@ -316,19 +371,19 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
         if (!pending)
             return;
         if (pending->attempts > 0)
-            stats_.counter("faults_recovered").inc();
+            s_.faultsRecovered.inc();
         recentCompleted_.insert(tag);
         pendingSensitiveReads_.erase(tag);
     };
 
     if (!tenant) {
-        stats_.counter("a2_unknown_tenant").inc();
+        s_.a2UnknownTenant.inc();
         finishPending();
         return;
     }
     auto rec = tenant->params.lookup(lookup_addr);
     if (!rec) {
-        stats_.counter("a2_unregistered").inc();
+        s_.a2Unregistered.inc();
         warn("%s: A2 payload at 0x%llx has no registered chunk",
              name().c_str(), (unsigned long long)lookup_addr);
         finishPending();
@@ -338,6 +393,9 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
     Tick delay = filter_.lookupDelay(*tlp) +
                  gcmEngine_.cryptDelay(tlp->payloadBytes()) +
                  gcmEngine_.tagDelay();
+    s_.a2DownCryptTicks.sample(delay);
+    if (tracer_->enabled())
+        tracer_->complete(traceTrack(), "a2.down", curTick(), delay);
 
     if (tlp->synthetic || rec->synthetic) {
         // Timing-only path for bulk benchmark traffic. A chunk may
@@ -361,7 +419,7 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
                             nullptr, 0,
                             crypto::WorkerPool::shared(),
                             config_.dataEngineThreads)) {
-        stats_.counter("a2_integrity_failures").inc();
+        s_.a2IntegrityFailures.inc();
         warnRateLimited(
             "sc-a2-integrity",
             "%s: integrity failure on chunk %llu", name().c_str(),
@@ -372,12 +430,12 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
         if (pending && config_.retry.enabled && pending->request &&
             pending->attempts < config_.retry.maxReadRetries) {
             ++pending->attempts;
-            stats_.counter("a2_read_retries").inc();
+            s_.a2ReadRetries.inc();
             forward(std::make_shared<Tlp>(*pending->request), true, 0);
             armSensitiveReadTimer(tag);
             return;
         }
-        stats_.counter("faults_fatal").inc();
+        s_.faultsFatal.inc();
         tenant->params.consume(rec->chunkId);
         if (pending) {
             // Unblock the device's DMA engine with an abort.
@@ -401,7 +459,7 @@ PcieSc::handleA2Downstream(const TlpPtr &tlp)
 bool
 PcieSc::handleA3(const TlpPtr &tlp)
 {
-    stats_.counter("a3_checked").inc();
+    s_.a3Checked.inc();
     if (!sessionEstablished()) {
         // Before trust establishment the integrity engines are not
         // armed; boot-time configuration passes through.
@@ -409,7 +467,7 @@ PcieSc::handleA3(const TlpPtr &tlp)
     }
     TenantSession *tenant = session(tlp->requester.raw());
     if (!tenant) {
-        stats_.counter("a3_integrity_failures").inc();
+        s_.a3IntegrityFailures.inc();
         return false; // unknown requester fails closed
     }
     if (config_.retry.enabled && tlp->ackRequired) {
@@ -418,12 +476,12 @@ PcieSc::handleA3(const TlpPtr &tlp)
         // once in-order delivery. The strict monotonic check below
         // would wrongly reject legitimate retransmissions.
     } else if (!tenant->signer.verify(*tlp)) {
-        stats_.counter("a3_integrity_failures").inc();
+        s_.a3IntegrityFailures.inc();
         return false;
     }
     if (tlp->type == TlpType::MemWrite &&
         !envGuard_.checkMmioWrite(*tlp)) {
-        stats_.counter("a3_env_violations").inc();
+        s_.a3EnvViolations.inc();
         return false;
     }
     return true;
@@ -436,12 +494,12 @@ PcieSc::handleA3(const TlpPtr &tlp)
 void
 PcieSc::processUpstreamBound(const TlpPtr &tlp)
 {
-    stats_.counter("up_tlps").inc();
+    s_.upTlps.inc();
     Tick filter_delay = filter_.lookupDelay(*tlp);
     SecurityAction action = filter_.classify(*tlp);
 
     if (action == SecurityAction::A1_Disallow) {
-        stats_.counter("a1_blocked").inc();
+        s_.a1Blocked.inc();
         if (tlp->type == TlpType::MemRead) {
             auto abort = std::make_shared<Tlp>(Tlp::makeCompletion(
                 pcie::wellknown::kPcieSc, tlp->requester, tlp->tag, {},
@@ -465,7 +523,7 @@ PcieSc::processUpstreamBound(const TlpPtr &tlp)
         return;
       }
       case SecurityAction::A4_Transparent:
-        stats_.counter("a4_passthrough").inc();
+        s_.a4Passthrough.inc();
         // Track sensitive reads so their completions get decrypted,
         // attributed to the tenant whose chunk covers the address.
         if (tlp->type == TlpType::MemRead &&
@@ -511,14 +569,14 @@ PcieSc::handleA2Upstream(const TlpPtr &tlp)
 {
     // Device writing results into a D2H bounce window: encrypt the
     // payload under the owning tenant's key and queue the record.
-    stats_.counter("a2_upstream").inc();
+    s_.a2Upstream.inc();
     if (!sessionEstablished()) {
-        stats_.counter("a2_no_session").inc();
+        s_.a2NoSession.inc();
         return;
     }
     TenantSession *tenant = sessionCoveringD2h(tlp->address);
     if (!tenant) {
-        stats_.counter("a2_unknown_tenant").inc();
+        s_.a2UnknownTenant.inc();
         warn("%s: result write at 0x%llx matches no tenant window",
              name().c_str(), (unsigned long long)tlp->address);
         return;
@@ -537,6 +595,9 @@ PcieSc::handleA2Upstream(const TlpPtr &tlp)
     Tick delay = filter_.lookupDelay(*tlp) +
                  gcmEngine_.cryptDelay(tlp->payloadBytes()) +
                  gcmEngine_.tagDelay();
+    s_.a2UpCryptTicks.sample(delay);
+    if (tracer_->enabled())
+        tracer_->complete(traceTrack(), "a2.up", curTick(), delay);
 
     TlpPtr out;
     if (tlp->synthetic) {
@@ -579,7 +640,7 @@ void
 PcieSc::queueD2hRecord(TenantSession &tenant, const ChunkRecord &rec)
 {
     tenant.d2hRecords.push_back(rec);
-    stats_.counter("d2h_records").inc();
+    s_.d2hRecords.inc();
     if (config_.metadataBatching &&
         tenant.d2hRecords.size() >= config_.metaBatchSize) {
         flushMetadataBatch(tenant);
@@ -607,7 +668,7 @@ PcieSc::flushMetadataBatch(TenantSession &tenant)
 
     auto tlp = std::make_shared<Tlp>(Tlp::makeMemWrite(
         pcie::wellknown::kPcieSc, dst, std::move(blob)));
-    stats_.counter("meta_batches").inc();
+    s_.metaBatches.inc();
     // The batch rides the tenant's ARQ channel: the in-order gate at
     // the root complex guarantees the record blob is in host memory
     // before any later record-count completion is delivered.
@@ -635,14 +696,14 @@ PcieSc::handleOwnMmio(const TlpPtr &tlp)
 void
 PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
 {
-    stats_.counter("own_mmio_writes").inc();
+    s_.ownMmioWrites.inc();
 
     if (mm::kScRuleTable.contains(tlp->address)) {
         // Encrypted policy update: payload = iv || tag || ciphertext.
         // Only the owner tenant holds the config key, so updates
         // sealed under any other key fail authentication.
         if (tlp->data.size() < 28) {
-            stats_.counter("bad_config_writes").inc();
+            s_.badConfigWrites.inc();
             return;
         }
         Bytes iv(tlp->data.begin(), tlp->data.begin() + 12);
@@ -661,14 +722,14 @@ PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
         // requesting tenant's parameter table.
         if (!tenant ||
             tlp->data.size() % ChunkRecord::kWireBytes != 0) {
-            stats_.counter("bad_param_writes").inc();
+            s_.badParamWrites.inc();
             return;
         }
         for (const ChunkRecord &rec :
              ChunkRecord::deserializeBatch(tlp->data)) {
             tenant->params.registerChunk(rec);
         }
-        stats_.counter("h2d_records").inc(
+        s_.h2dRecords.inc(
             tlp->data.size() / ChunkRecord::kWireBytes);
         return;
     }
@@ -683,7 +744,7 @@ PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
             flushMetadataBatch(*tenant);
         return;
       case mm::screg::kNotifyTransfer:
-        stats_.counter("transfer_notifies").inc();
+        s_.transferNotifies.inc();
         return;
       case mm::screg::kRecordAck: {
         if (!tenant)
@@ -716,7 +777,7 @@ PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
       case mm::screg::kEnvGuardCtl:
         return; // modelled as configuration latches
       default:
-        stats_.counter("unknown_own_writes").inc();
+        s_.unknownOwnWrites.inc();
         return;
     }
 }
@@ -724,7 +785,7 @@ PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
 Bytes
 PcieSc::handleOwnMmioRead(const pcie::Tlp &req)
 {
-    stats_.counter("own_mmio_reads").inc();
+    s_.ownMmioReads.inc();
     Addr offset = req.address - mm::kScMmio.base;
     Bytes out(req.lengthBytes, 0);
     TenantSession *tenant = session(req.requester.raw());
@@ -793,12 +854,14 @@ PcieSc::handleChunkRetry(TenantSession &tenant, std::uint64_t chunkId)
     for (const auto &[id, saved] : tenant.d2hReplay) {
         if (id != chunkId)
             continue;
-        stats_.counter("d2h_replays").inc();
+        s_.d2hReplays.inc();
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "d2h.replay", curTick());
         auto copy = std::make_shared<Tlp>(*saved);
         sendUpstreamArq(tenant.bdfRaw, copy, gcmEngine_.tagDelay());
         return;
     }
-    stats_.counter("d2h_replay_misses").inc();
+    s_.d2hReplayMisses.inc();
     warnRateLimited("sc-replay-miss",
                     "%s: no replay buffer for chunk %llu",
                     name().c_str(), (unsigned long long)chunkId);
@@ -813,13 +876,15 @@ PcieSc::transportAdmitDown(const TlpPtr &tlp, SecurityAction action)
     if (tlp->seqNo <= rx) {
         // Retransmit of something already applied: re-ack so the
         // sender's window advances, but do not apply twice.
-        stats_.counter("transport_rx_duplicates").inc();
+        s_.transportRxDuplicates.inc();
         sendDownAck(tlp->txChannel, rx, false);
         return false;
     }
     if (tlp->seqNo != rx + 1) {
         // Gap: an earlier packet was lost; ask for it.
-        stats_.counter("transport_rx_ooo").inc();
+        s_.transportRxOoo.inc();
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "arq.down_nak", curTick());
         sendDownAck(tlp->txChannel, rx + 1, true);
         return false;
     }
@@ -834,13 +899,13 @@ PcieSc::transportAdmitDown(const TlpPtr &tlp, SecurityAction action)
         sessionEstablished()) {
         TenantSession *t = session(tlp->requester.raw());
         if (!t || !t->signer.verifyMac(*tlp)) {
-            stats_.counter("a3_integrity_failures").inc();
+            s_.a3IntegrityFailures.inc();
             sendDownAck(tlp->txChannel, rx + 1, true);
             return false;
         }
     }
     rx = tlp->seqNo;
-    stats_.counter("transport_rx_accepted").inc();
+    s_.transportRxAccepted.inc();
     sendDownAck(tlp->txChannel, rx, false);
     return true;
 }
@@ -855,8 +920,7 @@ PcieSc::sendDownAck(std::uint16_t channel, std::uint64_t seq, bool nak)
     ack.data = pcie::encodeTransportAck(
         pcie::TransportAck{nak, channel, seq});
     ack.lengthBytes = static_cast<std::uint32_t>(ack.data.size());
-    stats_.counter(nak ? "transport_naks_sent" : "transport_acks_sent")
-        .inc();
+    (nak ? s_.transportNaksSent : s_.transportAcksSent).inc();
     forward(std::make_shared<Tlp>(std::move(ack)), true, 0);
 }
 
@@ -898,7 +962,7 @@ PcieSc::handleUpstreamAck(const pcie::TransportAck &ack)
     if (popped == 0)
         return; // stale cumulative ack
     if (tx.dirty)
-        stats_.counter("faults_recovered").inc(popped);
+        s_.faultsRecovered.inc(popped);
     tx.attempts = 0;
     ++tx.timerGen; // retire the running timer chain
     if (tx.unacked.empty())
@@ -926,7 +990,10 @@ PcieSc::retransmitUpTx(std::uint16_t channel, std::uint64_t fromSeq)
     }
     if (n) {
         tx.dirty = true;
-        stats_.counter("transport_retransmits").inc(n);
+        s_.transportRetransmits.inc(n);
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "arq.up_go_back_n",
+                             curTick());
     }
 }
 
@@ -947,7 +1014,7 @@ PcieSc::armUpTxTimer(std::uint16_t channel)
         if (tx.timerGen != gen || tx.unacked.empty())
             return;
         if (tx.attempts >= config_.retry.maxRetries) {
-            stats_.counter("faults_fatal").inc(tx.unacked.size());
+            s_.faultsFatal.inc(tx.unacked.size());
             warnRateLimited(
                 "sc-uptx-exhausted",
                 "%s: upstream channel %u exhausted its retry budget "
@@ -961,7 +1028,10 @@ PcieSc::armUpTxTimer(std::uint16_t channel)
         }
         ++tx.attempts;
         tx.dirty = true;
-        stats_.counter("transport_timeout_retransmits").inc();
+        s_.transportTimeoutRetransmits.inc();
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "arq.up_timeout_retx",
+                             curTick());
         for (const auto &p : tx.unacked)
             forward(p, true, 0);
         armUpTxTimer(channel);
@@ -985,7 +1055,7 @@ PcieSc::armSensitiveReadTimer(std::uint8_t tag)
             return;
         PendingRead &p = it->second;
         if (p.attempts >= config_.retry.maxReadRetries) {
-            stats_.counter("faults_fatal").inc();
+            s_.faultsFatal.inc();
             warnRateLimited(
                 "sc-read-exhausted",
                 "%s: sensitive read tag %d addr 0x%llx exhausted "
@@ -1001,7 +1071,9 @@ PcieSc::armSensitiveReadTimer(std::uint8_t tag)
             return;
         }
         ++p.attempts;
-        stats_.counter("a2_read_retries").inc();
+        s_.a2ReadRetries.inc();
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "read.retry", curTick());
         forward(std::make_shared<Tlp>(*p.request), true, 0);
         armSensitiveReadTimer(tag);
     });

@@ -23,6 +23,7 @@
 #include <optional>
 #include <set>
 
+#include "obs/trace.hh"
 #include "pcie/link.hh"
 #include "pcie/memory_map.hh"
 #include "pcie/transport.hh"
@@ -268,6 +269,66 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
     Tick downBusyUntil_ = 0;
 
     sim::StatGroup stats_;
+
+    /**
+     * Typed stat handles resolved once at construction so the
+     * per-TLP paths never pay a name lookup (observability plane).
+     */
+    struct Handles
+    {
+        explicit Handles(sim::StatGroup &g);
+
+        obs::CounterHandle sessionsEstablished;
+        obs::CounterHandle tasksEnded;
+        obs::CounterHandle transportAcksReceived;
+        obs::CounterHandle downTlps;
+        obs::CounterHandle upTlps;
+        obs::CounterHandle a1Blocked;
+        obs::CounterHandle a4Passthrough;
+        obs::CounterHandle a2Downstream;
+        obs::CounterHandle a2Upstream;
+        obs::CounterHandle a2NoSession;
+        obs::CounterHandle a2UnknownTenant;
+        obs::CounterHandle a2Unregistered;
+        obs::CounterHandle a2OrphanCompletions;
+        obs::CounterHandle a2DupCompletions;
+        obs::CounterHandle a2IntegrityFailures;
+        obs::CounterHandle a2ReadRetries;
+        obs::CounterHandle a3Checked;
+        obs::CounterHandle a3IntegrityFailures;
+        obs::CounterHandle a3EnvViolations;
+        obs::CounterHandle faultsRecovered;
+        obs::CounterHandle faultsFatal;
+        obs::CounterHandle d2hRecords;
+        obs::CounterHandle h2dRecords;
+        obs::CounterHandle metaBatches;
+        obs::CounterHandle transferNotifies;
+        obs::CounterHandle ownMmioWrites;
+        obs::CounterHandle ownMmioReads;
+        obs::CounterHandle badConfigWrites;
+        obs::CounterHandle badParamWrites;
+        obs::CounterHandle unknownOwnWrites;
+        obs::CounterHandle d2hReplays;
+        obs::CounterHandle d2hReplayMisses;
+        obs::CounterHandle transportRxDuplicates;
+        obs::CounterHandle transportRxOoo;
+        obs::CounterHandle transportRxAccepted;
+        obs::CounterHandle transportAcksSent;
+        obs::CounterHandle transportNaksSent;
+        obs::CounterHandle transportRetransmits;
+        obs::CounterHandle transportTimeoutRetransmits;
+
+        obs::HistogramHandle a2DownCryptTicks;
+        obs::HistogramHandle a2UpCryptTicks;
+        obs::HistogramHandle forwardQueueTicks;
+    } s_;
+
+    obs::Tracer *tracer_;
+    obs::TrackId track_ = obs::kNoTrack;
+    obs::TrackId traceTrack()
+    {
+        return tracer_->trackCached(track_, name());
+    }
 };
 
 } // namespace ccai::sc

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
@@ -62,6 +63,14 @@ class System
 
     EventQueue &eventq() { return eventq_; }
     Tick now() const { return eventq_.now(); }
+
+    /** Observability plane: directory of component metric groups. */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /** Span tracer (off by default; sim-time stamped). */
+    obs::Tracer &tracer() { return tracer_; }
+    const obs::Tracer &tracer() const { return tracer_; }
 
     /** Run the event loop to completion. */
     std::uint64_t run(std::uint64_t limit = UINT64_MAX)
@@ -117,6 +126,8 @@ class System
 
     EventQueue eventq_;
     std::vector<SimObject *> objects_;
+    obs::MetricsRegistry metrics_;
+    obs::Tracer tracer_;
 };
 
 inline

@@ -1,135 +1,37 @@
 /**
  * @file
- * Lightweight statistics framework: scalar counters, histograms, and a
- * registry that can dump everything at end of simulation.
+ * Statistics façade for simulation components. The value types and
+ * group storage live in the observability plane (src/obs); this
+ * header re-exports them under the historical sim:: names so
+ * existing components, tests and out-of-tree code keep compiling.
+ *
+ * New code should resolve typed handles (obs::CounterHandle et al.)
+ * once at construction instead of calling the string-keyed
+ * counter(name) shim on hot paths.
  */
 
 #ifndef CCAI_SIM_STATS_HH
 #define CCAI_SIM_STATS_HH
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
-
 #include "common/logging.hh"
+#include "obs/metric_group.hh"
+#include "obs/stats.hh"
 
 namespace ccai::sim
 {
 
-/** Monotonic scalar counter. */
-class Counter
-{
-  public:
-    Counter() = default;
-
-    void inc(std::uint64_t by = 1) { value_ += by; }
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
-
-  private:
-    std::uint64_t value_ = 0;
-};
-
-/** Running mean/min/max/stddev of a stream of samples. */
-class Distribution
-{
-  public:
-    void
-    sample(double v)
-    {
-        ++n_;
-        sum_ += v;
-        sumSq_ += v * v;
-        min_ = std::min(min_, v);
-        max_ = std::max(max_, v);
-    }
-
-    std::uint64_t count() const { return n_; }
-    double sum() const { return sum_; }
-    double mean() const { return n_ ? sum_ / n_ : 0.0; }
-    double min() const { return n_ ? min_ : 0.0; }
-    double max() const { return n_ ? max_ : 0.0; }
-
-    double
-    stddev() const
-    {
-        if (n_ < 2)
-            return 0.0;
-        double m = mean();
-        double var = (sumSq_ - n_ * m * m) / (n_ - 1);
-        return var > 0 ? std::sqrt(var) : 0.0;
-    }
-
-    void
-    reset()
-    {
-        n_ = 0;
-        sum_ = sumSq_ = 0.0;
-        min_ = 1e300;
-        max_ = -1e300;
-    }
-
-  private:
-    std::uint64_t n_ = 0;
-    double sum_ = 0.0;
-    double sumSq_ = 0.0;
-    double min_ = 1e300;
-    double max_ = -1e300;
-};
+using Counter = obs::Counter;
+using Gauge = obs::Gauge;
+using Distribution = obs::Distribution;
+using Histogram = obs::Histogram;
 
 /**
- * Named statistics group. Components own one and register their
- * counters under dotted names for uniform reporting.
+ * Named statistics group (thin façade over obs::MetricGroup). The
+ * registry-taking constructor enrolls the group in a System's
+ * MetricsRegistry; the prefix-only form keeps standalone groups
+ * (unit tests, scratch tooling) working unchanged.
  */
-class StatGroup
-{
-  public:
-    explicit StatGroup(std::string prefix) : prefix_(std::move(prefix)) {}
-
-    Counter &
-    counter(const std::string &name)
-    {
-        return counters_[name];
-    }
-
-    Distribution &
-    distribution(const std::string &name)
-    {
-        return dists_[name];
-    }
-
-    const std::map<std::string, Counter> &counters() const
-    {
-        return counters_;
-    }
-
-    const std::map<std::string, Distribution> &distributions() const
-    {
-        return dists_;
-    }
-
-    const std::string &prefix() const { return prefix_; }
-
-    void
-    reset()
-    {
-        for (auto &kv : counters_)
-            kv.second.reset();
-        for (auto &kv : dists_)
-            kv.second.reset();
-    }
-
-    /** Render all stats as "prefix.name value" lines. */
-    std::string dump() const;
-
-  private:
-    std::string prefix_;
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Distribution> dists_;
-};
+using StatGroup = obs::MetricGroup;
 
 } // namespace ccai::sim
 

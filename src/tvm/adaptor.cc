@@ -14,11 +14,40 @@ namespace ccai::tvm
 namespace mm = pcie::memmap;
 using sc::ChunkRecord;
 
+Adaptor::Handles::Handles(sim::StatGroup &g)
+    : faultsRecovered(g.counterHandle("faults_recovered")),
+      faultsFatal(g.counterHandle("faults_fatal")),
+      transportRetransmits(g.counterHandle("transport_retransmits")),
+      transportTimeoutRetransmits(
+          g.counterHandle("transport_timeout_retransmits")),
+      policyUpdates(g.counterHandle("policy_updates")),
+      signedWrites(g.counterHandle("signed_writes")),
+      h2dChunks(g.counterHandle("h2d_chunks")),
+      h2dBytes(g.counterHandle("h2d_bytes")),
+      d2hBytes(g.counterHandle("d2h_bytes")),
+      ioWrites(g.counterHandle("io_writes")),
+      ioReads(g.counterHandle("io_reads")),
+      vendorMessages(g.counterHandle("vendor_messages")),
+      recordFetchIncomplete(
+          g.counterHandle("record_fetch_incomplete")),
+      recordFetchRetries(g.counterHandle("record_fetch_retries")),
+      d2hIntegrityFailures(
+          g.counterHandle("d2h_integrity_failures")),
+      d2hChunkRetries(g.counterHandle("d2h_chunk_retries")),
+      tasksEnded(g.counterHandle("tasks_ended")),
+      cpuQueueTicks(g.histogramHandle("cpu_queue_ticks")),
+      h2dCpuTicks(g.histogramHandle("h2d_cpu_ticks")),
+      d2hCpuTicks(g.histogramHandle("d2h_cpu_ticks")),
+      h2dPrepareTicks(g.histogramHandle("h2d_prepare_ticks")),
+      d2hCollectTicks(g.histogramHandle("d2h_collect_ticks"))
+{}
+
 Adaptor::Adaptor(sim::System &sys, std::string name, Tvm &tvm,
                  const AdaptorConfig &config,
                  const AdaptorTiming &timing)
     : sim::SimObject(sys, std::move(name)), tvm_(tvm), config_(config),
-      timing_(timing), stats_(this->name())
+      timing_(timing), stats_(sys.metrics(), this->name()),
+      s_(stats_), tracer_(&sys.tracer())
 {
     // Consume transport acks for this tenant's ARQ channel. The
     // handler is registered unconditionally (it is inert while
@@ -67,7 +96,7 @@ Adaptor::handleTransportAck(const pcie::TransportAck &ack)
     if (popped == 0)
         return; // stale cumulative ack
     if (txDirty_)
-        stats_.counter("faults_recovered").inc(popped);
+        s_.faultsRecovered.inc(popped);
     txAttempts_ = 0;
     ++txTimerGen_; // retire the running timer chain
     if (txUnacked_.empty())
@@ -93,7 +122,9 @@ Adaptor::goBackN(std::uint64_t fromSeq)
     }
     if (n) {
         txDirty_ = true;
-        stats_.counter("transport_retransmits").inc(n);
+        s_.transportRetransmits.inc(n);
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "arq.go_back_n", curTick());
     }
 }
 
@@ -109,7 +140,7 @@ Adaptor::armTxTimer()
         if (txTimerGen_ != gen || txUnacked_.empty())
             return;
         if (txAttempts_ >= config_.retry.maxRetries) {
-            stats_.counter("faults_fatal").inc(txUnacked_.size());
+            s_.faultsFatal.inc(txUnacked_.size());
             warnRateLimited(
                 "adaptor-tx-exhausted",
                 "%s: %zu transported writes exhausted the retry "
@@ -122,7 +153,10 @@ Adaptor::armTxTimer()
         }
         ++txAttempts_;
         txDirty_ = true;
-        stats_.counter("transport_timeout_retransmits").inc();
+        s_.transportTimeoutRetransmits.inc();
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "arq.timeout_retx",
+                             curTick());
         for (const auto &p : txUnacked_)
             tvm_.rootComplex().sendWrite(p);
         armTxTimer();
@@ -175,7 +209,7 @@ Adaptor::pktFilterManage(const sc::RuleTables &tables)
                                             mm::kScRuleTable.base,
                                             std::move(payload)),
                     /*sign=*/false);
-    stats_.counter("policy_updates").inc();
+    s_.policyUpdates.inc();
 }
 
 void
@@ -184,7 +218,7 @@ Adaptor::writeSigned(Addr addr, Bytes data)
     sendTransported(pcie::Tlp::makeMemWrite(tvm_.bdf(), addr,
                                             std::move(data)),
                     /*sign=*/true);
-    stats_.counter("signed_writes").inc();
+    s_.signedWrites.inc();
 }
 
 Tick
@@ -197,10 +231,13 @@ Adaptor::cryptoDelay(std::uint64_t bytes) const
 }
 
 void
-Adaptor::runOnCpu(Tick duration, DoneCb then)
+Adaptor::runOnCpu(Tick duration, DoneCb then, const char *stage)
 {
     Tick start = std::max(curTick(), cpuBusyUntil_);
+    s_.cpuQueueTicks.sample(start - curTick());
     cpuBusyUntil_ = start + duration;
+    if (stage && tracer_->enabled())
+        tracer_->complete(traceTrack(), stage, start, duration);
     eventq().schedule(cpuBusyUntil_, std::move(then));
 }
 
@@ -226,6 +263,7 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
     if (scTerminated && data)
         fatal("Adaptor: SC-terminated transfers are payload-free");
 
+    Tick t0 = curTick();
     Addr bounce = allocBounce(config_.h2dWindow, h2dCursor_, length);
     std::uint64_t chunks =
         (length + config_.chunkBytes - 1) / config_.chunkBytes;
@@ -246,9 +284,10 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
         cpu += cryptoDelay(length);
     if (!config_.batchNotify)
         cpu += timing_.perSubtaskOverhead * subtasks;
+    s_.h2dCpuTicks.sample(cpu);
 
-    runOnCpu(cpu, [this, data = std::move(data), length, bounce, chunks,
-                   subtasks, done = std::move(done)]() mutable {
+    runOnCpu(cpu, [this, t0, data = std::move(data), length, bounce,
+                   chunks, subtasks, done = std::move(done)]() mutable {
         // Three-stage parallel seal, deterministic at any thread
         // count: (1) serial record build — nextIv() draws and epoch
         // rotation must happen in chunkId order, and cipherCached()
@@ -312,8 +351,8 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
                 BufferPool::global().release(std::move(staged[i]));
             }
         }
-        stats_.counter("h2d_chunks").inc(chunks);
-        stats_.counter("h2d_bytes").inc(length);
+        s_.h2dChunks.inc(chunks);
+        s_.h2dBytes.inc(length);
 
         Addr param_window =
             mm::kScMmio.base + mm::screg::kParamWindow;
@@ -325,7 +364,7 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
             writeSigned(param_window,
                         ChunkRecord::serializeBatch(records));
             writeSigned(notify, Bytes(8, 1));
-            stats_.counter("io_writes").inc(2);
+            s_.ioWrites.inc(2);
         } else {
             // Non-optimized: each chunk registered separately, each
             // encryption subtask raises its own notify request.
@@ -333,10 +372,14 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
                 writeSigned(param_window, rec.serialize());
             for (std::uint64_t i = 0; i < subtasks; ++i)
                 writeSigned(notify, Bytes(8, 1));
-            stats_.counter("io_writes").inc(records.size() + subtasks);
+            s_.ioWrites.inc(records.size() + subtasks);
         }
+        s_.h2dPrepareTicks.sample(curTick() - t0);
+        if (tracer_->enabled())
+            tracer_->complete(traceTrack(), "h2d.prepare", t0,
+                              curTick() - t0);
         done(bounce);
-    });
+    }, "h2d.seal");
 }
 
 Addr
@@ -351,7 +394,7 @@ Adaptor::sendVendorMessage(Bytes payload)
     sendTransported(pcie::Tlp::makeVendorMessage(tvm_.bdf(),
                                                  std::move(payload)),
                     /*sign=*/true);
-    stats_.counter("vendor_messages").inc();
+    s_.vendorMessages.inc();
 }
 
 void
@@ -362,6 +405,7 @@ Adaptor::collectD2h(Addr bounceAddr, std::uint64_t length,
         fatal("Adaptor: collectD2h before session establishment");
 
     auto st = std::make_shared<CollectState>();
+    st->startTick = curTick();
     st->bounceAddr = bounceAddr;
     st->length = length;
     st->synthetic = synthetic;
@@ -400,7 +444,7 @@ Adaptor::fetchForCollect(std::shared_ptr<CollectState> st)
             st->fetchAttempts >= config_.retry.maxReadRetries) {
             if (retryEnabled() && !coverageComplete(*st) &&
                 st->length != 0)
-                stats_.counter("record_fetch_incomplete").inc();
+                s_.recordFetchIncomplete.inc();
             finishCollect(std::move(st));
             return;
         }
@@ -409,7 +453,10 @@ Adaptor::fetchForCollect(std::shared_ptr<CollectState> st)
         // doorbell/ack bookkeeping is consistent across rounds
         // because each fetch acks everything it consumed.
         ++st->fetchAttempts;
-        stats_.counter("record_fetch_retries").inc();
+        s_.recordFetchRetries.inc();
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "record_fetch.retry",
+                             curTick());
         Tick wait = config_.retry.timeoutFor(config_.retry.ackTimeout,
                                              st->fetchAttempts - 1);
         eventq().scheduleIn(wait,
@@ -466,10 +513,11 @@ Adaptor::finishCollect(std::shared_ptr<CollectState> st)
     }
     if (!st->scTerminated)
         cpu += tvm_.memcpyDelay(st->length) / width; // bounce -> private
+    s_.d2hCpuTicks.sample(cpu);
 
     runOnCpu(cpu, [this, st = std::move(st)]() mutable {
         attemptDecrypt(std::move(st), 0);
-    });
+    }, "d2h.open");
 }
 
 void
@@ -529,7 +577,11 @@ Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
         for (std::size_t i : pending) {
             const ChunkRecord &rec = st->recs[i];
             if (!okNow[i]) {
-                stats_.counter("d2h_integrity_failures").inc();
+                s_.d2hIntegrityFailures.inc();
+                if (tracer_->enabled())
+                    tracer_->instant(traceTrack(),
+                                     "d2h.integrity_fail",
+                                     curTick());
                 warnRateLimited(
                     "adaptor-d2h-integrity",
                     "%s: D2H chunk %llu failed integrity",
@@ -541,7 +593,7 @@ Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
             }
             st->ok[i] = 1;
             if (attempt > 0)
-                stats_.counter("faults_recovered").inc();
+                s_.faultsRecovered.inc();
         }
     }
 
@@ -556,7 +608,10 @@ Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
             writeSigned(mm::kScMmio.base + mm::screg::kChunkRetry,
                         std::move(v));
         }
-        stats_.counter("d2h_chunk_retries").inc(failed.size());
+        s_.d2hChunkRetries.inc(failed.size());
+        if (tracer_->enabled())
+            tracer_->instant(traceTrack(), "d2h.chunk_retry",
+                             curTick());
         Tick wait =
             config_.retry.timeoutFor(config_.retry.ackTimeout, attempt);
         eventq().scheduleIn(wait, [this, st, attempt] {
@@ -565,7 +620,7 @@ Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
         return;
     }
     if (!failed.empty())
-        stats_.counter("faults_fatal").inc(failed.size());
+        s_.faultsFatal.inc(failed.size());
 
     Bytes plaintext;
     for (std::size_t i = 0; i < st->recs.size(); ++i) {
@@ -574,7 +629,11 @@ Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
                              st->plain[i].end());
         }
     }
-    stats_.counter("d2h_bytes").inc(st->length);
+    s_.d2hBytes.inc(st->length);
+    s_.d2hCollectTicks.sample(curTick() - st->startTick);
+    if (tracer_->enabled())
+        tracer_->complete(traceTrack(), "d2h.collect", st->startTick,
+                          curTick() - st->startTick);
     st->done(std::move(plaintext));
 }
 
@@ -595,7 +654,7 @@ Adaptor::fetchRecordsBatched(
             std::uint64_t delivered =
                 payload.size() >= 8 ? loadLe64(payload.data()) : 0;
             std::uint64_t fresh = delivered - metaConsumed_;
-            stats_.counter("io_reads").inc(1);
+            s_.ioReads.inc(1);
 
             Bytes blob = tvm_.memory().read(
                 config_.metaWindow.base + metaReadCursor_,
@@ -625,7 +684,7 @@ Adaptor::fetchRecordsMmio(
         [this, done = std::move(done)](Bytes payload) {
             std::uint64_t count =
                 payload.size() >= 8 ? loadLe64(payload.data()) : 0;
-            stats_.counter("io_reads").inc(1);
+            s_.ioReads.inc(1);
             fetchOneRecordMmio(0, count, {}, std::move(done));
         });
 }
@@ -652,7 +711,7 @@ Adaptor::fetchOneRecordMmio(
     tvm_.mmioRead(addr, ChunkRecord::kWireBytes,
                   [this, index, count, acc = std::move(acc),
                    done = std::move(done)](Bytes payload) mutable {
-                      stats_.counter("io_reads").inc(1);
+                      s_.ioReads.inc(1);
                       acc.push_back(ChunkRecord::deserialize(payload));
                       fetchOneRecordMmio(index + 1, count,
                                          std::move(acc),
@@ -670,7 +729,8 @@ Adaptor::refreshPolicy(DoneCb done)
     pktFilterManage(*policy_);
     // The controller needs time to rebuild the double-buffered rule
     // tables before the request's transfers may proceed.
-    runOnCpu(timing_.policyInstallLatency, std::move(done));
+    runOnCpu(timing_.policyInstallLatency, std::move(done),
+             "policy.install");
 }
 
 void
@@ -683,7 +743,7 @@ Adaptor::endTask(bool softResetSupported)
     if (keys_)
         keys_->destroy();
     keys_.reset();
-    stats_.counter("tasks_ended").inc();
+    s_.tasksEnded.inc();
 }
 
 void

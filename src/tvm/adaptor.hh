@@ -21,6 +21,7 @@
 #include <functional>
 #include <optional>
 
+#include "obs/trace.hh"
 #include "pcie/transport.hh"
 #include "sc/control_panels.hh"
 #include "sc/engines.hh"
@@ -216,10 +217,15 @@ class Adaptor : public sim::SimObject
         std::vector<Bytes> plain;          ///< per-record plaintext
         std::vector<char> ok;              ///< per-record decrypt ok
         int fetchAttempts = 0;
+        Tick startTick = 0; ///< collectD2h() entry, for latency stats
     };
 
-    /** Serialize work on the Adaptor's CPU context. */
-    void runOnCpu(Tick duration, DoneCb then);
+    /**
+     * Serialize work on the Adaptor's CPU context. @p stage names
+     * the span on the adaptor's trace track (nullptr: untraced).
+     */
+    void runOnCpu(Tick duration, DoneCb then,
+                  const char *stage = nullptr);
 
     bool retryEnabled() const { return config_.retry.enabled; }
 
@@ -279,6 +285,49 @@ class Adaptor : public sim::SimObject
     Tick lastGoBack_ = 0;
 
     sim::StatGroup stats_;
+
+    /**
+     * Typed handles into stats_, resolved once at construction so
+     * the per-chunk/per-write paths never do a string-keyed lookup.
+     */
+    struct Handles
+    {
+        explicit Handles(sim::StatGroup &g);
+
+        obs::CounterHandle faultsRecovered;
+        obs::CounterHandle faultsFatal;
+        obs::CounterHandle transportRetransmits;
+        obs::CounterHandle transportTimeoutRetransmits;
+        obs::CounterHandle policyUpdates;
+        obs::CounterHandle signedWrites;
+        obs::CounterHandle h2dChunks;
+        obs::CounterHandle h2dBytes;
+        obs::CounterHandle d2hBytes;
+        obs::CounterHandle ioWrites;
+        obs::CounterHandle ioReads;
+        obs::CounterHandle vendorMessages;
+        obs::CounterHandle recordFetchIncomplete;
+        obs::CounterHandle recordFetchRetries;
+        obs::CounterHandle d2hIntegrityFailures;
+        obs::CounterHandle d2hChunkRetries;
+        obs::CounterHandle tasksEnded;
+
+        obs::HistogramHandle cpuQueueTicks;   ///< runOnCpu wait
+        obs::HistogramHandle h2dCpuTicks;     ///< seal-stage CPU time
+        obs::HistogramHandle d2hCpuTicks;     ///< open-stage CPU time
+        obs::HistogramHandle h2dPrepareTicks; ///< prepareH2d e2e
+        obs::HistogramHandle d2hCollectTicks; ///< collectD2h e2e
+    } s_;
+
+    obs::Tracer *tracer_;
+    obs::TrackId track_ = obs::kNoTrack;
+
+    /** This adaptor's trace track (lazily named after the object). */
+    obs::TrackId
+    traceTrack()
+    {
+        return tracer_->trackCached(track_, name());
+    }
 };
 
 } // namespace ccai::tvm

@@ -7,10 +7,31 @@ namespace ccai::xpu
 
 namespace mm = pcie::memmap;
 
+XpuDevice::Handles::Handles(sim::StatGroup &g)
+    : vramWrites(g.counterHandle("vram_writes")),
+      badAddrWrites(g.counterHandle("bad_addr_writes")),
+      orphanCompletions(g.counterHandle("orphan_completions")),
+      vendorMessages(g.counterHandle("vendor_messages")),
+      unsupportedTlps(g.counterHandle("unsupported_tlps")),
+      mmioWrites(g.counterHandle("mmio_writes")),
+      mmioReads(g.counterHandle("mmio_reads")),
+      doorbellEmpty(g.counterHandle("doorbell_empty")),
+      commandsQueued(g.counterHandle("commands_queued")),
+      kernels(g.counterHandle("kernels")),
+      dmaH2d(g.counterHandle("dma_h2d")),
+      dmaD2h(g.counterHandle("dma_d2h")),
+      memsets(g.counterHandle("memsets")),
+      fences(g.counterHandle("fences")),
+      dmaAborts(g.counterHandle("dma_aborts")),
+      resets(g.counterHandle("resets")),
+      cmdTicks(g.histogramHandle("cmd_ticks"))
+{}
+
 XpuDevice::XpuDevice(sim::System &sys, std::string name,
                      const XpuSpec &spec, pcie::Bdf bdf)
     : sim::SimObject(sys, std::move(name)), spec_(spec), bdf_(bdf),
-      stats_(this->name())
+      stats_(sys.metrics(), this->name()), s_(stats_),
+      tracer_(&sys.tracer())
 {
     regs_[mm::xpureg::kStatus] = 0x1; // device ready
 }
@@ -31,13 +52,13 @@ XpuDevice::receiveTlp(const pcie::TlpPtr &tlp, pcie::PcieNode *)
         if (mm::kXpuMmio.contains(tlp->address)) {
             handleMmioWrite(tlp);
         } else if (mm::kXpuVram.contains(tlp->address)) {
-            stats_.counter("vram_writes").inc();
+            s_.vramWrites.inc();
             env_.vramDirty = true;
             if (!tlp->synthetic)
                 vram_.write(tlp->address - mm::kXpuVram.base,
                             tlp->data);
         } else {
-            stats_.counter("bad_addr_writes").inc();
+            s_.badAddrWrites.inc();
         }
         return;
       case TlpType::MemRead:
@@ -46,7 +67,7 @@ XpuDevice::receiveTlp(const pcie::TlpPtr &tlp, pcie::PcieNode *)
       case TlpType::Completion: {
         auto it = outstanding_.find(tlp->tag);
         if (it == outstanding_.end()) {
-            stats_.counter("orphan_completions").inc();
+            s_.orphanCompletions.inc();
             return;
         }
         auto cb = std::move(it->second);
@@ -56,10 +77,10 @@ XpuDevice::receiveTlp(const pcie::TlpPtr &tlp, pcie::PcieNode *)
       }
       case TlpType::Message:
         // Vendor-defined management messages terminate here.
-        stats_.counter("vendor_messages").inc();
+        s_.vendorMessages.inc();
         return;
       default:
-        stats_.counter("unsupported_tlps").inc();
+        s_.unsupportedTlps.inc();
         return;
     }
 }
@@ -68,7 +89,7 @@ void
 XpuDevice::handleMmioWrite(const pcie::TlpPtr &tlp)
 {
     Addr offset = tlp->address - mm::kXpuMmio.base;
-    stats_.counter("mmio_writes").inc();
+    s_.mmioWrites.inc();
     env_.registersDirty = true;
 
     if (offset >= mm::xpureg::kCmdQueueBase) {
@@ -91,14 +112,14 @@ XpuDevice::handleMmioWrite(const pcie::TlpPtr &tlp)
         Addr slot = mm::xpureg::kCmdQueueBase + value;
         auto it = cmdWindow_.find(slot);
         if (it == cmdWindow_.end()) {
-            stats_.counter("doorbell_empty").inc();
+            s_.doorbellEmpty.inc();
             warn("%s: doorbell for empty slot 0x%llx", name().c_str(),
                  (unsigned long long)slot);
             return;
         }
         queue_.push_back(XpuCommand::deserialize(it->second));
         cmdWindow_.erase(it);
-        stats_.counter("commands_queued").inc();
+        s_.commandsQueued.inc();
         if (!busy_)
             startNextCommand();
         return;
@@ -115,7 +136,7 @@ XpuDevice::handleMmioWrite(const pcie::TlpPtr &tlp)
 void
 XpuDevice::handleMmioRead(const pcie::TlpPtr &tlp)
 {
-    stats_.counter("mmio_reads").inc();
+    s_.mmioReads.inc();
     Bytes payload(tlp->lengthBytes, 0);
     if (mm::kXpuMmio.contains(tlp->address)) {
         Addr offset = tlp->address - mm::kXpuMmio.base;
@@ -141,6 +162,7 @@ XpuDevice::startNextCommand()
         return;
     }
     busy_ = true;
+    cmdStart_ = curTick();
     XpuCommand cmd = queue_.front();
     queue_.pop_front();
 
@@ -148,18 +170,18 @@ XpuDevice::startNextCommand()
       case XpuCmdType::LaunchKernel: {
         env_.cachesDirty = true;
         env_.tlbDirty = true;
-        stats_.counter("kernels").inc();
+        s_.kernels.inc();
         Tick total = spec_.kernelLaunchOverhead + cmd.duration;
         eventq().scheduleIn(total, [this, cmd] { finishCommand(cmd); });
         return;
       }
       case XpuCmdType::DmaFromHost:
-        stats_.counter("dma_h2d").inc();
+        s_.dmaH2d.inc();
         env_.vramDirty = true;
         startDmaRead(cmd);
         return;
       case XpuCmdType::DmaToHost: {
-        stats_.counter("dma_d2h").inc();
+        s_.dmaD2h.inc();
         // Device pushes VRAM contents to host memory as posted MWr.
         std::uint64_t remaining = cmd.length;
         Addr host = cmd.hostAddr;
@@ -188,12 +210,12 @@ XpuDevice::startNextCommand()
         return;
       }
       case XpuCmdType::MemSet:
-        stats_.counter("memsets").inc();
+        s_.memsets.inc();
         env_.vramDirty = true;
         finishCommand(cmd);
         return;
       case XpuCmdType::Fence:
-        stats_.counter("fences").inc();
+        s_.fences.inc();
         raiseInterrupt(cmd.msiTarget);
         finishCommand(cmd);
         return;
@@ -237,7 +259,7 @@ XpuDevice::pumpDmaRead()
             --dmaRead_.inflight;
             if (cpl->cplStatus !=
                 pcie::CplStatus::SuccessfulCompletion) {
-                stats_.counter("dma_aborts").inc();
+                s_.dmaAborts.inc();
                 // Abandon the rest of this transfer.
                 dmaRead_.nextOffset = dmaRead_.cmd.length;
             } else if (!cpl->synthetic) {
@@ -265,6 +287,10 @@ XpuDevice::finishCommand(const XpuCommand &cmd)
 {
     (void)cmd;
     ++retired_;
+    s_.cmdTicks.sample(curTick() - cmdStart_);
+    if (tracer_->enabled())
+        tracer_->complete(traceTrack(), "cmd", cmdStart_,
+                          curTick() - cmdStart_);
     startNextCommand();
 }
 
@@ -289,7 +315,7 @@ XpuDevice::coldReset()
     busy_ = false;
     env_ = XpuEnvState{};
     regs_[mm::xpureg::kStatus] = 0x1;
-    stats_.counter("resets").inc();
+    s_.resets.inc();
 }
 
 void

@@ -128,6 +128,40 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
     XpuEnvState env_;
     sim::StatGroup stats_;
 
+    /** Typed handles resolved once; no name lookup per TLP. */
+    struct Handles
+    {
+        explicit Handles(sim::StatGroup &g);
+
+        obs::CounterHandle vramWrites;
+        obs::CounterHandle badAddrWrites;
+        obs::CounterHandle orphanCompletions;
+        obs::CounterHandle vendorMessages;
+        obs::CounterHandle unsupportedTlps;
+        obs::CounterHandle mmioWrites;
+        obs::CounterHandle mmioReads;
+        obs::CounterHandle doorbellEmpty;
+        obs::CounterHandle commandsQueued;
+        obs::CounterHandle kernels;
+        obs::CounterHandle dmaH2d;
+        obs::CounterHandle dmaD2h;
+        obs::CounterHandle memsets;
+        obs::CounterHandle fences;
+        obs::CounterHandle dmaAborts;
+        obs::CounterHandle resets;
+
+        obs::HistogramHandle cmdTicks;
+    } s_;
+
+    obs::Tracer *tracer_;
+    obs::TrackId track_ = obs::kNoTrack;
+    obs::TrackId traceTrack()
+    {
+        return tracer_->trackCached(track_, name());
+    }
+    /** Start tick of the command in flight (commands are serial). */
+    Tick cmdStart_ = 0;
+
     /** Outstanding read bursts (read-tag window). */
     static constexpr std::uint32_t kDmaReadWindow = 8;
 };

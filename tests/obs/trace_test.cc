@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests of the span tracer: disabled recording is a no-op,
+ * tracks memoize, B/E spans stay balanced, the capacity cap counts
+ * drops, and the Chrome trace_event export is well-formed (metadata
+ * per track, microsecond timestamps, balanced phases).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hh"
+
+using namespace ccai;
+using obs::Tracer;
+
+namespace
+{
+
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(Tracer, DisabledRecordsNothing)
+{
+    Tracer tr;
+    EXPECT_FALSE(tr.enabled());
+    obs::TrackId t = tr.track("adaptor");
+    tr.begin(t, "h2d", 100);
+    tr.end(t, "h2d", 200);
+    tr.complete(t, "wire", 100, 50);
+    tr.instant(t, "fault", 150);
+    EXPECT_EQ(tr.eventCount(), 0u);
+    // Track registration still works while disabled, so components
+    // can resolve ids up front.
+    EXPECT_EQ(tr.trackNames().size(), 1u);
+}
+
+TEST(Tracer, TrackMemoizationAndIds)
+{
+    Tracer tr;
+    obs::TrackId a = tr.track("a");
+    obs::TrackId b = tr.track("b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tr.track("a"), a);
+
+    obs::TrackId slot = obs::kNoTrack;
+    EXPECT_EQ(tr.trackCached(slot, "b"), b);
+    EXPECT_EQ(slot, b);
+    // Cached slot short-circuits the name lookup.
+    EXPECT_EQ(tr.trackCached(slot, "never-looked-up"), b);
+}
+
+TEST(Tracer, RecordsAllPhases)
+{
+    Tracer tr;
+    tr.setEnabled(true);
+    obs::TrackId t = tr.track("sc");
+    tr.begin(t, "trust", 1000);
+    tr.instant(t, "retry", 1500, "chunk 3");
+    tr.complete(t, "a2.down", 1200, 300);
+    tr.end(t, "trust", 2000);
+
+    ASSERT_EQ(tr.eventCount(), 4u);
+    EXPECT_EQ(tr.events()[0].phase, 'B');
+    EXPECT_EQ(tr.events()[1].phase, 'i');
+    EXPECT_EQ(tr.events()[1].detail, "chunk 3");
+    EXPECT_EQ(tr.events()[2].phase, 'X');
+    EXPECT_EQ(tr.events()[2].dur, 300u);
+    EXPECT_EQ(tr.events()[3].phase, 'E');
+
+    tr.clear();
+    EXPECT_EQ(tr.eventCount(), 0u);
+    EXPECT_EQ(tr.trackNames().size(), 1u); // tracks survive clear()
+}
+
+TEST(Tracer, ChromeExportWellFormed)
+{
+    Tracer tr;
+    tr.setEnabled(true);
+    obs::TrackId a = tr.track("adaptor");
+    obs::TrackId link = tr.track("link");
+    for (Tick ts = 0; ts < 10; ++ts) {
+        tr.begin(a, "span", ts * kTicksPerUs);
+        tr.end(a, "span", ts * kTicksPerUs + kTicksPerUs / 2);
+        tr.complete(link, "wire", ts * kTicksPerUs, 250);
+    }
+    tr.instant(link, "fault", 5 * kTicksPerUs);
+
+    std::ostringstream os;
+    tr.writeChromeTrace(os);
+    std::string text = os.str();
+
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+    // One thread_name metadata record per track.
+    EXPECT_EQ(countOccurrences(text, "\"thread_name\""), 2u);
+    EXPECT_NE(text.find("\"adaptor\""), std::string::npos);
+    EXPECT_NE(text.find("\"link\""), std::string::npos);
+    // Balanced B/E, all X and i present.
+    EXPECT_EQ(countOccurrences(text, "\"ph\": \"B\""), 10u);
+    EXPECT_EQ(countOccurrences(text, "\"ph\": \"E\""), 10u);
+    EXPECT_EQ(countOccurrences(text, "\"ph\": \"X\""), 10u);
+    EXPECT_EQ(countOccurrences(text, "\"ph\": \"i\""), 1u);
+    // Ticks (ps) convert to microseconds: 500000 ticks -> 0.5 us.
+    EXPECT_NE(text.find("\"ts\": 0.5"), std::string::npos) << text;
+    // Braces/brackets balance (cheap well-formedness proxy).
+    EXPECT_EQ(countOccurrences(text, "{"), countOccurrences(text, "}"));
+    EXPECT_EQ(countOccurrences(text, "["), countOccurrences(text, "]"));
+}
+
+TEST(Tracer, CapacityCapCountsDrops)
+{
+    Tracer tr;
+    tr.setEnabled(true);
+    obs::TrackId t = tr.track("flood");
+    // The cap is 1<<20; pushing past it must count drops, not grow.
+    for (std::uint64_t i = 0; i < (1u << 20) + 100; ++i)
+        tr.instant(t, "e", i);
+    EXPECT_EQ(tr.eventCount(), 1u << 20);
+    EXPECT_EQ(tr.dropped(), 100u);
+    tr.clear();
+    EXPECT_EQ(tr.dropped(), 0u);
+}

@@ -3,8 +3,9 @@
 
 Usage:
     validate_obs.py METRICS_JSON SCHEMA_JSON [TRACE_JSON]
+    validate_obs.py --bench BENCH_recovery.json
 
-Checks:
+Checks (default mode):
   1. METRICS_JSON parses and validates against SCHEMA_JSON. Uses the
      `jsonschema` package when importable; otherwise falls back to a
      small built-in validator covering the subset of JSON Schema the
@@ -14,6 +15,13 @@ Checks:
      duration events are balanced: equal numbers of 'B' and 'E'
      events overall and per track, with depth never going negative in
      record order.
+
+Checks (--bench mode, for bench_recovery output):
+  The watchdog-tax gate holds (overhead_pct < target_pct with probe
+  rounds actually recorded), every chaos run drained, every episode
+  resolved to recovered or quarantined, and each chaos row carries
+  consistent detect/recovery latency histograms (count == episodes,
+  min <= p50 <= p99 <= max).
 
 Exits non-zero with a message on the first failure.
 """
@@ -124,7 +132,107 @@ def check_trace(trace_path):
     )
 
 
+def check_histogram(hist, label):
+    for field in ("count", "min", "max", "p50", "p99"):
+        if field not in hist:
+            raise ValueError(f"{label}: missing '{field}'")
+    if hist["count"] > 0:
+        if not hist["min"] <= hist["p50"] <= hist["p99"] <= hist["max"]:
+            raise ValueError(
+                f"{label}: percentiles out of order "
+                f"(min={hist['min']} p50={hist['p50']} "
+                f"p99={hist['p99']} max={hist['max']})"
+            )
+
+
+def check_bench_recovery(bench_path):
+    with open(bench_path) as f:
+        bench = json.load(f)
+    if bench.get("workload") != "crash-recovery":
+        raise ValueError(
+            f"bench: workload is {bench.get('workload')!r}, "
+            "expected 'crash-recovery'"
+        )
+
+    tax = bench["watchdog_tax"]
+    if tax["overhead_pct"] >= tax["target_pct"]:
+        raise ValueError(
+            f"bench: watchdog overhead {tax['overhead_pct']:.3f}% "
+            f">= target {tax['target_pct']}%"
+        )
+    if tax["armed_probe_rounds"] <= 0:
+        raise ValueError(
+            "bench: armed run recorded no probe rounds — the "
+            "overhead measurement observed nothing"
+        )
+
+    rows = bench.get("chaos", [])
+    if not rows:
+        raise ValueError("bench: no chaos scenarios recorded")
+    crashy = 0
+    for row in rows:
+        label = f"bench chaos[{row.get('scenario', '?')}]"
+        if not row.get("drained"):
+            raise ValueError(f"{label}: run did not drain")
+        resolved = (
+            row["recovered_episodes"] + row["quarantined_episodes"]
+        )
+        if resolved != row["episodes"]:
+            raise ValueError(
+                f"{label}: {row['episodes']} episodes but only "
+                f"{resolved} resolved"
+            )
+        if row["crashes_injected"] > 0:
+            crashy += 1
+            if row["episodes"] == 0:
+                raise ValueError(
+                    f"{label}: crashes injected but no recovery "
+                    "episode detected"
+                )
+        check_histogram(
+            row["detect_latency_ticks"], f"{label}.detect"
+        )
+        check_histogram(
+            row["recovery_latency_ticks"], f"{label}.recovery"
+        )
+        if row["detect_latency_ticks"]["count"] != row["episodes"]:
+            raise ValueError(
+                f"{label}: detect latency count "
+                f"{row['detect_latency_ticks']['count']} != "
+                f"episodes {row['episodes']}"
+            )
+    if crashy == 0:
+        raise ValueError(
+            "bench: no chaos scenario injected any crash — the "
+            "recovery path was never exercised"
+        )
+    for gate in (
+        "watchdog_overhead_lt_2pct",
+        "all_runs_drained",
+        "all_episodes_resolved",
+    ):
+        if bench.get(gate) is not True:
+            raise ValueError(f"bench: gate '{gate}' is not true")
+    print(
+        f"bench ok: overhead {tax['overhead_pct']:.4f}% "
+        f"(< {tax['target_pct']}%), {len(rows)} chaos scenarios, "
+        f"{sum(r['episodes'] for r in rows)} episodes all resolved"
+    )
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--bench":
+        try:
+            check_bench_recovery(argv[2])
+        except (
+            ValueError,
+            KeyError,
+            OSError,
+            json.JSONDecodeError,
+        ) as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
+        return 0
     if len(argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         return 2

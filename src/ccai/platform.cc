@@ -126,6 +126,12 @@ Platform::buildTopology()
             {mm::xpureg::kPageTableBase, mm::kXpuVram.base,
              mm::kXpuVram.base + config_.xpuSpec.vramBytes});
 
+        // Crash-recovery subsystem. Its hooks need the trust
+        // infrastructure (blade, CA), so they are installed when
+        // establishTrust() succeeds.
+        recovery_ = std::make_unique<RecoveryManager>(
+            sys_, "recovery", config_.recovery);
+
         tvm_->configureIommu(true);
     } else {
         // Vanilla: switch connects straight to the xPU.
@@ -357,6 +363,10 @@ Platform::establishTrust()
     installPolicyForAllTenants();
     adaptor_->hwInit();
 
+    // Arm the crash-recovery layer for the established platform.
+    installRecoveryHooks();
+    recovery_->registerTenant(0, kTvm.raw());
+
     return report;
 }
 
@@ -371,12 +381,22 @@ Platform::tenantSlice(pcie::AddrRange region, std::uint32_t slot) const
 void
 Platform::installPolicyForAllTenants()
 {
-    std::vector<pcie::Bdf> tvms = {kTvm};
-    for (const auto &tenant : tenants_)
-        tvms.push_back(tenant->bdf);
+    // Quarantined tenants lose their requester-ID authorization:
+    // the packet filter A1-drops everything they send.
+    auto admitted = [this](std::uint16_t bdfRaw) {
+        return !recovery_ || !recovery_->quarantinedBdf(bdfRaw);
+    };
+    std::vector<pcie::Bdf> tvms;
+    if (admitted(kTvm.raw()))
+        tvms.push_back(kTvm);
+    for (const auto &tenant : tenants_) {
+        if (admitted(tenant->bdf.raw()))
+            tvms.push_back(tenant->bdf);
+    }
     sc::RuleTables policy = sc::defaultPolicy(tvms, kXpu, kPcieSc);
     sc_->installPolicy(policy);
-    adaptor_->setPolicy(policy);
+    if (admitted(kTvm.raw()))
+        adaptor_->setPolicy(policy);
 }
 
 Platform::Tenant &
@@ -435,9 +455,199 @@ Platform::addTenant(pcie::Bdf bdf)
     // Authorize the new requester ID in the packet policy.
     installPolicyForAllTenants();
     tenants_.back()->adaptor->hwInit();
+    if (recovery_)
+        recovery_->registerTenant(slot, bdf.raw());
     sys_.tracer().instant(sys_.tracer().track("trust"),
                           "tenant_attached", sys_.now(), prefix);
     return *tenants_.back();
+}
+
+Platform::Tenant *
+Platform::tryAddTenant(pcie::Bdf bdf)
+{
+    if (recovery_ && recovery_->quarantinedBdf(bdf.raw())) {
+        warn("addTenant: requester 0x%04x is quarantined; admission "
+             "rejected",
+             bdf.raw());
+        return nullptr;
+    }
+    return &addTenant(bdf);
+}
+
+tvm::Adaptor &
+Platform::adaptorFor(std::uint32_t slot)
+{
+    return slot == 0 ? *adaptor_ : *tenants_.at(slot - 1)->adaptor;
+}
+
+tvm::Runtime &
+Platform::runtimeFor(std::uint32_t slot)
+{
+    return slot == 0 ? *runtime_ : *tenants_.at(slot - 1)->runtime;
+}
+
+pcie::Bdf
+Platform::bdfFor(std::uint32_t slot) const
+{
+    return slot == 0 ? kTvm : tenants_.at(slot - 1)->bdf;
+}
+
+tvm::Adaptor *
+Platform::probeAdaptor()
+{
+    if (!recovery_ || !recovery_->quarantined(0))
+        return adaptor_.get();
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (!recovery_->quarantined(static_cast<std::uint32_t>(i) + 1))
+            return tenants_[i]->adaptor.get();
+    }
+    return nullptr;
+}
+
+bool
+Platform::reattestTenant(std::uint32_t slot)
+{
+    if (!config_.secure || !sc_ || !blade_ || !cpuHrot_)
+        return false;
+    if (slot > tenants_.size())
+        return false;
+    if (!blade_->booted() || !cpuHrot_->booted())
+        return false;
+
+    // Fresh attestation round (Figure 6, re-run): a crashed and
+    // rebooted blade carries a new AK, so nothing from the previous
+    // session may be trusted until a new quote verifies against the
+    // current PCR values.
+    trust::AttestationResponder responder(*cpuHrot_, *blade_, rng_);
+    trust::AttestationVerifier verifier(*ca_, rng_);
+    std::vector<size_t> selection = {
+        trust::pcridx::kCpuFirmware, trust::pcridx::kTvmImage,
+        trust::pcridx::kScBitstream, trust::pcridx::kScFirmware,
+    };
+    for (size_t idx : selection)
+        verifier.expectPcr(idx, blade_->pcrs().value(idx));
+    verifier.expectPcr(
+        trust::pcridx::kTvmImage,
+        cpuHrot_->pcrs().value(trust::pcridx::kTvmImage));
+
+    trust::Challenge challenge = verifier.makeChallenge(slot, selection);
+    trust::AttestationReport att = responder.respond(challenge);
+    trust::VerifyResult vr =
+        verifier.verifyReport(att, challenge, responder);
+    if (!vr.ok) {
+        // As in establishTrust: the CPU HRoT's bitstream PCRs are
+        // unset, so accept signature+nonce-valid quotes whose only
+        // mismatch is the CPU-side PCR values.
+        bool blade_ok = trust::HrotBlade::verifyQuote(
+            att.bladeQuote, responder.bladeAkCert().publicKey);
+        bool cpu_ok = trust::HrotBlade::verifyQuote(
+            att.cpuQuote, responder.cpuAkCert().publicKey);
+        if (!blade_ok || !cpu_ok)
+            return false;
+    }
+
+    // Fresh DHKE -> new workload keys on both ends. The Adaptor
+    // destroyed the old epoch's keys in abortSession(); the SC's are
+    // overwritten by establishTenant.
+    crypto::KeyPair tenant_keys = crypto::generateKeyPair(rng_);
+    crypto::KeyPair sc_keys = blade_->makeSessionKeys(rng_);
+    Bytes secret_tenant =
+        crypto::computeSharedSecret(tenant_keys.priv, sc_keys.pub);
+    Bytes secret_sc =
+        crypto::computeSharedSecret(sc_keys.priv, tenant_keys.pub);
+    if (secret_tenant != secret_sc)
+        return false;
+
+    sc_->establishTenant(bdfFor(slot), secret_sc,
+                         tenantSlice(mm::kBounceD2h, slot),
+                         tenantSlice(mm::kMetadataBuffer, slot));
+    adaptorFor(slot).establishSession(secret_tenant);
+    installPolicyForAllTenants();
+    adaptorFor(slot).hwInit();
+    return true;
+}
+
+void
+Platform::installRecoveryHooks()
+{
+    RecoveryManager::Hooks hooks;
+    hooks.inject = [this](FaultDomain domain) {
+        switch (domain) {
+          case FaultDomain::PcieSc:
+            sc_->firmwareHang();
+            return;
+          case FaultDomain::Xpu:
+            xpu_->wedge();
+            return;
+          case FaultDomain::Hrot:
+            if (blade_)
+                blade_->crash();
+            return;
+        }
+    };
+    hooks.probeSc = [this](std::function<void(bool)> reply) {
+        if (tvm::Adaptor *prober = probeAdaptor())
+            prober->pingSc(std::move(reply));
+        else
+            reply(true); // no tenant left to probe for
+    };
+    hooks.probeXpu = [this](std::function<void(bool)> reply) {
+        if (tvm::Adaptor *prober = probeAdaptor())
+            prober->pingXpu(std::move(reply));
+        else
+            reply(true);
+    };
+    hooks.probeHrot = [this] { return blade_ && blade_->booted(); };
+    hooks.resetPlatform = [this](FaultDomain) {
+        // Repair every crashed component, not only the blamed one: a
+        // hung SC masks a wedged xPU behind it, and a half-repaired
+        // platform would fail the next probe round anyway.
+        if (sc_->firmwareHung())
+            sc_->firmwareRestart();
+        if (blade_ && !blade_->booted())
+            blade_->boot(rng_);
+        // Session teardown destroys the SC-side workload keys and
+        // fires the EnvGuard scrub; the cold reset it triggers also
+        // un-wedges the xPU and retires its in-flight completions.
+        if (sc_->sessionEstablished())
+            sc_->endTask(false);
+        else
+            sc_->envGuard().cleanEnvironment(false);
+        adaptor_->abortSession();
+        tvm_->clearInterruptWaiters();
+        for (auto &tenant : tenants_) {
+            tenant->adaptor->abortSession();
+            tenant->tvm->clearInterruptWaiters();
+        }
+        rc_->abortTransport();
+    };
+    hooks.reattest = [this](std::uint32_t slot) {
+        return reattestTenant(slot);
+    };
+    hooks.issueRoundTrip = [this](std::uint32_t slot, Addr devAddr,
+                                  const Bytes &data,
+                                  std::function<void(Bytes)> done) {
+        tvm::Runtime &rt = runtimeFor(slot);
+        std::uint64_t length = data.size();
+        rt.memcpyH2D(devAddr, data, length,
+                     [&rt, devAddr, length,
+                      done = std::move(done)]() mutable {
+                         rt.memcpyD2H(devAddr, length,
+                                      /*synthetic=*/false,
+                                      std::move(done));
+                     });
+    };
+    hooks.issueKernel = [this](std::uint32_t slot, Tick duration,
+                               std::function<void()> done) {
+        tvm::Runtime &rt = runtimeFor(slot);
+        rt.launchKernel(duration);
+        rt.synchronize(std::move(done));
+    };
+    hooks.onQuarantine = [this](std::uint32_t slot) {
+        warn("platform: tenant slot %u quarantined", slot);
+        installPolicyForAllTenants(); // revoke its requester ID
+    };
+    recovery_->setHooks(std::move(hooks));
 }
 
 std::string

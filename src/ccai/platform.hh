@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "attack/bus_tap.hh"
+#include "ccai/recovery.hh"
 #include "llm/inference.hh"
 #include "pcie/fault_injector.hh"
 #include "pcie/transport.hh"
@@ -75,6 +76,13 @@ struct PlatformConfig
      * Platform::addTenant().
      */
     std::uint32_t maxTenants = 1;
+    /**
+     * Watchdog / crash-recovery tuning. Secure platforms build a
+     * RecoveryManager wired to the PCIe-SC heartbeat, the xPU status
+     * probe and the HRoT keep-alive; vanilla platforms have no
+     * protected components to recover.
+     */
+    RecoveryConfig recovery;
 };
 
 /** Outcome of Platform::establishTrust(). */
@@ -158,6 +166,27 @@ class Platform
         return tenants_;
     }
 
+    /**
+     * Admission-checked addTenant: returns nullptr instead of
+     * attaching when @p bdf belongs to a quarantined tenant (the
+     * crash-recovery policy rejects re-admission). addTenant itself
+     * keeps its fatal semantics for programming errors.
+     */
+    Tenant *tryAddTenant(pcie::Bdf bdf);
+
+    /** Crash-recovery subsystem; nullptr on a vanilla platform. */
+    RecoveryManager *recovery() { return recovery_.get(); }
+
+    /**
+     * Re-run remote attestation and session-key negotiation for one
+     * tenant slot (0 = owner): a fresh challenge/quote round against
+     * the blade's current PCRs and AK, a fresh DHKE, new workload
+     * keys on both ends (the old epoch's keys are destroyed), policy
+     * re-install and hw_init. This is the RecoveryManager's
+     * re-attestation hook, public so tests can drive it directly.
+     */
+    bool reattestTenant(std::uint32_t slot);
+
     /** Drive the event loop until it drains. */
     void run() { sys_.run(); }
 
@@ -213,6 +242,14 @@ class Platform
     pcie::AddrRange tenantSlice(pcie::AddrRange region,
                                 std::uint32_t slot) const;
     void installPolicyForAllTenants();
+    void installRecoveryHooks();
+    /** First non-quarantined Adaptor, the watchdog's probe vehicle
+     * (quarantined requester IDs are filtered by the SC and could
+     * never see a probe reply). nullptr when all slots are gone. */
+    tvm::Adaptor *probeAdaptor();
+    tvm::Adaptor &adaptorFor(std::uint32_t slot);
+    tvm::Runtime &runtimeFor(std::uint32_t slot);
+    pcie::Bdf bdfFor(std::uint32_t slot) const;
 
     PlatformConfig config_;
     std::uint64_t effectiveSeed_;
@@ -240,6 +277,7 @@ class Platform
     std::unique_ptr<trust::HrotBlade> cpuHrot_;
     std::unique_ptr<trust::HrotBlade> blade_;
     std::unique_ptr<trust::ChassisSealing> sealing_;
+    std::unique_ptr<RecoveryManager> recovery_;
 
     std::vector<std::unique_ptr<Tenant>> tenants_;
 };

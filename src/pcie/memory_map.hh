@@ -72,6 +72,7 @@ constexpr Addr kRecordCount = 0x0180;    ///< pending D2H record count
 constexpr Addr kRecordAck = 0x0188;      ///< consume per-record reads
 constexpr Addr kEndTask = 0x0190;        ///< task teardown doorbell
 constexpr Addr kChunkRetry = 0x0198;     ///< re-request a D2H chunk
+constexpr Addr kHeartbeat = 0x01a0;      ///< watchdog liveness read
 constexpr Addr kRuleWindow = 0x1000;     ///< rule staging window
 constexpr Addr kParamWindow = 0x2000;    ///< H2D chunk-record window
 constexpr Addr kRecordWindow = 0x3000;   ///< per-record MMIO reads

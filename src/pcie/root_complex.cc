@@ -281,6 +281,15 @@ RootComplex::handleInboundRequest(const TlpPtr &tlp)
 }
 
 void
+RootComplex::abortTransport()
+{
+    // Dropping the entries retires their retry timers too: the
+    // timer's (tag, gen) lookup finds nothing and no-ops.
+    outstanding_.clear();
+    rxSeq_.clear();
+}
+
+void
 RootComplex::reset()
 {
     outstanding_.clear();

@@ -105,6 +105,15 @@ class RootComplex : public sim::SimObject, public PcieNode
         transportHandlers_[routingId] = std::move(cb);
     }
 
+    /**
+     * Crash recovery: drop every outstanding non-posted request
+     * (callbacks are NOT invoked — the dead session's reads must not
+     * deliver fabricated aborts into a recovered Adaptor) and forget
+     * the inbound ARQ sequence state, so re-established sessions
+     * start a fresh conversation on every channel.
+     */
+    void abortTransport();
+
     // PcieNode interface: inbound traffic from the fabric
     void receiveTlp(const TlpPtr &tlp, PcieNode *from) override;
     const std::string &nodeName() const override { return name(); }

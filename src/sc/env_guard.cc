@@ -32,6 +32,7 @@ EnvGuard::checkMmioWrite(const pcie::Tlp &tlp)
     const MmioConstraint &c = it->second;
     if (value < c.minValue || value > c.maxValue) {
         violations_.inc();
+        violationsHandle_.inc();
         warn("env guard: MMIO write 0x%llx to reg 0x%llx outside "
              "[0x%llx, 0x%llx]",
              (unsigned long long)value, (unsigned long long)offset,
@@ -46,6 +47,7 @@ void
 EnvGuard::cleanEnvironment(bool device_supports_soft_reset)
 {
     cleans_.inc();
+    cleansHandle_.inc();
     if (device_supports_soft_reset && softReset_) {
         softReset_();
         return;
@@ -54,7 +56,13 @@ EnvGuard::cleanEnvironment(bool device_supports_soft_reset)
         coldReset_();
         return;
     }
-    warn("env guard: no reset hook installed");
+    // A skipped scrub means residual tenant data stays on the
+    // device (§4.2): count it so the metrics JSON surfaces it.
+    scrubsSkipped_.inc();
+    scrubsSkippedHandle_.inc();
+    warn("env guard: scrub requested but no reset hook installed — "
+         "device environment NOT cleaned (%llu skipped so far)",
+         (unsigned long long)scrubsSkipped_.value());
 }
 
 } // namespace ccai::sc

@@ -66,8 +66,28 @@ class EnvGuard
      */
     void cleanEnvironment(bool device_supports_soft_reset);
 
+    /**
+     * Mirror the guard's counters into @p group (the owning SC's
+     * metric group) so they appear in the metrics JSON. The local
+     * counters keep working for standalone/unit-test guards.
+     */
+    void bindStats(sim::StatGroup &group)
+    {
+        violationsHandle_ =
+            group.counterHandle("env_guard_violations");
+        cleansHandle_ = group.counterHandle("env_guard_cleans");
+        scrubsSkippedHandle_ =
+            group.counterHandle("env_guard_scrubs_skipped");
+    }
+
     std::uint64_t violations() const { return violations_.value(); }
     std::uint64_t cleans() const { return cleans_.value(); }
+    /** Scrub requests dropped because no reset hook was installed —
+     * each one is a tenant whose residue was NOT cleared. */
+    std::uint64_t scrubsSkipped() const
+    {
+        return scrubsSkipped_.value();
+    }
 
   private:
     std::map<Addr, MmioConstraint> constraints_;
@@ -75,6 +95,10 @@ class EnvGuard
     std::function<void()> softReset_;
     sim::Counter violations_;
     sim::Counter cleans_;
+    sim::Counter scrubsSkipped_;
+    obs::CounterHandle violationsHandle_;
+    obs::CounterHandle cleansHandle_;
+    obs::CounterHandle scrubsSkippedHandle_;
 };
 
 } // namespace ccai::sc

@@ -45,6 +45,9 @@ PcieSc::Handles::Handles(sim::StatGroup &g)
       transferNotifies(g.counterHandle("transfer_notifies")),
       ownMmioWrites(g.counterHandle("own_mmio_writes")),
       ownMmioReads(g.counterHandle("own_mmio_reads")),
+      heartbeatReads(g.counterHandle("heartbeat_reads")),
+      firmwareHangs(g.counterHandle("firmware_hangs")),
+      droppedWhileHung(g.counterHandle("dropped_while_hung")),
       badConfigWrites(g.counterHandle("bad_config_writes")),
       badParamWrites(g.counterHandle("bad_param_writes")),
       unknownOwnWrites(g.counterHandle("unknown_own_writes")),
@@ -73,6 +76,7 @@ PcieSc::PcieSc(sim::System &sys, std::string name,
       stats_(sys.metrics(), this->name()), s_(stats_),
       tracer_(&sys.tracer())
 {
+    envGuard_.bindStats(stats_);
 }
 
 void
@@ -118,6 +122,15 @@ PcieSc::establishTenant(pcie::Bdf tenant, const Bytes &sessionSecret,
     s.metaDelivered = 0;
     s.bdfRaw = tenant.raw();
     s.d2hReplay.clear();
+    s.d2hRecords.clear();
+    s.nextChunkId = 1;
+
+    // A (re-)established session starts its ARQ channels from
+    // scratch on both directions; the adaptor resets its transmit
+    // state in establishSession, and leaving stale receive/transmit
+    // state here would NAK-loop or duplicate-drop the fresh stream.
+    upTx_.erase(tenant.raw());
+    rxSeqDown_[tenant.raw()] = 0;
 
     // The first tenant (the owner TVM) controls the packet policy.
     if (sessions_.size() == 1) {
@@ -214,8 +227,46 @@ PcieSc::endTask(bool device_supports_soft_reset)
 }
 
 void
+PcieSc::firmwareHang()
+{
+    if (hung_)
+        return;
+    hung_ = true;
+    s_.firmwareHangs.inc();
+    warn("%s: firmware hang injected", name().c_str());
+}
+
+void
+PcieSc::firmwareRestart()
+{
+    if (!hung_)
+        return;
+    hung_ = false;
+    // Rebooted firmware has no transport or pending-read state; the
+    // stale generation-counter timers all no-op against the cleared
+    // maps. Sessions survive (their keys live in battery-backed
+    // SRAM in this model) so the recovery flow's endTask() still
+    // performs the uniform key-destruction + scrub teardown.
+    pendingSensitiveReads_.clear();
+    recentCompleted_.clear();
+    upTx_.clear();
+    rxSeqDown_.clear();
+    upBusyUntil_ = 0;
+    downBusyUntil_ = 0;
+    inform("%s: firmware restarted", name().c_str());
+}
+
+void
 PcieSc::receiveTlp(const TlpPtr &tlp, pcie::PcieNode *from)
 {
+    if (hung_) {
+        // Hung firmware: the controller goes dark. Traffic is
+        // dropped (not aborted) so requesters see timeouts, exactly
+        // like a real wedged device — the watchdog's missing
+        // heartbeat is what surfaces the failure.
+        s_.droppedWhileHung.inc();
+        return;
+    }
     if (from == upNeighbor_)
         processDownstreamBound(tlp);
     else
@@ -810,6 +861,13 @@ PcieSc::handleOwnMmioRead(const pcie::Tlp &req)
       case mm::screg::kStatus:
         value = sessionEstablished() ? 0x3 : 0x1;
         break;
+      case mm::screg::kHeartbeat:
+        // Watchdog liveness: a monotonic, always-nonzero beat. A
+        // hung controller never answers this read at all, so the
+        // probe's deadline (not a magic value) detects the hang.
+        value = ++heartbeatBeats_;
+        s_.heartbeatReads.inc();
+        break;
       case mm::screg::kRecordCount:
         if (tenant) {
             value = config_.metadataBatching
@@ -1090,6 +1148,8 @@ PcieSc::reset()
     rxSeqDown_.clear();
     upBusyUntil_ = 0;
     downBusyUntil_ = 0;
+    hung_ = false;
+    heartbeatBeats_ = 0;
     stats_.reset();
 }
 

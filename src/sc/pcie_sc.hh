@@ -111,6 +111,19 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
     /** Install the boot-time packet policy. */
     void installPolicy(const RuleTables &tables);
 
+    /**
+     * Crash-recovery fault domain (§4.2 abnormal termination):
+     * firmwareHang() wedges the controller — every subsequent TLP is
+     * dropped on the floor, so dependent traffic times out instead
+     * of erroring — until firmwareRestart() reboots the firmware.
+     * Restart drops all in-flight transport state but keeps the
+     * sessions map intact, so the recovery flow can still run the
+     * uniform endTask() teardown (key destruction + EnvGuard scrub).
+     */
+    void firmwareHang();
+    void firmwareRestart();
+    bool firmwareHung() const { return hung_; }
+
     /** Tear down every session and scrub the xPU. */
     void endTask(bool device_supports_soft_reset);
 
@@ -268,6 +281,11 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
     Tick upBusyUntil_ = 0;
     Tick downBusyUntil_ = 0;
 
+    /** Firmware-hang fault: drop every TLP until restarted. */
+    bool hung_ = false;
+    /** Monotonic liveness beat served from screg::kHeartbeat. */
+    std::uint64_t heartbeatBeats_ = 0;
+
     sim::StatGroup stats_;
 
     /**
@@ -305,6 +323,9 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
         obs::CounterHandle transferNotifies;
         obs::CounterHandle ownMmioWrites;
         obs::CounterHandle ownMmioReads;
+        obs::CounterHandle heartbeatReads;
+        obs::CounterHandle firmwareHangs;
+        obs::CounterHandle droppedWhileHung;
         obs::CounterHandle badConfigWrites;
         obs::CounterHandle badParamWrites;
         obs::CounterHandle unknownOwnWrites;

@@ -1,5 +1,6 @@
 #include "rng.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -34,6 +35,31 @@ parseSeed(const char *text)
     return value;
 }
 
+/**
+ * CCAI_SEED parsing is strict where the --seed flag is lenient: a
+ * malformed environment seed silently falling back would replay a
+ * different schedule than the operator asked for, which is exactly
+ * the failure reproduction the variable exists to prevent.
+ */
+std::optional<std::uint64_t>
+parseEnvSeed(const char *text)
+{
+    if (!text)
+        return std::nullopt; // unset: use the caller's fallback
+    if (!*text)
+        fatal("rng: CCAI_SEED is set but empty");
+    errno = 0;
+    char *end = nullptr;
+    std::uint64_t value = std::strtoull(text, &end, 0);
+    if (errno == ERANGE)
+        fatal("rng: CCAI_SEED '%s' overflows 64 bits", text);
+    if (end == text)
+        fatal("rng: CCAI_SEED '%s' is not a number", text);
+    if (*end != '\0')
+        fatal("rng: CCAI_SEED '%s' has trailing garbage", text);
+    return value;
+}
+
 } // namespace
 
 void
@@ -47,7 +73,7 @@ seedOverride()
 {
     if (overrideSlot().has_value())
         return overrideSlot();
-    return parseSeed(std::getenv("CCAI_SEED"));
+    return parseEnvSeed(std::getenv("CCAI_SEED"));
 }
 
 std::uint64_t

@@ -100,6 +100,16 @@ class HrotBlade
     crypto::KeyPair makeSessionKeys(sim::Rng &rng) const;
 
     bool booted() const { return booted_; }
+
+    /**
+     * Crash-recovery fault domain: a spontaneous reboot. The AK (and
+     * any session state derived from it) dies with the power rail;
+     * quote/makeSessionKeys callers must re-boot() before trusting
+     * the blade again. PCR values survive in the model (they are
+     * re-extended during recovery's secure-boot replay anyway).
+     */
+    void crash() { booted_ = false; }
+
     const std::string &name() const { return name_; }
 
   private:

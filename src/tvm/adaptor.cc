@@ -187,6 +187,59 @@ Adaptor::establishSession(const Bytes &sessionSecret)
         crypto::kdf(sessionSecret, {}, "ccai-filter-config", 16));
     drbg_ = std::make_unique<crypto::Drbg>(sessionSecret,
                                            "ccai-adaptor-drbg");
+    // A (re-)established session starts a fresh ARQ conversation:
+    // the SC resets its per-tenant receive gate in establishTenant,
+    // so the sender window must restart at seqNo 1 or every write
+    // of the new session would be NAKed as out-of-order.
+    nextSeqNo_ = 1;
+    txUnacked_.clear();
+    txAttempts_ = 0;
+    txDirty_ = false;
+    ++txTimerGen_; // retire live ack timers
+    lastGoBack_ = 0;
+    ++sessionEpoch_;
+}
+
+void
+Adaptor::abortSession()
+{
+    if (keys_)
+        keys_->destroy();
+    keys_.reset();
+    configCipher_.reset();
+    drbg_.reset();
+    // Unacked writes belong to the dead session; replaying them
+    // under a new session would be rejected (stale MACs) anyway.
+    txUnacked_.clear();
+    txAttempts_ = 0;
+    txDirty_ = false;
+    ++txTimerGen_;
+    lastGoBack_ = 0;
+    ++sessionEpoch_;
+}
+
+void
+Adaptor::pingSc(std::function<void(bool)> cb)
+{
+    tvm_.mmioRead(mm::kScMmio.base + mm::screg::kHeartbeat, 8,
+                  [cb = std::move(cb)](Bytes payload) {
+                      std::uint64_t beats =
+                          payload.size() >= 8 ? loadLe64(payload.data())
+                                              : 0;
+                      cb(beats != 0);
+                  });
+}
+
+void
+Adaptor::pingXpu(std::function<void(bool)> cb)
+{
+    tvm_.mmioRead(mm::kXpuMmio.base + mm::xpureg::kStatus, 8,
+                  [cb = std::move(cb)](Bytes payload) {
+                      std::uint64_t status =
+                          payload.size() >= 8 ? loadLe64(payload.data())
+                                              : 0;
+                      cb(status == 0x1);
+                  });
 }
 
 void
@@ -287,7 +340,13 @@ Adaptor::prepareH2d(std::optional<Bytes> data, std::uint64_t length,
     s_.h2dCpuTicks.sample(cpu);
 
     runOnCpu(cpu, [this, t0, data = std::move(data), length, bounce,
-                   chunks, subtasks, done = std::move(done)]() mutable {
+                   chunks, subtasks, done = std::move(done),
+                   epoch = sessionEpoch_]() mutable {
+        // The session died (crash recovery) while this seal stage
+        // was queued on the CPU: drop it. The recovery journal
+        // replays the whole operation under the new session.
+        if (epoch != sessionEpoch_ || !keys_)
+            return;
         // Three-stage parallel seal, deterministic at any thread
         // count: (1) serial record build — nextIv() draws and epoch
         // rotation must happen in chunkId order, and cipherCached()
@@ -406,6 +465,7 @@ Adaptor::collectD2h(Addr bounceAddr, std::uint64_t length,
 
     auto st = std::make_shared<CollectState>();
     st->startTick = curTick();
+    st->epoch = sessionEpoch_;
     st->bounceAddr = bounceAddr;
     st->length = length;
     st->synthetic = synthetic;
@@ -417,7 +477,11 @@ Adaptor::collectD2h(Addr bounceAddr, std::uint64_t length,
 void
 Adaptor::fetchForCollect(std::shared_ptr<CollectState> st)
 {
+    if (st->epoch != sessionEpoch_ || !keys_)
+        return; // session died under this collection (crash recovery)
     auto handle = [this, st](std::vector<ChunkRecord> records) {
+        if (st->epoch != sessionEpoch_ || !keys_)
+            return;
         // Keep only records covering this transfer.
         for (ChunkRecord &rec : records) {
             if (rec.addr >= st->bounceAddr &&
@@ -523,6 +587,8 @@ Adaptor::finishCollect(std::shared_ptr<CollectState> st)
 void
 Adaptor::attemptDecrypt(std::shared_ptr<CollectState> st, int attempt)
 {
+    if (st->epoch != sessionEpoch_ || !keys_)
+        return; // session died under this collection (crash recovery)
     if (st->ok.empty() && !st->recs.empty()) {
         st->ok.assign(st->recs.size(), 0);
         st->plain.resize(st->recs.size());
@@ -763,6 +829,7 @@ Adaptor::reset()
     txDirty_ = false;
     ++txTimerGen_; // retire live timers
     lastGoBack_ = 0;
+    ++sessionEpoch_; // retire queued CPU continuations
     stats_.reset();
 }
 

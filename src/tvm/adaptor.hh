@@ -141,6 +141,29 @@ class Adaptor : public sim::SimObject
     void establishSession(const Bytes &sessionSecret);
 
     /**
+     * Crash recovery: tear the session down without the end-task
+     * doorbell (the controller may be dead and would drop it).
+     * Destroys the workload keys, drops the ARQ sender window, and
+     * bumps the session epoch so in-flight CPU continuations from
+     * the dead session no-op instead of touching fresh keys.
+     */
+    void abortSession();
+
+    /** True while a confidential session is established. */
+    bool sessionActive() const { return keys_ != nullptr; }
+
+    /**
+     * Watchdog liveness probes: non-posted reads of the PCIe-SC
+     * heartbeat register (resp. the xPU status register); @p cb
+     * receives whether the reply looks alive. Against a dead device
+     * the completion may never arrive (or arrive late as a
+     * fabricated abort) — the watchdog's own probe deadline, not
+     * this callback, decides the round.
+     */
+    void pingSc(std::function<void(bool)> cb);
+    void pingXpu(std::function<void(bool)> cb);
+
+    /**
      * pkt_filter_manage: encrypt the rule tables under the config
      * key and write them into the PCIe-SC's rule BAR.
      */
@@ -218,6 +241,7 @@ class Adaptor : public sim::SimObject
         std::vector<char> ok;              ///< per-record decrypt ok
         int fetchAttempts = 0;
         Tick startTick = 0; ///< collectD2h() entry, for latency stats
+        std::uint64_t epoch = 0; ///< sessionEpoch_ at submission
     };
 
     /**
@@ -283,6 +307,17 @@ class Adaptor : public sim::SimObject
     bool txDirty_ = false; ///< a retransmission is in flight
     std::uint64_t txTimerGen_ = 0;
     Tick lastGoBack_ = 0;
+
+    /**
+     * Bumped on every establishSession()/abortSession(). CPU-side
+     * continuations (seal/open stages, record fetches) capture the
+     * epoch they were queued under and bail on mismatch: runOnCpu
+     * delays can outlast a crash-recovery reset + re-attestation
+     * window, and a stale continuation must not seal under the new
+     * session's keys (a keys_-null check alone cannot tell the
+     * sessions apart).
+     */
+    std::uint64_t sessionEpoch_ = 0;
 
     sim::StatGroup stats_;
 

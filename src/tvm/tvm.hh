@@ -61,6 +61,13 @@ class Tvm : public sim::SimObject
     void waitInterrupt(std::function<void()> cb);
 
     /**
+     * Crash recovery: drop interrupt waiters registered by the dead
+     * session, so a replayed operation's MSI is not stolen by a
+     * continuation that will never run.
+     */
+    void clearInterruptWaiters() { irqWaiters_.clear(); }
+
+    /**
      * Install the IOMMU policy: devices may only DMA into the bounce
      * buffers, and the PCIe-SC may write the metadata buffer. When
      * @p secure is false (vanilla system), devices may access all of

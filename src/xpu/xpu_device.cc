@@ -24,6 +24,8 @@ XpuDevice::Handles::Handles(sim::StatGroup &g)
       fences(g.counterHandle("fences")),
       dmaAborts(g.counterHandle("dma_aborts")),
       resets(g.counterHandle("resets")),
+      wedges(g.counterHandle("wedges")),
+      droppedWhileWedged(g.counterHandle("dropped_while_wedged")),
       cmdTicks(g.histogramHandle("cmd_ticks"))
 {}
 
@@ -47,6 +49,12 @@ void
 XpuDevice::receiveTlp(const pcie::TlpPtr &tlp, pcie::PcieNode *)
 {
     using pcie::TlpType;
+    if (wedged_) {
+        // Wedged device goes dark: requests time out upstream and
+        // the watchdog's status-read deadline exposes the failure.
+        s_.droppedWhileWedged.inc();
+        return;
+    }
     switch (tlp->type) {
       case TlpType::MemWrite:
         if (mm::kXpuMmio.contains(tlp->address)) {
@@ -172,7 +180,11 @@ XpuDevice::startNextCommand()
         env_.tlbDirty = true;
         s_.kernels.inc();
         Tick total = spec_.kernelLaunchOverhead + cmd.duration;
-        eventq().scheduleIn(total, [this, cmd] { finishCommand(cmd); });
+        eventq().scheduleIn(total,
+                            [this, cmd, epoch = resetEpoch_] {
+                                if (epoch == resetEpoch_)
+                                    finishCommand(cmd);
+                            });
         return;
       }
       case XpuCmdType::DmaFromHost:
@@ -305,6 +317,16 @@ XpuDevice::raiseInterrupt(std::uint16_t msiTarget)
 }
 
 void
+XpuDevice::wedge()
+{
+    if (wedged_)
+        return;
+    wedged_ = true;
+    s_.wedges.inc();
+    warn("%s: device wedged (link down)", name().c_str());
+}
+
+void
 XpuDevice::coldReset()
 {
     vram_.clear();
@@ -313,6 +335,9 @@ XpuDevice::coldReset()
     queue_.clear();
     outstanding_.clear();
     busy_ = false;
+    wedged_ = false;
+    dmaRead_ = DmaReadState{};
+    ++resetEpoch_;
     env_ = XpuEnvState{};
     regs_[mm::xpureg::kStatus] = 0x1;
     s_.resets.inc();

@@ -81,6 +81,14 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
     /** Cold-boot reset: scrub VRAM, caches, TLB and registers. */
     void coldReset();
 
+    /**
+     * Crash-recovery fault domain: wedge the device — it stops
+     * answering anything (MMIO, completions, doorbells), modeling a
+     * firmware lockup or surprise link-down, until coldReset().
+     */
+    void wedge();
+    bool wedged() const { return wedged_; }
+
     /** Number of retired commands. */
     std::uint64_t retiredCommands() const { return retired_; }
 
@@ -110,6 +118,14 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
     pcie::HostMemory vram_;
     std::deque<XpuCommand> queue_;
     bool busy_ = false;
+    bool wedged_ = false;
+    /**
+     * Bumped by coldReset(); in-flight kernel-finish events capture
+     * the epoch they were scheduled under and no-op after a reset,
+     * so a pre-crash kernel can't retire into a post-recovery
+     * command stream (the event queue has no cancellation).
+     */
+    std::uint64_t resetEpoch_ = 0;
     std::uint64_t retired_ = 0;
     std::uint8_t nextTag_ = 0;
     std::map<std::uint8_t, std::function<void(const pcie::TlpPtr &)>>
@@ -149,6 +165,8 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
         obs::CounterHandle fences;
         obs::CounterHandle dmaAborts;
         obs::CounterHandle resets;
+        obs::CounterHandle wedges;
+        obs::CounterHandle droppedWhileWedged;
 
         obs::HistogramHandle cmdTicks;
     } s_;

@@ -432,3 +432,72 @@ TEST(Droppping, DroppedPacketsDoNotCorruptState)
     EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
               1u);
 }
+
+// ---------------------------------------------------------------------
+// Residual data across crash recovery (§4.2)
+// ---------------------------------------------------------------------
+
+TEST(CrashResidue, RecoveryScrubsVictimDataBeforeNextTenant)
+{
+    // A tenant's H2D is aborted mid-flight by an xPU wedge; the
+    // recovery path must scrub the device before anyone else attaches
+    // — the next tenant reading the same VRAM must see zeroes, not
+    // the victim's plaintext (the residual-data attack of §4.2).
+    PlatformConfig cfg;
+    cfg.secure = true;
+    cfg.maxTenants = 2;
+    Platform p(cfg);
+    ASSERT_TRUE(p.establishTrust().ok());
+
+    sim::Rng rng(p.seed() ^ 0x0E51D);
+    Bytes secret = rng.bytes(64 * kKiB);
+    const Addr kVictimOff = 0x1000;
+
+    // First transfer lands fully: the secret is resident in VRAM.
+    p.runtime().memcpyH2D(mm::kXpuVram.base + kVictimOff, secret,
+                          secret.size(), [] {});
+    p.run();
+    ASSERT_EQ(p.xpu().vram().read(kVictimOff, secret.size()), secret);
+
+    // Second transfer is cut down mid-flight: wedge the device while
+    // its DMA engine is still pulling bounce-buffer chunks. 1 MiB
+    // takes a few ms end to end, so a wedge 100 us in is guaranteed
+    // to interrupt it.
+    bool secondDone = false;
+    p.runtime().memcpyH2D(mm::kXpuVram.base + kVictimOff,
+                          std::nullopt, 1 * kMiB,
+                          [&] { secondDone = true; });
+    p.system().eventq().schedule(p.system().now() + 100 * kTicksPerUs,
+                                 [&] {
+                                     p.recovery()->injectCrash(
+                                         FaultDomain::Xpu);
+                                 });
+    p.run();
+
+    // The watchdog detected the wedge and the episode resolved; the
+    // interrupted transfer's completion never fired.
+    ASSERT_FALSE(p.recovery()->episodes().empty());
+    EXPECT_EQ(p.recovery()->episodes().back().finalState,
+              RecoveryState::Resuming);
+    EXPECT_FALSE(secondDone);
+    EXPECT_GT(p.system().sumCounter("env_guard_cleans"), 0u);
+
+    // The reset scrubbed every byte the victim ever placed there.
+    Bytes resident = p.xpu().vram().read(kVictimOff, secret.size());
+    EXPECT_EQ(resident, Bytes(secret.size(), 0));
+
+    // A tenant attaching after the recovery reads the same window
+    // through its own secure session: zeroes, no residue.
+    Platform::Tenant *intruder =
+        p.tryAddTenant(pcie::Bdf{0x00, 0x04, 0x0});
+    ASSERT_NE(intruder, nullptr);
+    Bytes seen;
+    intruder->runtime->memcpyD2H(mm::kXpuVram.base + kVictimOff,
+                                 secret.size(), false,
+                                 [&](Bytes d) { seen = std::move(d); });
+    p.run();
+    ASSERT_EQ(seen.size(), secret.size());
+    EXPECT_EQ(seen, Bytes(secret.size(), 0));
+    Bytes probe(secret.begin(), secret.begin() + 16);
+    EXPECT_FALSE(containsSubsequence(seen, probe));
+}

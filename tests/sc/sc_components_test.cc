@@ -376,6 +376,35 @@ TEST(EnvGuard, CleanPrefersSoftResetWhenSupported)
     guard.cleanEnvironment(false);
     EXPECT_EQ(cold, 1);
     EXPECT_EQ(guard.cleans(), 2u);
+    EXPECT_EQ(guard.scrubsSkipped(), 0u);
+}
+
+TEST(EnvGuard, ScrubWithoutResetHooksIsCountedAsSkipped)
+{
+    // A guard with no reset hooks cannot actually clean the device:
+    // the request must be counted as skipped (each one is a tenant
+    // whose residue stayed on the xPU), not silently swallowed.
+    EnvGuard guard;
+    guard.cleanEnvironment(false);
+    guard.cleanEnvironment(true);
+    EXPECT_EQ(guard.cleans(), 2u);
+    EXPECT_EQ(guard.scrubsSkipped(), 2u);
+
+    // Soft-reset-only guard asked for a cold scrub: the soft hook
+    // does not qualify, so the fallback is still a skip.
+    EnvGuard softOnly;
+    int soft = 0;
+    softOnly.setSoftResetHook([&] { ++soft; });
+    softOnly.cleanEnvironment(false);
+    EXPECT_EQ(soft, 0);
+    EXPECT_EQ(softOnly.scrubsSkipped(), 1u);
+
+    // Once a cold-reset hook exists, nothing is skipped any more.
+    int cold = 0;
+    softOnly.setColdResetHook([&] { ++cold; });
+    softOnly.cleanEnvironment(false);
+    EXPECT_EQ(cold, 1);
+    EXPECT_EQ(softOnly.scrubsSkipped(), 1u);
 }
 
 // ---------------------------------------------------------------------

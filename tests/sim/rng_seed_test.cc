@@ -52,10 +52,32 @@ TEST_F(SeedOverride, EnvironmentVariableOverridesFallback)
     EXPECT_EQ(resolveSeed(0x5EED), 0xdeadu);
 }
 
-TEST_F(SeedOverride, UnparsableEnvironmentSeedIsIgnored)
+// A malformed CCAI_SEED must not silently fall back: the variable
+// exists to replay a specific schedule, and running a different one
+// under the requested seed's name is worse than refusing to run.
+TEST_F(SeedOverride, MalformedEnvironmentSeedIsFatal)
 {
     setenv("CCAI_SEED", "not-a-number", 1);
-    EXPECT_EQ(resolveSeed(42), 42u);
+    EXPECT_DEATH(resolveSeed(42), "CCAI_SEED 'not-a-number'");
+}
+
+TEST_F(SeedOverride, TrailingGarbageEnvironmentSeedIsFatal)
+{
+    setenv("CCAI_SEED", "123abc", 1);
+    EXPECT_DEATH(resolveSeed(42), "trailing garbage");
+}
+
+TEST_F(SeedOverride, OverflowingEnvironmentSeedIsFatal)
+{
+    // One digit past UINT64_MAX (18446744073709551615).
+    setenv("CCAI_SEED", "18446744073709551616", 1);
+    EXPECT_DEATH(resolveSeed(42), "overflows 64 bits");
+}
+
+TEST_F(SeedOverride, EmptyEnvironmentSeedIsFatal)
+{
+    setenv("CCAI_SEED", "", 1);
+    EXPECT_DEATH(resolveSeed(42), "set but empty");
 }
 
 TEST_F(SeedOverride, FlagBeatsEnvironment)

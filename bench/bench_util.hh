@@ -36,7 +36,7 @@ class BenchJson
         : os_(path, std::ios::trunc), json_(os_)
     {
         json_.beginObject();
-        json_.field("schema_version", 1);
+        json_.field("schema_version", 2);
         json_.field("workload", workload);
     }
 

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Gate bench_pipeline_parallel results against a checked-in baseline.
+
+Usage:
+    check_perf.py BENCH_pipeline.json baseline.json [--tolerance PCT]
+
+Compares the deterministic sim-time columns of the current run's
+sweep against the baseline, width by width (widths present in the
+baseline but missing from the current run are an error; extra widths
+in the current run are ignored, so a full sweep can be checked
+against a --quick baseline):
+
+  - sim_seconds          (sequential bit-exactness phase)
+  - pipeline_sim_seconds (depth-K pipelined phase)
+
+A width regresses when its current time exceeds the baseline by more
+than the tolerance (default 15%). Sim time is analytic and seeded,
+so on an unchanged tree the comparison is exact; the tolerance only
+absorbs intentional model drift in future changes. Improvements are
+reported but never fail the gate — refresh the baseline by copying
+the new BENCH_pipeline.json over it when a speedup should become the
+new floor.
+
+Exits non-zero listing every regressed cell.
+"""
+
+import json
+import sys
+
+
+def load_sweep(path):
+    with open(path) as f:
+        bench = json.load(f)
+    if bench.get("workload") != "fig8-llama2-transfer-mix":
+        raise ValueError(
+            f"{path}: workload is {bench.get('workload')!r}, "
+            "expected 'fig8-llama2-transfer-mix'"
+        )
+    rows = bench.get("sweep", [])
+    if not rows:
+        raise ValueError(f"{path}: no sweep rows")
+    return {row["crypto_threads"]: row for row in rows}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tolerance = 0.15
+    for a in argv[1:]:
+        if a.startswith("--tolerance"):
+            tolerance = float(a.split("=", 1)[1]) / 100.0
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        current = load_sweep(args[0])
+        baseline = load_sweep(args[1])
+    except (ValueError, KeyError, OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+
+    regressions = []
+    print(
+        f"{'width':>5} {'phase':>10} {'baseline ms':>12} "
+        f"{'current ms':>12} {'delta':>8}"
+    )
+    for width, base_row in sorted(baseline.items()):
+        cur_row = current.get(width)
+        if cur_row is None:
+            print(
+                f"FAIL: width {width} in baseline but missing from "
+                "current run",
+                file=sys.stderr,
+            )
+            return 1
+        for key, phase in (
+            ("sim_seconds", "sequential"),
+            ("pipeline_sim_seconds", "pipelined"),
+        ):
+            base = base_row[key]
+            cur = cur_row[key]
+            delta = (cur - base) / base if base > 0 else 0.0
+            print(
+                f"{width:>5} {phase:>10} {base * 1e3:>12.3f} "
+                f"{cur * 1e3:>12.3f} {delta * 100:>+7.2f}%"
+            )
+            if cur > base * (1.0 + tolerance):
+                regressions.append(
+                    f"width {width} {phase}: {cur * 1e3:.3f} ms vs "
+                    f"baseline {base * 1e3:.3f} ms "
+                    f"(+{delta * 100:.1f}% > {tolerance * 100:.0f}%)"
+                )
+
+    if regressions:
+        for r in regressions:
+            print(f"FAIL: {r}", file=sys.stderr)
+        return 1
+    print(
+        f"perf ok: {len(baseline)} widths within "
+        f"{tolerance * 100:.0f}% of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

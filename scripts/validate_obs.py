@@ -4,6 +4,7 @@
 Usage:
     validate_obs.py METRICS_JSON SCHEMA_JSON [TRACE_JSON]
     validate_obs.py --bench BENCH_recovery.json
+    validate_obs.py --bench-pipeline BENCH_pipeline.json
 
 Checks (default mode):
   1. METRICS_JSON parses and validates against SCHEMA_JSON. Uses the
@@ -15,6 +16,13 @@ Checks (default mode):
      duration events are balanced: equal numbers of 'B' and 'E'
      events overall and per track, with depth never going negative in
      record order.
+
+Checks (--bench-pipeline mode, for bench_pipeline_parallel output):
+  schema_version 2, every sweep row verified its roundtrips with zero
+  staged (non-zero-copy) chunk copies and zero stale classifications,
+  sequential digests bit-identical across widths, ring-occupancy and
+  queue-wait histograms internally consistent, and the pipeline
+  speedup gate (>= 6x at 8 threads when both widths are present).
 
 Checks (--bench mode, for bench_recovery output):
   The watchdog-tax gate holds (overhead_pct < target_pct with probe
@@ -220,7 +228,97 @@ def check_bench_recovery(bench_path):
     )
 
 
+def check_bench_pipeline(bench_path):
+    with open(bench_path) as f:
+        bench = json.load(f)
+    if bench.get("schema_version") != 2:
+        raise ValueError(
+            f"bench: schema_version is "
+            f"{bench.get('schema_version')!r}, expected 2"
+        )
+    if bench.get("workload") != "fig8-llama2-transfer-mix":
+        raise ValueError(
+            f"bench: workload is {bench.get('workload')!r}, "
+            "expected 'fig8-llama2-transfer-mix'"
+        )
+    rows = bench.get("sweep", [])
+    if not rows:
+        raise ValueError("bench: no sweep rows recorded")
+    digests = set()
+    for row in rows:
+        label = f"bench sweep[{row.get('crypto_threads', '?')}]"
+        for flag in ("seq_roundtrip_ok", "pipe_roundtrip_ok"):
+            if row.get(flag) is not True:
+                raise ValueError(f"{label}: {flag} is not true")
+        if row["stage_copies"] != 0:
+            raise ValueError(
+                f"{label}: {row['stage_copies']} staged chunk "
+                "copies — the zero-copy path fell back"
+            )
+        if row["a1_blocked"] != 0:
+            raise ValueError(
+                f"{label}: {row['a1_blocked']} stale-policy "
+                "classifications"
+            )
+        digests.add(row["digest"])
+        for key in (
+            "h2d_prepare_ticks",
+            "d2h_collect_ticks",
+            "meta_ring_occupancy",
+            "ring_occupancy",
+            "queue_wait_ns",
+        ):
+            check_histogram(row[key], f"{label}.{key}")
+        if row["meta_ring_occupancy"]["count"] == 0:
+            raise ValueError(
+                f"{label}: completion ring never sampled — the "
+                "batched record path did not run"
+            )
+    if len(digests) != 1:
+        raise ValueError(
+            f"bench: sequential digests differ across widths: "
+            f"{sorted(digests)}"
+        )
+    for gate in (
+        "bit_identical_across_widths",
+        "pipeline_digest_identical",
+        "roundtrip_verified",
+        "tlb_hit_rate_ge_0_9",
+        "zero_stale_classifications",
+        "zero_copy_steady_state",
+    ):
+        if bench.get(gate) is not True:
+            raise ValueError(f"bench: gate '{gate}' is not true")
+    speedup = bench.get("pipeline_speedup_at_8_threads")
+    if speedup is not None and speedup < 6.0:
+        raise ValueError(
+            f"bench: pipeline speedup at 8 threads {speedup:.2f}x "
+            "< 6.00x"
+        )
+    print(
+        f"bench ok: {len(rows)} widths, digest {rows[0]['digest']} "
+        "identical across widths, "
+        + (
+            f"pipeline speedup at 8 threads {speedup:.2f}x"
+            if speedup is not None
+            else "no 8-thread row"
+        )
+    )
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--bench-pipeline":
+        try:
+            check_bench_pipeline(argv[2])
+        except (
+            ValueError,
+            KeyError,
+            OSError,
+            json.JSONDecodeError,
+        ) as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
+        return 0
     if len(argv) == 3 and argv[1] == "--bench":
         try:
             check_bench_recovery(argv[2])

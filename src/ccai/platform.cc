@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/buffer_pool.hh"
 #include "common/logging.hh"
 #include "crypto/worker_pool.hh"
 #include "obs/json.hh"
@@ -25,6 +26,18 @@ Platform::Platform(const PlatformConfig &config)
     // an explicitly-seeded schedule is honoured as-is.
     if (config_.hostLinkFaults.seed == pcie::FaultConfig{}.seed)
         config_.hostLinkFaults.seed = effectiveSeed_;
+    // Pin the hot DMA windows as contiguous arenas (the simulated
+    // analogue of pinned, IOMMU-mapped pages): the data plane seals
+    // and opens payloads in place in these windows and the Adaptor
+    // reaps the metadata completion ring straight from host memory,
+    // all with zero staging copies. Backing pages are lazily
+    // faulted, so untouched window space costs nothing.
+    if (config_.pinDmaWindows) {
+        mem_.pinRange(mm::kBounceH2d.base, mm::kBounceH2d.size);
+        mem_.pinRange(mm::kBounceD2h.base, mm::kBounceD2h.size);
+        mem_.pinRange(mm::kMetadataBuffer.base,
+                      mm::kMetadataBuffer.size);
+    }
     buildTopology();
 }
 
@@ -656,7 +669,7 @@ Platform::exportMetricsJson(bool includeWall)
     std::ostringstream os;
     obs::JsonEmitter json(os);
     json.beginObject();
-    json.field("schema_version", 1);
+    json.field("schema_version", 2);
     json.field("seed", effectiveSeed_);
     json.field("sim_now_ticks", sys_.now());
     json.field("secure", config_.secure);
@@ -706,9 +719,36 @@ Platform::exportMetricsJson(bool includeWall)
         json.field("parallel_batches", pool.parallelBatches());
         json.field("inline_batches", pool.inlineBatches());
         json.field("worker_ranges", pool.workerRanges());
+        json.field("job_batches", pool.jobBatches());
+        json.field("jobs_executed", pool.jobsExecuted());
+        json.field("completion_high_watermark",
+                   pool.completionHighWatermark());
+        json.key("ring_occupancy");
+        pool.ringOccupancyHistogram().writeJson(
+            json, /*withBuckets=*/false);
         json.key("queue_wait_ns");
         pool.queueWaitHistogram().writeJson(json,
                                             /*withBuckets=*/false);
+        json.endObject();
+
+        // Buffer-pool recycling efficiency for the staged fallback
+        // paths and TLP payload copies. Counts depend on worker
+        // interleaving, hence wall-section placement.
+        BufferPool &bufs = BufferPool::global();
+        json.key("buffer_pool");
+        json.beginObject();
+        json.field("hits", bufs.hits());
+        json.field("misses", bufs.misses());
+        json.field("outstanding", bufs.outstanding());
+        json.field("outstanding_high_watermark",
+                   bufs.outstandingHighWatermark());
+        json.field("free_buffers",
+                   static_cast<std::uint64_t>(bufs.freeBuffers()));
+        json.key("class_high_watermarks");
+        json.beginArray();
+        for (std::uint64_t hw : bufs.classHighWatermarks())
+            json.value(hw);
+        json.endArray();
         json.endObject();
         json.endObject();
     }

@@ -36,6 +36,12 @@ BufferPool::acquire(std::size_t size)
     std::size_t cls = classIndex(size);
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        ++outstanding_;
+        if (outstanding_ > outstandingHighWater_)
+            outstandingHighWater_ = outstanding_;
+        ++classOutstanding_[cls];
+        if (classOutstanding_[cls] > classHighWater_[cls])
+            classHighWater_[cls] = classOutstanding_[cls];
         auto &list = free_[cls];
         if (!list.empty()) {
             Bytes buf = std::move(list.back());
@@ -70,6 +76,12 @@ BufferPool::release(Bytes &&buf)
     if (cls >= kClasses)
         cls = kClasses - 1;
     std::lock_guard<std::mutex> lock(mutex_);
+    // Saturating: tolerates release of buffers that were not acquired
+    // from this pool (callers may park any suitably-sized vector).
+    if (outstanding_ > 0)
+        --outstanding_;
+    if (classOutstanding_[cls] > 0)
+        --classOutstanding_[cls];
     auto &list = free_[cls];
     if (list.size() >= kMaxFreePerClass)
         return;
@@ -98,6 +110,39 @@ BufferPool::freeBuffers() const
     for (const auto &list : free_)
         n += list.size();
     return n;
+}
+
+std::uint64_t
+BufferPool::outstanding() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outstanding_;
+}
+
+std::uint64_t
+BufferPool::outstandingHighWatermark() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outstandingHighWater_;
+}
+
+std::vector<std::uint64_t>
+BufferPool::classHighWatermarks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<std::uint64_t>(classHighWater_,
+                                      classHighWater_ + kClasses);
+}
+
+void
+BufferPool::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    hits_ = 0;
+    misses_ = 0;
+    outstandingHighWater_ = outstanding_;
+    for (std::size_t i = 0; i < kClasses; ++i)
+        classHighWater_[i] = classOutstanding_[i];
 }
 
 void

@@ -103,23 +103,32 @@ class BufferPool
 
     Lease lease(std::size_t size) { return Lease(*this, size); }
 
+    /** log2 size classes between kMinPooledBytes and kMaxPooledBytes. */
+    static constexpr std::size_t kClasses = 13;
+
     /** Acquires served from a free list. */
     std::uint64_t hits() const;
     /** Acquires that had to allocate (or bypassed the pool). */
     std::uint64_t misses() const;
     /** Buffers currently parked across all free lists. */
     std::size_t freeBuffers() const;
+    /** Pooled buffers currently acquired and not yet released. */
+    std::uint64_t outstanding() const;
+    /** Peak of outstanding() over the pool's lifetime. */
+    std::uint64_t outstandingHighWatermark() const;
+    /** Peak simultaneous outstanding buffers, per size class. */
+    std::vector<std::uint64_t> classHighWatermarks() const;
 
     /** Drop every cached buffer (tests / memory pressure). */
     void trim();
+
+    /** Zero the hit/miss/outstanding accounting (benches, tests). */
+    void resetStats();
 
     /** Process-wide pool shared by all data-plane components. */
     static BufferPool &global();
 
   private:
-    /** log2 size classes between kMinPooledBytes and kMaxPooledBytes. */
-    static constexpr std::size_t kClasses = 13;
-
     static std::size_t classIndex(std::size_t size);
     static std::size_t classCapacity(std::size_t cls);
 
@@ -127,6 +136,10 @@ class BufferPool
     std::vector<Bytes> free_[kClasses];
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t outstanding_ = 0;
+    std::uint64_t outstandingHighWater_ = 0;
+    std::uint64_t classOutstanding_[kClasses] = {};
+    std::uint64_t classHighWater_[kClasses] = {};
 };
 
 } // namespace ccai

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Bounded lock-free rings for the secure data plane.
+ *
+ * Two shapes cover every queue in the hot path:
+ *
+ *  - SpscRing: single-producer single-consumer with cached
+ *    counterpart indices, so the steady-state push/pop touches only
+ *    one cache line each (the classic io_uring SQ/CQ layout). Used
+ *    where one side is the sim thread and the other a single worker.
+ *
+ *  - MpmcRing: Vyukov bounded queue with a per-cell sequence number;
+ *    linearizable tryPush/tryPop from any number of threads. The
+ *    data plane uses it MPSC: crypto workers complete descriptors
+ *    from many threads, the sim thread reaps in one place.
+ *
+ * Both are fixed power-of-two capacity and fail (return false)
+ * rather than block when full/empty — backpressure is the caller's
+ * policy, not the ring's. Occupancy high-watermarks are tracked with
+ * relaxed atomics so the metrics plane can export them without
+ * perturbing the fast path.
+ */
+
+#ifndef CCAI_COMMON_RING_HH
+#define CCAI_COMMON_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ccai
+{
+
+namespace detail
+{
+
+/** Smallest power of two >= n (n >= 1). */
+inline size_t
+ringRoundUpPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/** Relaxed max-accumulate into @p hw. */
+inline void
+ringNoteOccupancy(std::atomic<std::uint64_t> &hw, std::uint64_t occ)
+{
+    std::uint64_t cur = hw.load(std::memory_order_relaxed);
+    while (occ > cur &&
+           !hw.compare_exchange_weak(cur, occ,
+                                     std::memory_order_relaxed))
+        ;
+}
+
+} // namespace detail
+
+/**
+ * Single-producer single-consumer bounded ring. Producer-side and
+ * consumer-side state live on separate cache lines; each side caches
+ * the other's index and refreshes it only when the cached value
+ * would block, so an uncontended push or pop is one store plus one
+ * (usually cache-hot) load.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(size_t capacity)
+        : mask_(detail::ringRoundUpPow2(capacity < 2 ? 2 : capacity) -
+                1),
+          cells_(mask_ + 1)
+    {
+    }
+
+    /** Producer only. False when the ring is full (backpressure). */
+    bool
+    tryPush(T v)
+    {
+        const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        if (t - cachedHead_ > mask_) {
+            cachedHead_ = head_.load(std::memory_order_acquire);
+            if (t - cachedHead_ > mask_)
+                return false;
+        }
+        cells_[t & mask_] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        detail::ringNoteOccupancy(highWater_, t + 1 - cachedHead_);
+        return true;
+    }
+
+    /** Consumer only. False when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        if (h == cachedTail_) {
+            cachedTail_ = tail_.load(std::memory_order_acquire);
+            if (h == cachedTail_)
+                return false;
+        }
+        out = std::move(cells_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    size_t capacity() const { return mask_ + 1; }
+
+    /** Approximate occupancy (exact when called from either end). */
+    size_t
+    size() const
+    {
+        std::uint64_t t = tail_.load(std::memory_order_acquire);
+        std::uint64_t h = head_.load(std::memory_order_acquire);
+        return static_cast<size_t>(t - h);
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Peak occupancy observed at push time. */
+    std::uint64_t
+    highWatermark() const
+    {
+        return highWater_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    size_t mask_;
+    std::vector<T> cells_;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::uint64_t cachedTail_ = 0; ///< consumer-side
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    alignas(64) std::uint64_t cachedHead_ = 0; ///< producer-side
+    alignas(64) std::atomic<std::uint64_t> highWater_{0};
+};
+
+/**
+ * Vyukov bounded MPMC queue. Every cell carries a sequence number;
+ * a producer claims a slot with one CAS on the enqueue cursor, a
+ * consumer with one CAS on the dequeue cursor, and the cell sequence
+ * hands the slot between them without any shared lock. Used MPSC in
+ * the data plane (single reaper), but safe for any producer/consumer
+ * mix, which is what the TSan stress test exercises.
+ */
+template <typename T>
+class MpmcRing
+{
+  public:
+    explicit MpmcRing(size_t capacity)
+        : mask_(detail::ringRoundUpPow2(capacity < 2 ? 2 : capacity) -
+                1),
+          cells_(mask_ + 1)
+    {
+        for (size_t i = 0; i <= mask_; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    /** Any thread. False when the ring is full. */
+    bool
+    tryPush(T v)
+    {
+        Cell *cell;
+        std::uint64_t pos = enq_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            std::uint64_t seq =
+                cell->seq.load(std::memory_order_acquire);
+            std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+            if (diff == 0) {
+                if (enq_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                return false; // full
+            } else {
+                pos = enq_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(v);
+        cell->seq.store(pos + 1, std::memory_order_release);
+        detail::ringNoteOccupancy(
+            highWater_, pos + 1 - deq_.load(std::memory_order_relaxed));
+        return true;
+    }
+
+    /** Any thread. False when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        Cell *cell;
+        std::uint64_t pos = deq_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            std::uint64_t seq =
+                cell->seq.load(std::memory_order_acquire);
+            std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+            if (diff == 0) {
+                if (deq_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                return false; // empty
+            } else {
+                pos = deq_.load(std::memory_order_relaxed);
+            }
+        }
+        out = std::move(cell->value);
+        cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+    }
+
+    size_t capacity() const { return mask_ + 1; }
+
+    /** Approximate occupancy (racy by construction). */
+    size_t
+    size() const
+    {
+        std::uint64_t e = enq_.load(std::memory_order_acquire);
+        std::uint64_t d = deq_.load(std::memory_order_acquire);
+        return e > d ? static_cast<size_t>(e - d) : 0;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Peak occupancy observed at push time. */
+    std::uint64_t
+    highWatermark() const
+    {
+        return highWater_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::uint64_t> seq{0};
+        T value{};
+    };
+
+    size_t mask_;
+    std::vector<Cell> cells_;
+    alignas(64) std::atomic<std::uint64_t> enq_{0};
+    alignas(64) std::atomic<std::uint64_t> deq_{0};
+    alignas(64) std::atomic<std::uint64_t> highWater_{0};
+};
+
+} // namespace ccai
+
+#endif // CCAI_COMMON_RING_HH

@@ -56,6 +56,16 @@ class Aes
     /** Number of rounds for the configured key size (10/12/14). */
     int rounds() const { return rounds_; }
 
+    /**
+     * Expanded round-key words (big-endian, four per round,
+     * rounds()+1 rounds). The SIMD GCM dispatch re-packs these into
+     * the AES-NI byte layout at cipher construction.
+     */
+    const std::uint32_t *roundKeyWords() const
+    {
+        return roundKeys_.data();
+    }
+
   private:
     /** T-table encryption of one block given as four BE words. */
     void encryptWords(std::uint32_t s0, std::uint32_t s1,

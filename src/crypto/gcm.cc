@@ -56,6 +56,18 @@ AesGcm::AesGcm(const Bytes &key) : aes_(key)
             hl_[i + j] = hl_[i] ^ hl_[j];
         }
     }
+
+    // Repeated-squaring ladder for hPower(): H^(2^i).
+    hp2h_[0] = hh_[8];
+    hp2l_[0] = hl_[8];
+    for (int i = 1; i < kHPowLadder; ++i)
+        gf128Mul(hp2h_[i - 1], hp2l_[i - 1], hp2h_[i - 1],
+                 hp2l_[i - 1], hp2h_[i], hp2l_[i]);
+
+    // Bake the SIMD dispatch context (no-op when cpuid or
+    // CCAI_NO_SIMD rules the hardware path out).
+    gcmSimdInit(simd_, aes_.roundKeyWords(), aes_.rounds(), hh_[8],
+                hl_[8]);
 }
 
 void
@@ -94,6 +106,15 @@ AesGcm::ghashAbsorb(std::uint64_t &yh, std::uint64_t &yl,
                     const std::uint8_t *data, size_t len) const
 {
     size_t off = 0;
+    if (simd_.ready && len >= 16) {
+        // PCLMULQDQ handles the full blocks; the zero-padded tail
+        // (if any) falls through to the table path below. Both paths
+        // compute the identical field product, so mixing them keeps
+        // tags bit-exact.
+        size_t blocks = len / 16;
+        gcmSimdGhash(simd_, yh, yl, data, blocks);
+        off = blocks * 16;
+    }
     while (off + 16 <= len) {
         yh ^= loadBe64(data + off);
         yl ^= loadBe64(data + off + 8);
@@ -130,6 +151,10 @@ AesGcm::ctrApply(const Bytes &iv, std::uint8_t *data, size_t len,
                  std::uint32_t counter) const
 {
     ccai_assert(iv.size() == kGcmIvSize);
+    if (simd_.ready) {
+        gcmSimdCtrXor(simd_, iv.data(), counter, data, len);
+        return;
+    }
     std::uint8_t ks[kCtrBatchBlocks * kAesBlockSize];
     size_t off = 0;
     while (off < len) {
@@ -243,16 +268,13 @@ void
 AesGcm::hPower(std::uint64_t t, std::uint64_t &ph,
                std::uint64_t &pl) const
 {
+    // Walk the precomputed H^(2^i) ladder: popcount(t) multiplies,
+    // no squarings on the hot fold path.
+    ccai_assert(t < (1ull << kHPowLadder));
     std::uint64_t rh = 1ull << 63, rl = 0; // identity
-    std::uint64_t bh = hh_[8], bl = hl_[8]; // H
-    while (t) {
+    for (int i = 0; t; ++i, t >>= 1) {
         if (t & 1)
-            gf128Mul(rh, rl, bh, bl, rh, rl);
-        std::uint64_t sh, sl;
-        gf128Mul(bh, bl, bh, bl, sh, sl);
-        bh = sh;
-        bl = sl;
-        t >>= 1;
+            gf128Mul(rh, rl, hp2h_[i], hp2l_[i], rh, rl);
     }
     ph = rh;
     pl = rl;

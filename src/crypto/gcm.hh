@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "crypto/aes.hh"
+#include "crypto/gcm_simd.hh"
 
 namespace ccai::crypto
 {
@@ -160,6 +161,14 @@ class AesGcm
      * low 64-bit halves of (i as a 4-bit coefficient) * H. */
     std::uint64_t hh_[16];
     std::uint64_t hl_[16];
+    /** Squaring ladder hp2*_[i] = H^(2^i), so hPower() is popcount
+     * multiplies instead of square-and-multiply from scratch. Part
+     * of the read-only shared cipher state workers use lock-free. */
+    static constexpr int kHPowLadder = 48;
+    std::uint64_t hp2h_[kHPowLadder];
+    std::uint64_t hp2l_[kHPowLadder];
+    /** Runtime-dispatched SIMD kernels (ready=false -> table path). */
+    GcmSimdCtx simd_;
 };
 
 } // namespace ccai::crypto

@@ -1,0 +1,346 @@
+#include "gcm_simd.hh"
+
+#include <cstring>
+
+#include "cpu_features.hh"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace ccai::crypto
+{
+
+#if defined(__x86_64__)
+
+// Each kernel carries its own target attribute so this TU compiles
+// with baseline flags; gcmSimd* entry points are only reached when
+// the cpuid probe says the ISA is present.
+#define CCAI_TGT_BASE __attribute__((target("aes,pclmul,ssse3,sse4.1")))
+#define CCAI_TGT_WIDE \
+    __attribute__((target("vaes,avx2,aes,pclmul,ssse3,sse4.1")))
+
+namespace
+{
+
+/** dst[i] = src[15-i]: block bytes <-> GHASH bit-reflected lanes. */
+CCAI_TGT_BASE inline __m128i
+bswapMask()
+{
+    return _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                        14, 15);
+}
+
+/**
+ * (lo, hi) ^= a * b as a raw 256-bit carry-less product (Karatsuba-
+ * free four-multiply form). Deferring the shift/reduce lets 4-block
+ * aggregation pay one reduction per 64 bytes.
+ */
+CCAI_TGT_BASE inline void
+clmulAcc(__m128i a, __m128i b, __m128i &lo, __m128i &hi)
+{
+    __m128i t0 = _mm_clmulepi64_si128(a, b, 0x00);
+    __m128i t1 = _mm_clmulepi64_si128(a, b, 0x10);
+    __m128i t2 = _mm_clmulepi64_si128(a, b, 0x01);
+    __m128i t3 = _mm_clmulepi64_si128(a, b, 0x11);
+    __m128i mid = _mm_xor_si128(t1, t2);
+    lo = _mm_xor_si128(lo,
+                       _mm_xor_si128(t0, _mm_slli_si128(mid, 8)));
+    hi = _mm_xor_si128(hi,
+                       _mm_xor_si128(t3, _mm_srli_si128(mid, 8)));
+}
+
+/**
+ * Finish a GHASH multiply: shift the 256-bit product left one bit
+ * (the bit-reflection adjustment from the Intel CLMUL white paper)
+ * and reduce mod x^128 + x^7 + x^2 + x + 1.
+ */
+CCAI_TGT_BASE inline __m128i
+ghashReduce(__m128i lo, __m128i hi)
+{
+    // 256-bit shift left by 1: per-dword shifts with carries marched
+    // up one lane, the top carry of lo crossing into hi.
+    __m128i cLo = _mm_srli_epi32(lo, 31);
+    __m128i cHi = _mm_srli_epi32(hi, 31);
+    lo = _mm_slli_epi32(lo, 1);
+    hi = _mm_slli_epi32(hi, 1);
+    __m128i cross = _mm_srli_si128(cLo, 12);
+    lo = _mm_or_si128(lo, _mm_slli_si128(cLo, 4));
+    hi = _mm_or_si128(hi, _mm_slli_si128(cHi, 4));
+    hi = _mm_or_si128(hi, cross);
+
+    // Phase 1: fold x^31/x^30/x^25 terms of the low half upward.
+    __m128i t = _mm_xor_si128(
+        _mm_slli_epi32(lo, 31),
+        _mm_xor_si128(_mm_slli_epi32(lo, 30), _mm_slli_epi32(lo, 25)));
+    __m128i tHi = _mm_srli_si128(t, 4);
+    lo = _mm_xor_si128(lo, _mm_slli_si128(t, 12));
+    // Phase 2: x^-1/x^-2/x^-7 folds complete the reduction.
+    __m128i r = _mm_xor_si128(
+        _mm_srli_epi32(lo, 1),
+        _mm_xor_si128(_mm_srli_epi32(lo, 2), _mm_srli_epi32(lo, 7)));
+    r = _mm_xor_si128(r, tHi);
+    lo = _mm_xor_si128(lo, r);
+    return _mm_xor_si128(hi, lo);
+}
+
+/** Full GHASH field multiply of byte-reflected operands. */
+CCAI_TGT_BASE inline __m128i
+gfmul(__m128i a, __m128i b)
+{
+    __m128i lo = _mm_setzero_si128();
+    __m128i hi = _mm_setzero_si128();
+    clmulAcc(a, b, lo, hi);
+    return ghashReduce(lo, hi);
+}
+
+CCAI_TGT_BASE void
+initHPowers(GcmSimdCtx &ctx, std::uint64_t hHigh, std::uint64_t hLow)
+{
+    const __m128i h1 = _mm_set_epi64x(
+        static_cast<long long>(hHigh), static_cast<long long>(hLow));
+    __m128i p = h1;
+    _mm_store_si128(reinterpret_cast<__m128i *>(ctx.hPow[0]), p);
+    for (int i = 1; i < 4; ++i) {
+        p = gfmul(p, h1);
+        _mm_store_si128(reinterpret_cast<__m128i *>(ctx.hPow[i]), p);
+    }
+}
+
+/** Counter block: iv (lanes 0..2 of @p base) || be32(counter). */
+CCAI_TGT_BASE inline __m128i
+ctrBlock(__m128i base, std::uint32_t counter)
+{
+    return _mm_insert_epi32(
+        base, static_cast<int>(__builtin_bswap32(counter)), 3);
+}
+
+CCAI_TGT_BASE inline __m128i
+encryptOne(const __m128i *rk, int rounds, __m128i b)
+{
+    b = _mm_xor_si128(b, rk[0]);
+    for (int r = 1; r < rounds; ++r)
+        b = _mm_aesenc_si128(b, rk[r]);
+    return _mm_aesenclast_si128(b, rk[rounds]);
+}
+
+CCAI_TGT_BASE void
+ctrXor128(const GcmSimdCtx &ctx, const std::uint8_t iv[12],
+          std::uint32_t counter, std::uint8_t *data, size_t len)
+{
+    __m128i rk[15];
+    for (int r = 0; r <= ctx.rounds; ++r)
+        rk[r] = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(ctx.roundKeys[r]));
+    alignas(16) std::uint8_t baseBytes[16] = {};
+    std::memcpy(baseBytes, iv, 12);
+    const __m128i base =
+        _mm_load_si128(reinterpret_cast<const __m128i *>(baseBytes));
+
+    // 8-block interleave keeps the AES units' pipelines full.
+    while (len >= 8 * 16) {
+        __m128i b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = _mm_xor_si128(ctrBlock(base, counter + i), rk[0]);
+        for (int r = 1; r < ctx.rounds; ++r)
+            for (int i = 0; i < 8; ++i)
+                b[i] = _mm_aesenc_si128(b[i], rk[r]);
+        for (int i = 0; i < 8; ++i)
+            b[i] = _mm_aesenclast_si128(b[i], rk[ctx.rounds]);
+        for (int i = 0; i < 8; ++i) {
+            __m128i *p = reinterpret_cast<__m128i *>(data + 16 * i);
+            _mm_storeu_si128(
+                p, _mm_xor_si128(_mm_loadu_si128(p), b[i]));
+        }
+        counter += 8;
+        data += 8 * 16;
+        len -= 8 * 16;
+    }
+    while (len > 0) {
+        __m128i ks =
+            encryptOne(rk, ctx.rounds, ctrBlock(base, counter++));
+        if (len >= 16) {
+            __m128i *p = reinterpret_cast<__m128i *>(data);
+            _mm_storeu_si128(p,
+                             _mm_xor_si128(_mm_loadu_si128(p), ks));
+            data += 16;
+            len -= 16;
+        } else {
+            alignas(16) std::uint8_t tail[16];
+            _mm_store_si128(reinterpret_cast<__m128i *>(tail), ks);
+            for (size_t j = 0; j < len; ++j)
+                data[j] ^= tail[j];
+            len = 0;
+        }
+    }
+}
+
+/** VAES tier: two counter blocks per 256-bit lane pair. */
+CCAI_TGT_WIDE void
+ctrXorWide(const GcmSimdCtx &ctx, const std::uint8_t iv[12],
+           std::uint32_t counter, std::uint8_t *data, size_t len)
+{
+    __m256i rk2[15];
+    for (int r = 0; r <= ctx.rounds; ++r)
+        rk2[r] = _mm256_broadcastsi128_si256(_mm_load_si128(
+            reinterpret_cast<const __m128i *>(ctx.roundKeys[r])));
+    alignas(16) std::uint8_t baseBytes[16] = {};
+    std::memcpy(baseBytes, iv, 12);
+    const __m128i base =
+        _mm_load_si128(reinterpret_cast<const __m128i *>(baseBytes));
+
+    while (len >= 8 * 16) {
+        __m256i b[4];
+        for (int j = 0; j < 4; ++j) {
+            __m256i cb = _mm256_set_m128i(
+                ctrBlock(base, counter + 2 * j + 1),
+                ctrBlock(base, counter + 2 * j));
+            b[j] = _mm256_xor_si256(cb, rk2[0]);
+        }
+        for (int r = 1; r < ctx.rounds; ++r)
+            for (int j = 0; j < 4; ++j)
+                b[j] = _mm256_aesenc_epi128(b[j], rk2[r]);
+        for (int j = 0; j < 4; ++j)
+            b[j] = _mm256_aesenclast_epi128(b[j], rk2[ctx.rounds]);
+        for (int j = 0; j < 4; ++j) {
+            __m256i *p = reinterpret_cast<__m256i *>(data + 32 * j);
+            _mm256_storeu_si256(
+                p, _mm256_xor_si256(_mm256_loadu_si256(p), b[j]));
+        }
+        counter += 8;
+        data += 8 * 16;
+        len -= 8 * 16;
+    }
+    if (len > 0)
+        ctrXor128(ctx, iv, counter, data, len);
+}
+
+CCAI_TGT_BASE void
+ghashBlocks(const GcmSimdCtx &ctx, std::uint64_t &yh, std::uint64_t &yl,
+            const std::uint8_t *data, size_t nblocks)
+{
+    const __m128i bs = bswapMask();
+    __m128i y = _mm_set_epi64x(static_cast<long long>(yh),
+                               static_cast<long long>(yl));
+    const __m128i h1 = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(ctx.hPow[0]));
+    const __m128i h2 = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(ctx.hPow[1]));
+    const __m128i h3 = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(ctx.hPow[2]));
+    const __m128i h4 = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(ctx.hPow[3]));
+
+    // 4-block aggregation with one deferred reduction:
+    // Y' = (Y^X1)*H^4 ^ X2*H^3 ^ X3*H^2 ^ X4*H.
+    while (nblocks >= 4) {
+        __m128i x0 = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(data)),
+            bs);
+        __m128i x1 = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(data + 16)),
+            bs);
+        __m128i x2 = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(data + 32)),
+            bs);
+        __m128i x3 = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(data + 48)),
+            bs);
+        __m128i lo = _mm_setzero_si128();
+        __m128i hi = _mm_setzero_si128();
+        clmulAcc(_mm_xor_si128(y, x0), h4, lo, hi);
+        clmulAcc(x1, h3, lo, hi);
+        clmulAcc(x2, h2, lo, hi);
+        clmulAcc(x3, h1, lo, hi);
+        y = ghashReduce(lo, hi);
+        data += 4 * 16;
+        nblocks -= 4;
+    }
+    while (nblocks > 0) {
+        __m128i x = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(data)),
+            bs);
+        y = gfmul(_mm_xor_si128(y, x), h1);
+        data += 16;
+        --nblocks;
+    }
+    yh = static_cast<std::uint64_t>(_mm_extract_epi64(y, 1));
+    yl = static_cast<std::uint64_t>(_mm_extract_epi64(y, 0));
+}
+
+} // namespace
+
+void
+gcmSimdInit(GcmSimdCtx &ctx, const std::uint32_t *rkWords, int rounds,
+            std::uint64_t hHigh, std::uint64_t hLow)
+{
+    ctx.ready = false;
+    ctx.wide = false;
+    SimdTier tier = simdTier();
+    if (tier == SimdTier::kNone)
+        return;
+    ctx.rounds = rounds;
+    // BE round-key words -> the byte layout AES-NI expects.
+    for (int r = 0; r <= rounds; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            std::uint32_t w = rkWords[4 * r + c];
+            ctx.roundKeys[r][4 * c + 0] =
+                static_cast<std::uint8_t>(w >> 24);
+            ctx.roundKeys[r][4 * c + 1] =
+                static_cast<std::uint8_t>(w >> 16);
+            ctx.roundKeys[r][4 * c + 2] =
+                static_cast<std::uint8_t>(w >> 8);
+            ctx.roundKeys[r][4 * c + 3] = static_cast<std::uint8_t>(w);
+        }
+    }
+    initHPowers(ctx, hHigh, hLow);
+    ctx.ready = true;
+    ctx.wide = tier == SimdTier::kVaes;
+}
+
+void
+gcmSimdCtrXor(const GcmSimdCtx &ctx, const std::uint8_t iv[12],
+              std::uint32_t counter, std::uint8_t *data, size_t len)
+{
+    if (ctx.wide && len >= 8 * 16)
+        ctrXorWide(ctx, iv, counter, data, len);
+    else
+        ctrXor128(ctx, iv, counter, data, len);
+}
+
+void
+gcmSimdGhash(const GcmSimdCtx &ctx, std::uint64_t &yh,
+             std::uint64_t &yl, const std::uint8_t *data,
+             size_t nblocks)
+{
+    ghashBlocks(ctx, yh, yl, data, nblocks);
+}
+
+#else // !__x86_64__
+
+void
+gcmSimdInit(GcmSimdCtx &ctx, const std::uint32_t *, int, std::uint64_t,
+            std::uint64_t)
+{
+    ctx.ready = false;
+    ctx.wide = false;
+}
+
+void
+gcmSimdCtrXor(const GcmSimdCtx &, const std::uint8_t *, std::uint32_t,
+              std::uint8_t *, size_t)
+{
+}
+
+void
+gcmSimdGhash(const GcmSimdCtx &, std::uint64_t &, std::uint64_t &,
+             const std::uint8_t *, size_t)
+{
+}
+
+#endif
+
+} // namespace ccai::crypto

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for AES-GCM: AES-NI CTR keystream
+ * and PCLMULQDQ GHASH, with a VAES 256-bit CTR variant where the CPU
+ * and OS support it.
+ *
+ * The kernels are bit-exact replacements for the table-driven CTR
+ * and GHASH inner loops in gcm.cc — same counter layout, same GHASH
+ * field convention (accumulator held as two big-endian 64-bit
+ * halves) — so an AesGcm can mix SIMD full-block work with the
+ * portable tail path and still produce identical tags. Compiled with
+ * per-function target attributes; the translation unit itself builds
+ * with baseline flags, so CI portability is unchanged and non-x86
+ * builds degrade to ready=false contexts.
+ */
+
+#ifndef CCAI_CRYPTO_GCM_SIMD_HH
+#define CCAI_CRYPTO_GCM_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccai::crypto
+{
+
+/**
+ * Per-cipher dispatch context baked at AesGcm construction: expanded
+ * AES round keys in hardware layout plus the GHASH key powers
+ * H^1..H^4 (byte-reflected) for 4-block aggregated reduction. Plain
+ * bytes so the struct stays copyable and header-portable; kernels
+ * reload into vector registers on entry.
+ */
+struct GcmSimdCtx
+{
+    /** Round keys, 16 bytes each, rounds+1 entries (<= 15). */
+    alignas(16) std::uint8_t roundKeys[15][16] = {};
+    /** hPow[i] = H^(i+1), byte-reflected into GHASH convention. */
+    alignas(16) std::uint8_t hPow[4][16] = {};
+    int rounds = 0;
+    bool ready = false; ///< AES-NI + PCLMULQDQ kernels usable
+    bool wide = false;  ///< VAES 256-bit CTR enabled
+};
+
+/**
+ * Populate @p ctx from the expanded round-key words (big-endian,
+ * four per round, rounds+1 rounds) and the GHASH subkey H as its two
+ * big-endian halves. Leaves ctx.ready=false when the selected
+ * simdTier() is kNone.
+ */
+void gcmSimdInit(GcmSimdCtx &ctx, const std::uint32_t *rkWords,
+                 int rounds, std::uint64_t hHigh, std::uint64_t hLow);
+
+/**
+ * XOR the CTR keystream into @p data: counter block is
+ * iv || be32(counter), incremented per 16-byte block; a partial
+ * final block consumes the keystream prefix. Requires ctx.ready.
+ */
+void gcmSimdCtrXor(const GcmSimdCtx &ctx, const std::uint8_t iv[12],
+                   std::uint32_t counter, std::uint8_t *data,
+                   size_t len);
+
+/**
+ * Absorb @p nblocks full 16-byte blocks into the GHASH accumulator
+ * (@p yh / @p yl: big-endian halves, same convention as the table
+ * path). Requires ctx.ready.
+ */
+void gcmSimdGhash(const GcmSimdCtx &ctx, std::uint64_t &yh,
+                  std::uint64_t &yl, const std::uint8_t *data,
+                  size_t nblocks);
+
+} // namespace ccai::crypto
+
+#endif // CCAI_CRYPTO_GCM_SIMD_HH

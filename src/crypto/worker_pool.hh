@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/ring.hh"
 #include "obs/stats.hh"
 
 namespace ccai::crypto
@@ -65,6 +66,26 @@ class WorkerPool
     void parallelFor(std::size_t n, int width,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * io_uring-style submission/completion dispatch: @p n independent
+     * jobs are claimed lock-free from a shared submission cursor by
+     * up to @p width lanes (the caller plus worker threads), each
+     * finished job is pushed to a bounded MPSC completion ring, and
+     * the caller reaps completions and invokes @p commit(i) in strict
+     * index order 0,1,...,n-1 regardless of completion order. Blocks
+     * until every job is committed.
+     *
+     * Compared to parallelFor, jobs are not pre-partitioned: a slow
+     * chunk does not stall its lane's remaining work, and commit
+     * (the serial, order-sensitive stage) overlaps with in-flight
+     * crypto instead of waiting for a full barrier. @p fn must only
+     * touch per-job state; @p commit runs on the calling thread only
+     * and may touch shared state.
+     */
+    void runJobs(std::size_t n, int width,
+                 const std::function<void(std::size_t)> &fn,
+                 const std::function<void(std::size_t)> &commit);
+
     int maxWorkers() const { return maxWorkers_; }
     /** Threads actually spawned so far. */
     int spawnedWorkers() const;
@@ -75,6 +96,25 @@ class WorkerPool
     std::uint64_t inlineBatches() const { return inlineBatches_; }
     /** Index ranges executed on worker threads. */
     std::uint64_t workerRanges() const { return workerRanges_; }
+    /** runJobs dispatches that used the completion ring. */
+    std::uint64_t jobBatches() const { return jobBatches_; }
+    /** Jobs executed through runJobs (any thread). */
+    std::uint64_t jobsExecuted() const { return jobsExecuted_; }
+    /** Peak completion-ring occupancy across all runJobs calls. */
+    std::uint64_t completionHighWatermark() const
+    {
+        return completionHighWater_;
+    }
+
+    /**
+     * Completion-ring occupancy sampled at each reap (how many
+     * finished descriptors were waiting when the caller drained).
+     * Caller-thread data, like the batch counters.
+     */
+    const obs::Histogram &ringOccupancyHistogram() const
+    {
+        return ringOccupancy_;
+    }
 
     /**
      * Wall-clock nanoseconds a task range waited in a worker ring
@@ -84,6 +124,13 @@ class WorkerPool
      * run to run and across host machines.
      */
     obs::Histogram queueWaitHistogram() const;
+
+    /**
+     * Zero every batch/job counter and histogram. Benches call this
+     * between sweep points so each width's samples stand alone. Only
+     * call from the dispatching thread with no batch in flight.
+     */
+    void resetStats();
 
     /**
      * Process-wide shared pool: the Adaptor's chunk batches and the
@@ -97,11 +144,14 @@ class WorkerPool
 
   private:
     struct Batch;
+    struct JobBatch;
 
-    /** One contiguous index range of a batch. */
+    /** One contiguous index range of a batch, or (when `jobs` is
+     * set) one claiming lane of a runJobs dispatch. */
     struct Task
     {
         Batch *batch = nullptr;
+        JobBatch *jobs = nullptr;
         std::size_t begin = 0;
         std::size_t end = 0;
         /** Ring-push time for the queue-wait histogram. */
@@ -113,6 +163,22 @@ class WorkerPool
     {
         const std::function<void(std::size_t)> *fn = nullptr;
         std::atomic<std::size_t> pendingRanges{0};
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+    };
+
+    /** Shared state of one runJobs dispatch: the lock-free
+     * submission cursor plus the MPSC completion ring. */
+    struct JobBatch
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t n = 0;
+        /** Submission cursor: lanes claim jobs with fetch_add. */
+        std::atomic<std::size_t> next{0};
+        /** Finished job indices; sized >= n so pushes never block. */
+        MpmcRing<std::size_t> *completions = nullptr;
+        /** Worker lanes still claiming (caller must outlive them). */
+        std::atomic<std::size_t> pendingLanes{0};
         std::mutex doneMutex;
         std::condition_variable doneCv;
     };
@@ -132,6 +198,8 @@ class WorkerPool
     void ensureWorker(std::size_t index);
     void workerLoop(Worker &w);
     static void runRange(const Task &task);
+    /** Claim-execute-complete loop shared by workers and caller. */
+    void jobLane(JobBatch &jobs);
 
     int maxWorkers_;
     std::vector<std::unique_ptr<Worker>> workers_;
@@ -140,6 +208,10 @@ class WorkerPool
     std::uint64_t parallelBatches_ = 0; ///< dispatch-side, caller thread
     std::uint64_t inlineBatches_ = 0;
     std::atomic<std::uint64_t> workerRanges_{0};
+    std::uint64_t jobBatches_ = 0; ///< dispatch-side, caller thread
+    std::atomic<std::uint64_t> jobsExecuted_{0};
+    std::uint64_t completionHighWater_ = 0;
+    obs::Histogram ringOccupancy_; ///< caller-thread reap samples
 };
 
 } // namespace ccai::crypto

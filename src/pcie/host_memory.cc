@@ -3,9 +3,78 @@
 #include <cstring>
 
 #include "common/bytes_util.hh"
+#include "common/logging.hh"
 
 namespace ccai::pcie
 {
+
+const HostMemory::Arena *
+HostMemory::arenaFor(Addr addr) const
+{
+    for (const Arena &a : arenas_)
+        if (addr >= a.base && addr < a.base + a.size)
+            return &a;
+    return nullptr;
+}
+
+void
+HostMemory::pinRange(Addr base, std::uint64_t size)
+{
+    ccai_assert(size > 0);
+    for (const Arena &a : arenas_) {
+        if (a.base == base && a.size == size)
+            return; // already pinned
+        ccai_assert(base + size <= a.base || base >= a.base + a.size);
+    }
+    Arena arena;
+    arena.base = base;
+    arena.size = size;
+    // calloc: the OS backs the arena with lazily-faulted zero pages,
+    // so pinning a 512 MiB window costs nothing until it is touched.
+    arena.mem.reset(
+        static_cast<std::uint8_t *>(std::calloc(size, 1)));
+    ccai_assert(arena.mem != nullptr);
+    // Migrate any sparse pages that already held data in the range.
+    for (std::uint64_t off = 0; off < size; off += kPageSize) {
+        Addr cur = base + off;
+        std::uint64_t pfn = cur / kPageSize;
+        auto it = pages_.find(pfn);
+        if (it == pages_.end())
+            continue;
+        std::uint64_t inPage = cur % kPageSize;
+        std::uint64_t take =
+            std::min<std::uint64_t>(kPageSize - inPage, size - off);
+        std::memcpy(arena.mem.get() + off, it->second.get() + inPage,
+                    take);
+        if (inPage == 0 && take == kPageSize)
+            pages_.erase(it);
+    }
+    arenas_.push_back(std::move(arena));
+}
+
+std::uint8_t *
+HostMemory::raw(Addr addr, std::uint64_t len)
+{
+    return const_cast<std::uint8_t *>(
+        const_cast<const HostMemory *>(this)->raw(addr, len));
+}
+
+const std::uint8_t *
+HostMemory::raw(Addr addr, std::uint64_t len) const
+{
+    const Arena *a = arenaFor(addr);
+    if (a == nullptr || addr + len > a->base + a->size)
+        return nullptr;
+    return a->mem.get() + (addr - a->base);
+}
+
+void
+HostMemory::clear()
+{
+    pages_.clear();
+    for (Arena &a : arenas_)
+        std::memset(a.mem.get(), 0, a.size);
+}
 
 std::uint8_t *
 HostMemory::pageFor(Addr addr, bool allocate)
@@ -37,6 +106,14 @@ HostMemory::write(Addr addr, const Bytes &data)
     std::uint64_t off = 0;
     while (off < data.size()) {
         Addr cur = addr + off;
+        if (const Arena *a = arenaFor(cur)) {
+            std::uint64_t take = std::min<std::uint64_t>(
+                a->base + a->size - cur, data.size() - off);
+            std::memcpy(a->mem.get() + (cur - a->base),
+                        data.data() + off, take);
+            off += take;
+            continue;
+        }
         std::uint64_t in_page = cur % kPageSize;
         std::uint64_t take =
             std::min<std::uint64_t>(kPageSize - in_page,
@@ -54,6 +131,14 @@ HostMemory::read(Addr addr, std::uint64_t len) const
     std::uint64_t off = 0;
     while (off < len) {
         Addr cur = addr + off;
+        if (const Arena *a = arenaFor(cur)) {
+            std::uint64_t take = std::min<std::uint64_t>(
+                a->base + a->size - cur, len - off);
+            std::memcpy(out.data() + off,
+                        a->mem.get() + (cur - a->base), take);
+            off += take;
+            continue;
+        }
         std::uint64_t in_page = cur % kPageSize;
         std::uint64_t take =
             std::min<std::uint64_t>(kPageSize - in_page, len - off);

@@ -73,10 +73,45 @@ constexpr Addr kRecordAck = 0x0188;      ///< consume per-record reads
 constexpr Addr kEndTask = 0x0190;        ///< task teardown doorbell
 constexpr Addr kChunkRetry = 0x0198;     ///< re-request a D2H chunk
 constexpr Addr kHeartbeat = 0x01a0;      ///< watchdog liveness read
+constexpr Addr kRingHead = 0x01a8;       ///< consumed D2H ring index
 constexpr Addr kRuleWindow = 0x1000;     ///< rule staging window
 constexpr Addr kParamWindow = 0x2000;    ///< H2D chunk-record window
 constexpr Addr kRecordWindow = 0x3000;   ///< per-record MMIO reads
 } // namespace screg
+
+// ---- D2H completion ring layout (inside a tenant's metadata
+// window) ----
+// The PCIe-SC is the single producer: it DMA-writes each finished
+// D2H chunk record into the next slot, then advances the tail word;
+// both writes ride the same ordered ARQ channel, so a tail value is
+// never visible before its records. The Adaptor is the single
+// consumer: it reads the tail and the slots straight out of pinned
+// host memory (no MMIO round trip) and posts its consumed index via
+// the posted screg::kRingHead write, which is the producer's
+// backpressure signal.
+namespace metaring
+{
+/** Little-endian produced-count word the producer advances last. */
+constexpr std::uint64_t kTailOffset = 0;
+/** Slots start one cache line in, clear of the tail word. */
+constexpr std::uint64_t kSlotsOffset = 64;
+/** One serialized chunk record per slot (ChunkRecord::kWireBytes). */
+constexpr std::uint64_t kSlotStride = 64;
+
+/** Ring capacity for a metadata window of @p windowSize bytes. */
+constexpr std::uint64_t
+slotCount(std::uint64_t windowSize)
+{
+    return (windowSize - kSlotsOffset) / kSlotStride;
+}
+
+/** Byte offset of the slot for absolute record index @p idx. */
+constexpr std::uint64_t
+slotOffset(std::uint64_t idx, std::uint64_t nslots)
+{
+    return kSlotsOffset + (idx % nslots) * kSlotStride;
+}
+} // namespace metaring
 
 } // namespace ccai::pcie::memmap
 

@@ -118,8 +118,8 @@ PcieSc::establishTenant(pcie::Bdf tenant, const Bytes &sessionSecret,
         crypto::kdf(sessionSecret, {}, "ccai-a3-integrity", 32));
     s.d2hWindow = d2hWindow;
     s.metaWindow = metaWindow;
-    s.metaCursor = 0;
-    s.metaDelivered = 0;
+    s.metaTail = 0;
+    s.metaHead = 0;
     s.bdfRaw = tenant.raw();
     s.d2hReplay.clear();
     s.d2hRecords.clear();
@@ -704,29 +704,60 @@ PcieSc::flushMetadataBatch(TenantSession &tenant)
     if (!config_.metadataBatching || tenant.d2hRecords.empty())
         return;
 
-    // DMA the pending records into the tenant's metadata window in
-    // one posted write (the §5 I/O-read optimization: the Adaptor
-    // reads them from its own memory instead of querying the SC).
-    std::vector<ChunkRecord> batch(tenant.d2hRecords.begin(),
-                                   tenant.d2hRecords.end());
-    tenant.d2hRecords.clear();
+    // Publish pending records into the tenant's completion ring
+    // (§5 I/O-read optimization, io_uring idiom): DMA contiguous
+    // slot runs, then advance the tail word. All writes ride the
+    // same ordered channel, so the Adaptor can never observe a tail
+    // value before the records it covers are in host memory. Records
+    // that do not fit (ring full) stay queued until the Adaptor
+    // posts a fresh consumed index via screg::kRingHead.
+    const std::uint64_t nslots =
+        mm::metaring::slotCount(tenant.metaWindow.size);
+    bool published = false;
+    while (!tenant.d2hRecords.empty() &&
+           tenant.metaTail - tenant.metaHead < nslots) {
+        std::uint64_t freeSlots =
+            nslots - (tenant.metaTail - tenant.metaHead);
+        std::uint64_t startSlot = tenant.metaTail % nslots;
+        std::uint64_t run = std::min(
+            {static_cast<std::uint64_t>(tenant.d2hRecords.size()),
+             freeSlots, nslots - startSlot});
+        std::vector<ChunkRecord> batch(
+            tenant.d2hRecords.begin(),
+            tenant.d2hRecords.begin() +
+                static_cast<std::ptrdiff_t>(run));
+        tenant.d2hRecords.erase(
+            tenant.d2hRecords.begin(),
+            tenant.d2hRecords.begin() +
+                static_cast<std::ptrdiff_t>(run));
 
-    Bytes blob = ChunkRecord::serializeBatch(batch);
-    Addr dst = tenant.metaWindow.base + tenant.metaCursor;
-    tenant.metaCursor += blob.size();
-    ccai_assert(tenant.metaCursor <= tenant.metaWindow.size);
-    tenant.metaDelivered += batch.size();
+        Bytes blob = ChunkRecord::serializeBatch(batch);
+        Addr dst = tenant.metaWindow.base +
+                   mm::metaring::kSlotsOffset +
+                   startSlot * mm::metaring::kSlotStride;
+        auto tlp = std::make_shared<Tlp>(Tlp::makeMemWrite(
+            pcie::wellknown::kPcieSc, dst, std::move(blob)));
+        if (config_.retry.enabled)
+            sendUpstreamArq(tenant.bdfRaw, tlp, 0);
+        else
+            forward(tlp, true, 0);
+        tenant.metaTail += run;
+        published = true;
+    }
+    if (!published)
+        return;
 
-    auto tlp = std::make_shared<Tlp>(Tlp::makeMemWrite(
-        pcie::wellknown::kPcieSc, dst, std::move(blob)));
+    Bytes tailWord(8);
+    storeLe64(tailWord.data(), tenant.metaTail);
+    auto tailTlp = std::make_shared<Tlp>(Tlp::makeMemWrite(
+        pcie::wellknown::kPcieSc,
+        tenant.metaWindow.base + mm::metaring::kTailOffset,
+        std::move(tailWord)));
     s_.metaBatches.inc();
-    // The batch rides the tenant's ARQ channel: the in-order gate at
-    // the root complex guarantees the record blob is in host memory
-    // before any later record-count completion is delivered.
     if (config_.retry.enabled)
-        sendUpstreamArq(tenant.bdfRaw, tlp, 0);
+        sendUpstreamArq(tenant.bdfRaw, tailTlp, 0);
     else
-        forward(tlp, true, 0);
+        forward(tailTlp, true, 0);
 }
 
 // ---------------------------------------------------------------------
@@ -798,18 +829,10 @@ PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
         s_.transferNotifies.inc();
         return;
       case mm::screg::kRecordAck: {
-        if (!tenant)
+        // Per-record MMIO consumption (the non-batched §5 path);
+        // the batched path acknowledges via kRingHead instead.
+        if (!tenant || config_.metadataBatching)
             return;
-        if (config_.metadataBatching) {
-            // The Adaptor consumed @p value records from its
-            // metadata window; once everything delivered has been
-            // consumed, rewind the window cursor.
-            tenant->metaDelivered -=
-                std::min(value, tenant->metaDelivered);
-            if (tenant->metaDelivered == 0)
-                tenant->metaCursor = 0;
-            return;
-        }
         std::uint64_t n =
             std::min<std::uint64_t>(value,
                                     tenant->d2hRecords.size());
@@ -817,6 +840,16 @@ PcieSc::handleOwnMmioWrite(const TlpPtr &tlp)
             tenant->d2hRecords.pop_front();
         return;
       }
+      case mm::screg::kRingHead:
+        // Completion-ring backpressure: the Adaptor posts its
+        // absolute consumed index; freed slots let queued overflow
+        // records publish.
+        if (tenant && config_.metadataBatching) {
+            tenant->metaHead = std::max(tenant->metaHead, value);
+            if (!tenant->d2hRecords.empty())
+                flushMetadataBatch(*tenant);
+        }
+        return;
       case mm::screg::kChunkRetry:
         if (tenant)
             handleChunkRetry(*tenant, value);
@@ -870,8 +903,12 @@ PcieSc::handleOwnMmioRead(const pcie::Tlp &req)
         break;
       case mm::screg::kRecordCount:
         if (tenant) {
+            // Batched mode reports the ring's absolute produced
+            // index; the completion carrying it is sequenced on the
+            // tenant ARQ channel behind the slot DMA writes, so the
+            // slots it covers are already in host memory.
             value = config_.metadataBatching
-                        ? tenant->metaDelivered
+                        ? tenant->metaTail
                         : tenant->d2hRecords.size();
         }
         break;

@@ -167,11 +167,20 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
         std::unique_ptr<trust::WorkloadKeyManager> keys;
         SignIntegrityEngine signer;
         DecryptParamsManager params;
+        /**
+         * Records not yet published into the metadata completion
+         * ring: the accumulation buffer below metaBatchSize, plus
+         * the overflow queue when the ring is full (backpressure).
+         * With metadata batching off this is the whole record store,
+         * served via per-record MMIO reads.
+         */
         std::deque<ChunkRecord> d2hRecords;
         pcie::AddrRange d2hWindow{};
         pcie::AddrRange metaWindow{};
-        Addr metaCursor = 0;
-        std::uint64_t metaDelivered = 0;
+        /** Completion ring: absolute produced-record index. */
+        std::uint64_t metaTail = 0;
+        /** Absolute consumed index, posted via screg::kRingHead. */
+        std::uint64_t metaHead = 0;
         std::uint64_t nextChunkId = 1;
         std::uint16_t bdfRaw = 0;
         /**

@@ -63,32 +63,42 @@ WorkloadKeyManager::cipherForEpoch(StreamDir dir,
     return crypto::AesGcm(keyForEpoch(dir, epoch));
 }
 
-namespace
-{
-
-std::uint64_t
-cacheKey(StreamDir dir, std::uint32_t epoch)
-{
-    return (static_cast<std::uint64_t>(dir) << 32) | epoch;
-}
-
-} // namespace
-
 const crypto::AesGcm &
 WorkloadKeyManager::cipherCached(StreamDir dir,
                                  std::uint32_t epoch) const
 {
     if (destroyed_)
         fatal("WorkloadKeyManager: use after destroy()");
-    std::uint64_t k = cacheKey(dir, epoch);
-    auto it = cipherCache_.find(k);
-    if (it == cipherCache_.end()) {
-        // Miss: pay key derivation + key schedule + GHASH table once.
-        it = cipherCache_
-                 .try_emplace(k, keyForEpoch(dir, epoch))
-                 .first;
-    }
-    return it->second;
+    CipherShard &shard = cipherShards_[shardIndex(dir)];
+    CipherSlot &slot = shard.slots[epoch % kCipherSlots];
+    const std::uint64_t want = kSlotReady | epoch;
+    // Hot path: published slot for this exact epoch — wait-free.
+    if (slot.tag.load(std::memory_order_acquire) == want)
+        return *slot.cipher;
+
+    // Miss (or slot recycled by a far-future epoch): pay key
+    // derivation + key schedule + GHASH table once under the shard
+    // fill lock, then publish with release so concurrent readers of
+    // the tag see a fully constructed cipher.
+    std::lock_guard<std::mutex> guard(shard.fill);
+    if (slot.tag.load(std::memory_order_relaxed) == want)
+        return *slot.cipher;
+    slot.tag.store(0, std::memory_order_relaxed);
+    slot.cipher =
+        std::make_unique<crypto::AesGcm>(keyForEpoch(dir, epoch));
+    slot.tag.store(want, std::memory_order_release);
+    return *slot.cipher;
+}
+
+size_t
+WorkloadKeyManager::cachedCipherCount() const
+{
+    size_t n = 0;
+    for (const CipherShard &shard : cipherShards_)
+        for (const CipherSlot &slot : shard.slots)
+            if (slot.tag.load(std::memory_order_relaxed) != 0)
+                ++n;
+    return n;
 }
 
 void
@@ -104,9 +114,15 @@ WorkloadKeyManager::rotate(StreamDir dir)
     std::uint32_t floor = e.epochId > kCipherCacheDepth
                               ? e.epochId - kCipherCacheDepth
                               : 0;
-    auto begin = cipherCache_.lower_bound(cacheKey(dir, 0));
-    auto end = cipherCache_.lower_bound(cacheKey(dir, floor));
-    cipherCache_.erase(begin, end);
+    CipherShard &shard = cipherShards_[shardIndex(dir)];
+    std::lock_guard<std::mutex> guard(shard.fill);
+    for (CipherSlot &slot : shard.slots) {
+        std::uint64_t tag = slot.tag.load(std::memory_order_relaxed);
+        if (tag != 0 && (tag & ~kSlotReady) < floor) {
+            slot.tag.store(0, std::memory_order_relaxed);
+            slot.cipher.reset();
+        }
+    }
 }
 
 Bytes
@@ -154,7 +170,13 @@ WorkloadKeyManager::destroy()
     }
     // Cached contexts hold expanded key schedules; drop them with
     // the rest of the key material.
-    cipherCache_.clear();
+    for (CipherShard &shard : cipherShards_) {
+        std::lock_guard<std::mutex> guard(shard.fill);
+        for (CipherSlot &slot : shard.slots) {
+            slot.tag.store(0, std::memory_order_relaxed);
+            slot.cipher.reset();
+        }
+    }
     destroyed_ = true;
 }
 

@@ -11,8 +11,11 @@
 #ifndef CCAI_TRUST_KEY_MANAGER_HH
 #define CCAI_TRUST_KEY_MANAGER_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "crypto/drbg.hh"
@@ -90,12 +93,20 @@ class WorkloadKeyManager
      * invalidated (a later request for them re-derives statelessly,
      * so past-epoch chunks still decrypt). The reference stays valid
      * until the next rotation of @p dir or destroy().
+     *
+     * Thread-safety: the cache is sharded per direction into fixed
+     * epoch slots guarded by a published-tag atomic, so a hit is a
+     * wait-free read — many crypto workers can resolve the cipher
+     * for in-flight descriptors concurrently without a shared lock.
+     * Misses (first use of an epoch) serialize on the shard's fill
+     * mutex; rotation/eviction runs on the submission thread between
+     * batches, never while workers hold references.
      */
     const crypto::AesGcm &cipherCached(StreamDir dir,
                                        std::uint32_t epoch) const;
 
     /** Number of live cache entries (tests observe invalidation). */
-    size_t cachedCipherCount() const { return cipherCache_.size(); }
+    size_t cachedCipherCount() const;
 
     /** Zeroize all key material (end of session, §6). */
     void destroy();
@@ -112,13 +123,43 @@ class WorkloadKeyManager
     void rotate(StreamDir dir);
     void deriveEpoch(KeyEpoch &e, StreamDir dir);
 
+    /** Epoch slots per direction shard; with retention depth 2 the
+     * live window never collides modulo this. */
+    static constexpr size_t kCipherSlots = 8;
+    /** Slot tag: 0 = empty, else kSlotReady | epoch. */
+    static constexpr std::uint64_t kSlotReady = 1ull << 63;
+
+    /**
+     * One cached cipher context. `tag` publishes the slot: a reader
+     * that observes kSlotReady|epoch with acquire ordering may use
+     * `cipher` without locking (the release store in the filler
+     * happens-after construction completes).
+     */
+    struct CipherSlot
+    {
+        std::atomic<std::uint64_t> tag{0};
+        std::unique_ptr<crypto::AesGcm> cipher;
+    };
+
+    /** Per-direction shard: H2D and D2H workers never contend. */
+    struct CipherShard
+    {
+        std::mutex fill; ///< serializes misses/evictions only
+        std::array<CipherSlot, kCipherSlots> slots;
+    };
+
+    static size_t
+    shardIndex(StreamDir dir)
+    {
+        return dir == StreamDir::HostToDevice ? 0 : 1;
+    }
+
     Bytes master_;
     KeyEpoch h2d_;
     KeyEpoch d2h_;
     std::uint32_t ivLimit_;
     bool destroyed_ = false;
-    /** (dir, epoch) -> ready-to-use cipher context. */
-    mutable std::map<std::uint64_t, crypto::AesGcm> cipherCache_;
+    mutable std::array<CipherShard, 2> cipherShards_;
 };
 
 } // namespace ccai::trust

@@ -237,7 +237,8 @@ class Adaptor : public sim::SimObject
         bool scTerminated = false;
         DataCb done;
         std::vector<sc::ChunkRecord> recs; ///< deduped, addr-sorted
-        std::vector<Bytes> plain;          ///< per-record plaintext
+        std::vector<Bytes> plain; ///< per-record plaintext (staged)
+        Bytes out; ///< zero-copy output (opened in place per record)
         std::vector<char> ok;              ///< per-record decrypt ok
         int fetchAttempts = 0;
         Tick startTick = 0; ///< collectD2h() entry, for latency stats
@@ -297,8 +298,17 @@ class Adaptor : public sim::SimObject
     Addr d2hCursor_ = 0;
     std::uint64_t nextChunkId_ = 1;
     std::uint64_t nextSeqNo_ = 1;
-    std::uint64_t metaConsumed_ = 0;
-    Addr metaReadCursor_ = 0;
+    /** Completion ring: absolute consumed-record index (mirrors the
+     * controller's metaHead; posted back via screg::kRingHead). */
+    std::uint64_t metaHead_ = 0;
+    /**
+     * Records reaped from the completion ring (or fetched via MMIO)
+     * that belong to a transfer not being collected yet: with
+     * pipelined transfers in flight, one collect's reap can surface
+     * the next transfer's records — they wait here instead of being
+     * dropped.
+     */
+    std::vector<sc::ChunkRecord> metaPending_;
     Tick cpuBusyUntil_ = 0;
 
     /** Downstream ARQ sender window (writes awaiting the SC's ack). */
@@ -346,7 +356,14 @@ class Adaptor : public sim::SimObject
         obs::CounterHandle d2hIntegrityFailures;
         obs::CounterHandle d2hChunkRetries;
         obs::CounterHandle tasksEnded;
+        /** Staged (non-zero-copy) payload copies: 0 in steady state
+         * when the bounce windows are pinned. */
+        obs::CounterHandle h2dStageCopies;
+        obs::CounterHandle d2hStageCopies;
 
+        /** Completion-ring occupancy (produced - consumed) sampled
+         * at each batched record reap. */
+        obs::HistogramHandle metaRingOccupancy;
         obs::HistogramHandle cpuQueueTicks;   ///< runOnCpu wait
         obs::HistogramHandle h2dCpuTicks;     ///< seal-stage CPU time
         obs::HistogramHandle d2hCpuTicks;     ///< open-stage CPU time

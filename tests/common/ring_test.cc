@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Edge-case and stress tests for the data-plane rings: index
+ * wraparound far past the 64-bit-cursor masking, full-ring
+ * backpressure (tryPush fails, never blocks or overwrites), the
+ * cached-index single-producer fast path of SpscRing, and
+ * multi-threaded MPSC/MPMC stress sized to run under TSan in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/ring.hh"
+
+using namespace ccai;
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+    EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+    EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+    EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+    EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+    EXPECT_EQ(MpmcRing<int>(5).capacity(), 8u);
+}
+
+TEST(SpscRing, PopOnEmptyFails)
+{
+    SpscRing<int> ring(4);
+    int out = -1;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.tryPop(out));
+    EXPECT_EQ(out, -1);
+}
+
+TEST(SpscRing, FullRingBackpressure)
+{
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.tryPush(i)) << i;
+    // Full: pushes fail without blocking and without clobbering.
+    EXPECT_FALSE(ring.tryPush(99));
+    EXPECT_FALSE(ring.tryPush(100));
+    EXPECT_EQ(ring.size(), 4u);
+
+    // One pop frees exactly one slot.
+    int out = -1;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(ring.tryPush(4));
+    EXPECT_FALSE(ring.tryPush(5));
+
+    // FIFO order survived the rejected pushes.
+    for (int want : {1, 2, 3, 4}) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, want);
+    }
+    EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(SpscRing, WraparoundPreservesFifoOrder)
+{
+    // A tiny ring forces the cursors around the buffer thousands of
+    // times; the masked indices must keep mapping to the right cells.
+    SpscRing<std::uint64_t> ring(4);
+    std::uint64_t next = 0;
+    std::uint64_t popped = 0;
+    while (popped < 10000) {
+        while (ring.tryPush(next))
+            ++next;
+        std::uint64_t v = 0;
+        while (ring.tryPop(v)) {
+            ASSERT_EQ(v, popped);
+            ++popped;
+        }
+    }
+    EXPECT_EQ(ring.highWatermark(), ring.capacity());
+}
+
+TEST(SpscRing, SingleProducerFastPathToleratesStaleCachedIndices)
+{
+    // Steady-state alternation keeps both sides on the cached-index
+    // fast path: the producer's cached head and the consumer's
+    // cached tail go stale by design and are only refreshed when the
+    // cached value would block. Every few laps the stale cached head
+    // makes the ring *look* full and forces a refresh — pushes must
+    // keep succeeding across those refresh boundaries, since actual
+    // occupancy never exceeds two.
+    SpscRing<int> ring(64);
+    for (int round = 0; round < 1000; ++round) {
+        ASSERT_TRUE(ring.tryPush(round)) << round;
+        ASSERT_TRUE(ring.tryPush(round + 1000000)) << round;
+        int a = 0, b = 0;
+        ASSERT_TRUE(ring.tryPop(a));
+        ASSERT_TRUE(ring.tryPop(b));
+        ASSERT_EQ(a, round);
+        ASSERT_EQ(b, round + 1000000);
+        ASSERT_LE(ring.size(), 0u);
+    }
+    // The watermark is sampled against the cached (lagging) head, so
+    // it may overestimate — but never past the capacity bound.
+    EXPECT_LE(ring.highWatermark(), ring.capacity());
+}
+
+TEST(SpscRing, ThreadedProducerConsumerStress)
+{
+    // Sized for TSan on small CI runners: enough traffic to wrap a
+    // small ring hundreds of times and race the cached-index
+    // refreshes; yields keep the spin loops from burning a whole
+    // scheduling quantum when producer and consumer share one core.
+    constexpr std::uint64_t kItems = 50000;
+    SpscRing<std::uint64_t> ring(256);
+
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kItems;) {
+            if (ring.tryPush(i))
+                ++i;
+            else
+                std::this_thread::yield();
+        }
+    });
+
+    std::uint64_t expect = 0;
+    while (expect < kItems) {
+        std::uint64_t v = 0;
+        if (!ring.tryPop(v)) {
+            std::this_thread::yield();
+            continue;
+        }
+        ASSERT_EQ(v, expect);
+        ++expect;
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_GT(ring.highWatermark(), 0u);
+    EXPECT_LE(ring.highWatermark(), ring.capacity());
+}
+
+TEST(MpmcRing, PopOnEmptyFails)
+{
+    MpmcRing<int> ring(4);
+    int out = -1;
+    EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(MpmcRing, FullRingBackpressure)
+{
+    MpmcRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.tryPush(i)) << i;
+    EXPECT_FALSE(ring.tryPush(99));
+
+    int out = -1;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(ring.tryPush(4));
+    EXPECT_FALSE(ring.tryPush(5));
+    for (int want : {1, 2, 3, 4}) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, want);
+    }
+}
+
+TEST(MpmcRing, WraparoundPreservesFifoOrder)
+{
+    // Per-cell sequence numbers must keep handing cells over as the
+    // cursors lap the ring; single-threaded use is strictly FIFO.
+    MpmcRing<std::uint64_t> ring(8);
+    std::uint64_t next = 0;
+    std::uint64_t popped = 0;
+    while (popped < 10000) {
+        while (ring.tryPush(next))
+            ++next;
+        std::uint64_t v = 0;
+        while (ring.tryPop(v)) {
+            ASSERT_EQ(v, popped);
+            ++popped;
+        }
+    }
+}
+
+TEST(MpmcRing, MpscStressKeepsPerProducerOrder)
+{
+    // The data plane's shape: crypto workers push completions from
+    // many threads, the sim thread reaps in one place. Values encode
+    // (producer, seq); the single consumer must see every producer's
+    // sequence in order even when the ring keeps hitting full.
+    constexpr int kProducers = 4;
+    constexpr std::uint64_t kPerProducer = 20000;
+    MpmcRing<std::uint64_t> ring(128);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&ring, p] {
+            for (std::uint64_t i = 0; i < kPerProducer;) {
+                std::uint64_t v =
+                    (static_cast<std::uint64_t>(p) << 32) | i;
+                if (ring.tryPush(v))
+                    ++i;
+                else
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    std::vector<std::uint64_t> nextSeq(kProducers, 0);
+    std::uint64_t total = 0;
+    while (total < kProducers * kPerProducer) {
+        std::uint64_t v = 0;
+        if (!ring.tryPop(v)) {
+            std::this_thread::yield();
+            continue;
+        }
+        auto p = static_cast<int>(v >> 32);
+        std::uint64_t seq = v & 0xffffffffu;
+        ASSERT_LT(p, kProducers);
+        ASSERT_EQ(seq, nextSeq[p]) << "producer " << p;
+        ++nextSeq[p];
+        ++total;
+    }
+    for (auto &t : producers)
+        t.join();
+    EXPECT_TRUE(ring.empty());
+    for (int p = 0; p < kProducers; ++p)
+        EXPECT_EQ(nextSeq[p], kPerProducer) << "producer " << p;
+}
+
+TEST(MpmcRing, MpmcStressLosesAndDuplicatesNothing)
+{
+    // Full MPMC mix: with consumers racing each other, global order
+    // is meaningless but conservation is not — every pushed value
+    // must be popped exactly once.
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr std::uint64_t kPerProducer = 15000;
+    MpmcRing<std::uint64_t> ring(64);
+
+    std::atomic<std::uint64_t> popSum{0};
+    std::atomic<std::uint64_t> popCount{0};
+    constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&ring, p] {
+            for (std::uint64_t i = 0; i < kPerProducer;) {
+                if (ring.tryPush(p * kPerProducer + i))
+                    ++i;
+                else
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            std::uint64_t v = 0;
+            while (popCount.load(std::memory_order_relaxed) < kTotal) {
+                if (!ring.tryPop(v)) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                popSum.fetch_add(v, std::memory_order_relaxed);
+                popCount.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(popCount.load(), kTotal);
+    EXPECT_EQ(popSum.load(), kTotal * (kTotal - 1) / 2);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_LE(ring.highWatermark(), ring.capacity());
+}

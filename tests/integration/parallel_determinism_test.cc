@@ -2,7 +2,7 @@
  * @file
  * Determinism tests for the parallel secure data plane: the worker
  * pool must be an invisible execution detail. Running the same
- * seeded workload at 1, 2, and 8 crypto threads must produce
+ * seeded workload at 1, 2, 8, and 16 crypto threads must produce
  * bit-identical plaintexts, bounce-buffer ciphertexts, VRAM
  * contents, and data-plane counters — and the PR-2 chunk-retry
  * machinery must keep healing tag failures when the decrypt batch
@@ -92,7 +92,7 @@ runMix(int width)
 TEST(ParallelDataPlane, BitIdenticalAcrossThreadCounts)
 {
     RunImage one = runMix(1);
-    for (int width : {2, 8}) {
+    for (int width : {2, 8, 16}) {
         RunImage wide = runMix(width);
         EXPECT_EQ(wide.readBack, one.readBack) << "width " << width;
         EXPECT_EQ(wide.vram, one.vram) << "width " << width;

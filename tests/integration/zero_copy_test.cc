@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Zero-copy guarantee of the secure data plane: with the DMA
+ * windows pinned (the default), seal and open run in place in the
+ * bounce arenas and the staged-copy counters stay at exactly zero
+ * through a mixed H2D/D2H workload. With pinning disabled the same
+ * workload must still round-trip — the staged fallback is counted,
+ * not broken.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ccai/platform.hh"
+
+using namespace ccai;
+using namespace ccai::pcie;
+namespace mm = ccai::pcie::memmap;
+
+namespace
+{
+
+/** Multi-chunk H2D, compute-free D2H readback, plus a small tail
+ * transfer so both directions see more than one collect batch. */
+void
+runMixedTraffic(Platform &p)
+{
+    sim::Rng rng(0x2C0);
+    Bytes weights = rng.bytes(600 * kKiB);
+    p.runtime().memcpyH2D(mm::kXpuVram.base, weights, weights.size(),
+                          [] {});
+    p.run();
+
+    Bytes back;
+    p.runtime().memcpyD2H(mm::kXpuVram.base, 300 * kKiB, false,
+                          [&](Bytes d) { back = std::move(d); });
+    p.run();
+    ASSERT_EQ(back,
+              Bytes(weights.begin(), weights.begin() + 300 * kKiB));
+
+    Bytes logits = rng.bytes(48 * kKiB);
+    p.runtime().memcpyH2D(mm::kXpuVram.base + 1 * kMiB, logits,
+                          logits.size(), [] {});
+    p.run();
+    Bytes tail;
+    p.runtime().memcpyD2H(mm::kXpuVram.base + 1 * kMiB,
+                          logits.size(), false,
+                          [&](Bytes d) { tail = std::move(d); });
+    p.run();
+    ASSERT_EQ(tail, logits);
+}
+
+Platform
+makePlatform(bool pinned, int threads)
+{
+    PlatformConfig cfg;
+    cfg.secure = true;
+    cfg.pinDmaWindows = pinned;
+    cfg.adaptorConfig.cryptoThreads = threads;
+    cfg.scConfig.dataEngineThreads = threads;
+    return Platform(cfg);
+}
+
+} // namespace
+
+TEST(ZeroCopy, PinnedWindowsTakeZeroStagedCopies)
+{
+    for (int threads : {1, 4}) {
+        Platform p = makePlatform(true, threads);
+        ASSERT_TRUE(p.establishTrust().ok());
+        EXPECT_TRUE(
+            p.hostMemory().pinned(mm::kBounceH2d.base, 4 * kKiB));
+        EXPECT_TRUE(
+            p.hostMemory().pinned(mm::kBounceD2h.base, 4 * kKiB));
+
+        runMixedTraffic(p);
+
+        // The transfers really ran chunked...
+        EXPECT_GT(p.system().sumCounter("h2d_chunks"), 1u)
+            << "threads " << threads;
+        EXPECT_GT(p.system().sumCounter("d2h_bytes"), 0u);
+        // ...and not one payload byte moved through a staging
+        // buffer: every seal/open happened in the DMA arenas.
+        EXPECT_EQ(p.system().sumCounter("h2d_stage_copies"), 0u)
+            << "threads " << threads;
+        EXPECT_EQ(p.system().sumCounter("d2h_stage_copies"), 0u)
+            << "threads " << threads;
+    }
+}
+
+TEST(ZeroCopy, UnpinnedWindowsFallBackToCountedStagedCopies)
+{
+    Platform p = makePlatform(false, 4);
+    ASSERT_TRUE(p.establishTrust().ok());
+    EXPECT_FALSE(
+        p.hostMemory().pinned(mm::kBounceH2d.base, 4 * kKiB));
+
+    // Same traffic still round-trips (asserted inside): the fallback
+    // changes cost, never correctness.
+    runMixedTraffic(p);
+
+    EXPECT_GT(p.system().sumCounter("h2d_stage_copies"), 0u);
+    EXPECT_GT(p.system().sumCounter("d2h_stage_copies"), 0u);
+    EXPECT_EQ(p.system().sumCounter("a2_integrity_failures"), 0u);
+    EXPECT_EQ(p.system().sumCounter("faults_fatal"), 0u);
+}
+
+TEST(ZeroCopy, PinnedAndUnpinnedProduceIdenticalPlaintext)
+{
+    // The staging decision is invisible to the application: same
+    // seed, same reads, byte-identical results either way.
+    auto readBack = [](bool pinned) {
+        Platform p = makePlatform(pinned, 2);
+        EXPECT_TRUE(p.establishTrust().ok());
+        sim::Rng rng(0x1DE);
+        Bytes data = rng.bytes(256 * kKiB);
+        p.runtime().memcpyH2D(mm::kXpuVram.base, data, data.size(),
+                              [] {});
+        p.run();
+        Bytes back;
+        p.runtime().memcpyD2H(mm::kXpuVram.base, data.size(), false,
+                              [&](Bytes d) { back = std::move(d); });
+        p.run();
+        EXPECT_EQ(back, data);
+        return back;
+    };
+    EXPECT_EQ(readBack(true), readBack(false));
+}

@@ -1,0 +1,355 @@
+#include "hostile_endpoint.hh"
+
+#include "common/logging.hh"
+
+namespace ccai::attack
+{
+
+namespace mm = pcie::memmap;
+namespace wk = pcie::wellknown;
+using pcie::Tlp;
+using pcie::TlpFmt;
+using pcie::TlpPtr;
+using pcie::TlpType;
+
+HostileEndpoint::HostileEndpoint(sim::System &sys, std::string name,
+                                 pcie::Bdf bdf)
+    : sim::SimObject(sys, std::move(name)), bdf_(bdf)
+{
+}
+
+void
+HostileEndpoint::sendRaw(const Tlp &tlp)
+{
+    ccai_assert(up_);
+    ++sent_;
+    up_->send(std::make_shared<Tlp>(tlp));
+}
+
+void
+HostileEndpoint::spoofedRead(pcie::Bdf asWhom, Addr addr,
+                             std::uint32_t len)
+{
+    sendRaw(Tlp::makeMemRead(asWhom, addr, len, nextTag_++));
+}
+
+void
+HostileEndpoint::spoofedWrite(pcie::Bdf asWhom, Addr addr,
+                              Bytes payload)
+{
+    sendRaw(Tlp::makeMemWrite(asWhom, addr, std::move(payload)));
+}
+
+void
+HostileEndpoint::forgeCompletion(pcie::Bdf victim, std::uint8_t tag,
+                                 Bytes payload)
+{
+    // Wear the legitimate completer's ID: a forged completion that
+    // names the real completer is the strongest variant (requester
+    // routing takes it back to the victim).
+    sendRaw(Tlp::makeCompletion(wk::kXpu, victim, tag,
+                                std::move(payload)));
+}
+
+std::size_t
+HostileEndpoint::forgeCompletionsFromTap(const BusTap &tap,
+                                         const Bytes &payload)
+{
+    // Outstanding = read requests seen without a completion for the
+    // same (requester, tag) later in the capture.
+    std::size_t forged = 0;
+    const auto &cap = tap.captured();
+    for (std::size_t i = 0; i < cap.size(); ++i) {
+        if (cap[i].type != TlpType::MemRead)
+            continue;
+        bool completed = false;
+        for (std::size_t j = i + 1; j < cap.size(); ++j) {
+            if (cap[j].type == TlpType::Completion &&
+                cap[j].tag == cap[i].tag &&
+                cap[j].requester == cap[i].requester) {
+                completed = true;
+                break;
+            }
+        }
+        if (completed)
+            continue;
+        forgeCompletion(cap[i].requester, cap[i].tag, payload);
+        ++forged;
+    }
+    return forged;
+}
+
+std::size_t
+HostileEndpoint::probeWindowBoundaries(pcie::AddrRange window,
+                                       std::uint32_t len)
+{
+    const Addr end = window.base + window.size;
+    const std::uint32_t half = len / 2 ? len / 2 : 1;
+    // Just below the base; straddling the base; straddling the end;
+    // just past the end.
+    spoofedRead(bdf_, window.base - len, len);
+    spoofedRead(bdf_, window.base - half, len);
+    spoofedRead(bdf_, end - half, len);
+    spoofedRead(bdf_, end, len);
+    return 4;
+}
+
+void
+HostileEndpoint::atsTranslatedRead(Addr addr, std::uint32_t len)
+{
+    spoofedRead(wk::kXpu, addr, len);
+}
+
+void
+HostileEndpoint::atsTranslatedWrite(Addr addr, Bytes payload)
+{
+    spoofedWrite(wk::kXpu, addr, std::move(payload));
+}
+
+void
+HostileEndpoint::sendMalformed(pcie::TlpAnomaly kind)
+{
+    ccai_assert(kind != pcie::TlpAnomaly::None);
+    Tlp tlp;
+    tlp.requester = bdf_;
+    switch (kind) {
+      case pcie::TlpAnomaly::PayloadFmtMismatch:
+        tlp.type = TlpType::Completion;
+        tlp.fmt = TlpFmt::ThreeDwNoData; // ...yet bytes attached
+        tlp.data = Bytes(8, 0xee);
+        break;
+      case pcie::TlpAnomaly::FmtForType:
+        tlp.type = TlpType::MemRead;
+        tlp.fmt = TlpFmt::ThreeDwData; // data-bearing read
+        tlp.data = Bytes(16, 0xee);
+        tlp.lengthBytes = 16;
+        tlp.address = mm::kScMmio.base;
+        break;
+      case pcie::TlpAnomaly::LengthZero:
+        tlp.type = TlpType::MemRead;
+        tlp.fmt = TlpFmt::ThreeDwNoData;
+        tlp.address = mm::kScMmio.base;
+        tlp.lengthBytes = 0;
+        break;
+      case pcie::TlpAnomaly::LengthOverflow:
+        tlp.type = TlpType::MemRead;
+        tlp.fmt = TlpFmt::FourDwNoData;
+        tlp.address = mm::kBounceH2d.base;
+        tlp.lengthBytes = 0xffffffffu; // the 1024-DW wrap class
+        break;
+      case pcie::TlpAnomaly::LengthMismatch:
+        tlp.type = TlpType::MemWrite;
+        tlp.fmt = TlpFmt::ThreeDwData;
+        tlp.address = mm::kXpuMmio.base;
+        tlp.data = Bytes(32, 0xee);
+        tlp.lengthBytes = 512; // header claims more than it carries
+        break;
+      case pcie::TlpAnomaly::AddrWidthMismatch:
+        tlp.type = TlpType::MemRead;
+        tlp.fmt = TlpFmt::ThreeDwNoData; // 3-DW header...
+        tlp.address = mm::kXpuVram.base; // ...64-bit address
+        tlp.lengthBytes = 64;
+        break;
+      case pcie::TlpAnomaly::None:
+        return;
+    }
+    sendRaw(tlp);
+}
+
+void
+HostileEndpoint::receiveTlp(const TlpPtr &tlp, pcie::PcieNode *)
+{
+    if (tlp->type != TlpType::Completion)
+        return;
+    if (tlp->cplStatus != pcie::CplStatus::SuccessfulCompletion) {
+        ++aborts_;
+        return;
+    }
+    loot_.push_back(*tlp);
+}
+
+std::vector<NamedTlp>
+adversarialSeedTlps()
+{
+    std::vector<NamedTlp> out;
+    auto add = [&](std::string name, Tlp tlp) {
+        out.push_back({std::move(name), std::move(tlp)});
+    };
+    const Bytes payload64(64, 0xa5);
+    const Bytes payload128(128, 0xa5);
+
+    // ---- unauthorized requesters (L1 deny-all default) ----
+    add("rogue-read-host-dram-low",
+        Tlp::makeMemRead(wk::kMaliciousDevice,
+                         mm::kHostDramLow.base + 0x1000, 256, 1));
+    add("rogue-write-xpu-vram",
+        Tlp::makeMemWrite(wk::kMaliciousDevice, mm::kXpuVram.base,
+                          payload64));
+    add("rogue-read-sc-mmio",
+        Tlp::makeMemRead(wk::kMaliciousDevice, mm::kScMmio.base, 64,
+                         2));
+    add("rogue-cfg-read",
+        Tlp::makeCfgRead(wk::kMaliciousDevice, wk::kPcieSc, 0, 3));
+    add("rogue-vendor-message",
+        Tlp::makeVendorMessage(wk::kMaliciousDevice, payload64));
+    add("rogue-forged-completion",
+        Tlp::makeCompletion(wk::kXpu, wk::kMaliciousDevice, 7,
+                            payload64));
+
+    // ---- spoofed TVM identity (L2 denies / gaps) ----
+    add("spoof-tvm-read-rule-table",
+        Tlp::makeMemRead(wk::kTvm, mm::kScRuleTable.base, 64, 4));
+    add("spoof-tvm-read-vram",
+        Tlp::makeMemRead(wk::kTvm, mm::kXpuVram.base, 256, 5));
+    add("spoof-tvm-write-host-dram",
+        Tlp::makeMemWrite(wk::kTvm, mm::kHostDramLow.base + 0x4000,
+                          payload64));
+    add("spoof-tvm-msi-message",
+        Tlp::makeMessage(wk::kTvm, pcie::MsgCode::MsiInterrupt));
+
+    // ---- spoofed xPU identity: DMA outside the bounce windows ----
+    add("spoof-xpu-read-metadata",
+        Tlp::makeMemRead(wk::kXpu, mm::kMetadataBuffer.base, 64, 6));
+    add("spoof-xpu-write-metadata",
+        Tlp::makeMemWrite(wk::kXpu, mm::kMetadataBuffer.base,
+                          payload64));
+    add("spoof-xpu-read-host-dram-low",
+        Tlp::makeMemRead(wk::kXpu, mm::kHostDramLow.base + 0x100000,
+                         4096, 7));
+    add("spoof-xpu-write-host-dram-low",
+        Tlp::makeMemWrite(wk::kXpu, mm::kHostDramLow.base + 0x100000,
+                          payload64));
+    add("spoof-xpu-read-host-dram-high",
+        Tlp::makeMemRead(wk::kXpu, 0x480000000ull, 4096, 8));
+    add("spoof-xpu-write-host-dram-high",
+        Tlp::makeMemWrite(wk::kXpu, 0x480000000ull, payload64));
+    add("spoof-xpu-write-sc-mmio",
+        Tlp::makeMemWrite(wk::kXpu, mm::kScMmio.base, payload64));
+    add("spoof-xpu-cfg-write",
+        Tlp::makeCfgWrite(wk::kXpu, wk::kPcieSc, 0, Bytes(4, 1)));
+
+    // ---- ATS-style translated-address games ----
+    add("ats-read-tvm-private",
+        Tlp::makeMemRead(wk::kXpu, mm::kTvmPrivate.base, 256, 9));
+    add("ats-write-tvm-private",
+        Tlp::makeMemWrite(wk::kXpu, mm::kTvmPrivate.base, payload64));
+
+    // ---- boundary walks: straddles and off-by-one probes ----
+    add("straddle-bounce-h2d-read",
+        Tlp::makeMemRead(wk::kXpu,
+                         mm::kBounceH2d.base + mm::kBounceH2d.size -
+                             128,
+                         256, 10));
+    add("straddle-bounce-d2h-write",
+        Tlp::makeMemWrite(wk::kXpu,
+                          mm::kBounceD2h.base + mm::kBounceD2h.size -
+                              64,
+                          payload128));
+    add("straddle-vram-write",
+        Tlp::makeMemWrite(wk::kTvm,
+                          mm::kXpuVram.base + mm::kXpuVram.size - 64,
+                          payload128));
+    add("probe-below-bounce-h2d",
+        Tlp::makeMemRead(wk::kXpu, mm::kBounceH2d.base - 4, 4, 11));
+    add("probe-d2h-overrun-into-metadata",
+        Tlp::makeMemRead(wk::kXpu,
+                         mm::kBounceD2h.base + mm::kBounceD2h.size,
+                         64, 12));
+
+    // ---- structurally malformed headers ----
+    {
+        Tlp t;
+        t.type = TlpType::MemRead;
+        t.fmt = TlpFmt::ThreeDwData;
+        t.requester = wk::kTvm;
+        t.address = mm::kScMmio.base;
+        t.data = Bytes(16, 0xee);
+        t.lengthBytes = 16;
+        add("malformed-read-with-payload", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::MemWrite;
+        t.fmt = TlpFmt::ThreeDwNoData;
+        t.requester = wk::kTvm;
+        t.address = mm::kXpuMmio.base;
+        t.lengthBytes = 64;
+        add("malformed-write-without-payload", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::MemRead;
+        t.fmt = TlpFmt::ThreeDwNoData;
+        t.requester = wk::kTvm;
+        t.address = mm::kScMmio.base;
+        t.lengthBytes = 0;
+        add("malformed-length-zero", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::MemRead;
+        t.fmt = TlpFmt::FourDwNoData;
+        t.requester = wk::kXpu;
+        t.address = mm::kBounceH2d.base;
+        t.lengthBytes = 0xffffffffu;
+        add("malformed-length-wrap", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::MemWrite;
+        t.fmt = TlpFmt::ThreeDwData;
+        t.requester = wk::kTvm;
+        t.address = mm::kXpuMmio.base;
+        t.data = Bytes(32, 0xee);
+        t.lengthBytes = 512;
+        add("malformed-length-mismatch", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::MemRead;
+        t.fmt = TlpFmt::ThreeDwNoData;
+        t.requester = wk::kTvm;
+        t.address = mm::kXpuVram.base; // needs 64-bit addressing
+        t.lengthBytes = 64;
+        add("malformed-3dw-64bit-addr", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::MemRead;
+        t.fmt = TlpFmt::FourDwNoData;
+        t.requester = wk::kTvm;
+        t.address = mm::kScMmio.base; // fits 32 bits
+        t.lengthBytes = 64;
+        add("malformed-4dw-32bit-addr", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::Completion;
+        t.fmt = TlpFmt::FourDwData;
+        t.requester = wk::kTvm;
+        t.completer = wk::kXpu;
+        t.data = Bytes(16, 0xee);
+        t.lengthBytes = 16;
+        add("malformed-completion-4dw", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::Message;
+        t.fmt = TlpFmt::ThreeDwNoData;
+        t.requester = wk::kXpu;
+        add("malformed-message-3dw", t);
+    }
+    {
+        Tlp t;
+        t.type = TlpType::Completion;
+        t.fmt = TlpFmt::ThreeDwNoData;
+        t.requester = wk::kTvm;
+        t.completer = wk::kXpu;
+        t.data = Bytes(8, 0xee); // bytes on a no-data format
+        add("malformed-payload-on-nodata-cpl", t);
+    }
+
+    return out;
+}
+
+} // namespace ccai::attack

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Thunderclap-style adversarial peripheral: a PcieNode that attaches
+ * anywhere on the fabric and speaks raw TLPs — not the polite make*
+ * constructors but arbitrary header-field combinations. It covers
+ * the full hostile repertoire the paper's Packet Filter must defeat:
+ * spoofed requester/completer IDs, forged completions for
+ * outstanding tags observed through a BusTap, out-of-window DMA
+ * probes that walk memory_map.hh boundaries, structurally malformed
+ * format/length/address combinations, and ATS-style "already
+ * translated" address games.
+ *
+ * adversarialSeedTlps() is the curated catalog of named attack
+ * classes; it seeds attack::TlpFuzzer and is the source of the
+ * checked-in regression corpus under tests/attack/corpus/.
+ */
+
+#ifndef CCAI_ATTACK_HOSTILE_ENDPOINT_HH
+#define CCAI_ATTACK_HOSTILE_ENDPOINT_HH
+
+#include <string>
+#include <vector>
+
+#include "attack/bus_tap.hh"
+#include "pcie/link.hh"
+#include "pcie/memory_map.hh"
+#include "sim/sim_object.hh"
+
+namespace ccai::attack
+{
+
+/** One catalogued attack TLP: a stable name plus the packet. */
+struct NamedTlp
+{
+    std::string name;
+    pcie::Tlp tlp;
+};
+
+/**
+ * The curated adversarial catalog: every named class the paper's
+ * threat model calls out, each expected to be A1-blocked by the
+ * default policy. Deterministic (no RNG) so the seed corpus it
+ * generates is byte-stable.
+ */
+std::vector<NamedTlp> adversarialSeedTlps();
+
+/**
+ * The hostile endpoint itself. Unlike MaliciousDevice (which only
+ * issues well-formed requests under its own ID), HostileEndpoint
+ * emits arbitrary raw TLPs and keeps count of what came back.
+ */
+class HostileEndpoint : public sim::SimObject, public pcie::PcieNode
+{
+  public:
+    HostileEndpoint(sim::System &sys, std::string name,
+                    pcie::Bdf bdf = pcie::wellknown::kMaliciousDevice);
+
+    void connectUpstream(pcie::Link *up) { up_ = up; }
+
+    /** Emit any TLP verbatim — no validation, no fixups. */
+    void sendRaw(const pcie::Tlp &tlp);
+
+    // ---- spoofed-identity requests ----
+    /** Read @p len bytes at @p addr wearing @p asWhom's ID. */
+    void spoofedRead(pcie::Bdf asWhom, Addr addr, std::uint32_t len);
+    /** Write a payload at @p addr wearing @p asWhom's ID. */
+    void spoofedWrite(pcie::Bdf asWhom, Addr addr, Bytes payload);
+
+    // ---- forged completions ----
+    /** Forge a completion claiming to answer @p victim's @p tag. */
+    void forgeCompletion(pcie::Bdf victim, std::uint8_t tag,
+                         Bytes payload);
+    /**
+     * Scan a BusTap capture for outstanding MemRead tags and forge
+     * a completion for each — the classic Thunderclap response
+     * injection. @return number of forgeries emitted.
+     */
+    std::size_t forgeCompletionsFromTap(const BusTap &tap,
+                                        const Bytes &payload);
+
+    // ---- out-of-window DMA probes ----
+    /**
+     * Walk one memory window's edges with @p len-byte reads: just
+     * below the base, at the base, straddling the end, and just
+     * past the end. @return number of probes emitted (4).
+     */
+    std::size_t probeWindowBoundaries(pcie::AddrRange window,
+                                      std::uint32_t len);
+
+    // ---- ATS-style translated-address games ----
+    /**
+     * Pretend the ATS dance already happened: issue a request
+     * wearing the xPU's ID against host-private memory, as if the
+     * address were a granted translation.
+     */
+    void atsTranslatedRead(Addr addr, std::uint32_t len);
+    void atsTranslatedWrite(Addr addr, Bytes payload);
+
+    // ---- malformed headers ----
+    /** Emit one TLP exhibiting @p kind (never TlpAnomaly::None). */
+    void sendMalformed(pcie::TlpAnomaly kind);
+
+    // PcieNode interface
+    void receiveTlp(const pcie::TlpPtr &tlp, pcie::PcieNode *from)
+        override;
+    const std::string &nodeName() const override { return name(); }
+
+    pcie::Bdf bdf() const { return bdf_; }
+    /** Successful completions the fabric handed back. */
+    const std::vector<pcie::Tlp> &loot() const { return loot_; }
+    /** Completer-abort responses received. */
+    std::uint64_t aborts() const { return aborts_; }
+    /** Raw TLPs emitted so far. */
+    std::uint64_t sent() const { return sent_; }
+
+  private:
+    pcie::Bdf bdf_;
+    pcie::Link *up_ = nullptr;
+    std::uint8_t nextTag_ = 0;
+    std::uint64_t sent_ = 0;
+    std::vector<pcie::Tlp> loot_;
+    std::uint64_t aborts_ = 0;
+};
+
+} // namespace ccai::attack
+
+#endif // CCAI_ATTACK_HOSTILE_ENDPOINT_HH

@@ -71,6 +71,102 @@ Bdf::toString() const
 }
 
 const char *
+tlpAnomalyName(TlpAnomaly anomaly)
+{
+    switch (anomaly) {
+      case TlpAnomaly::None:
+        return "none";
+      case TlpAnomaly::PayloadFmtMismatch:
+        return "payload_fmt_mismatch";
+      case TlpAnomaly::FmtForType:
+        return "fmt_for_type";
+      case TlpAnomaly::LengthZero:
+        return "length_zero";
+      case TlpAnomaly::LengthOverflow:
+        return "length_overflow";
+      case TlpAnomaly::LengthMismatch:
+        return "length_mismatch";
+      case TlpAnomaly::AddrWidthMismatch:
+        return "addr_width_mismatch";
+    }
+    return "?";
+}
+
+TlpAnomaly
+Tlp::headerAnomaly() const
+{
+    const bool fourDw =
+        fmt == TlpFmt::FourDwNoData || fmt == TlpFmt::FourDwData;
+
+    // fmt's data bit must agree with what is actually attached.
+    if (!hasData() && !data.empty())
+        return TlpAnomaly::PayloadFmtMismatch;
+    if (hasData() && payloadBytes() == 0 &&
+        type != TlpType::Completion) {
+        return TlpAnomaly::PayloadFmtMismatch;
+    }
+
+    // Header format legal for the type. Completions and config
+    // requests are 3-DW in this model; messages are always 4-DW.
+    switch (type) {
+      case TlpType::MemRead:
+        if (hasData())
+            return TlpAnomaly::FmtForType;
+        break;
+      case TlpType::MemWrite:
+        if (!hasData())
+            return TlpAnomaly::FmtForType;
+        break;
+      case TlpType::Completion:
+      case TlpType::CfgRead:
+      case TlpType::CfgWrite:
+        if (fourDw)
+            return TlpAnomaly::FmtForType;
+        if (type == TlpType::CfgRead && hasData())
+            return TlpAnomaly::FmtForType;
+        if (type == TlpType::CfgWrite && !hasData())
+            return TlpAnomaly::FmtForType;
+        break;
+      case TlpType::Message:
+        if (!fourDw)
+            return TlpAnomaly::FmtForType;
+        break;
+    }
+
+    // Length sanity. Addressed requests must move at least one byte;
+    // nothing may claim more than kMaxTlpLengthBytes (the classic
+    // "length field wraps 1024 DW" probe scaled to this model); a
+    // real payload must match its header length so a filter decision
+    // made on the header also covers the bytes behind it.
+    const bool addressed = type == TlpType::MemRead ||
+                           type == TlpType::MemWrite ||
+                           type == TlpType::CfgRead ||
+                           type == TlpType::CfgWrite;
+    if (addressed && lengthBytes == 0)
+        return TlpAnomaly::LengthZero;
+    if (lengthBytes > kMaxTlpLengthBytes ||
+        data.size() > kMaxTlpLengthBytes) {
+        return TlpAnomaly::LengthOverflow;
+    }
+    if (hasData() && !synthetic && !data.empty() &&
+        lengthBytes != data.size()) {
+        return TlpAnomaly::LengthMismatch;
+    }
+
+    // Address width must match the header size for memory requests
+    // (messages and completions carry no address in this model).
+    if (type == TlpType::MemRead || type == TlpType::MemWrite) {
+        const bool needs64 = address > 0xffffffffull;
+        if (needs64 && !fourDw)
+            return TlpAnomaly::AddrWidthMismatch;
+        if (!needs64 && fourDw)
+            return TlpAnomaly::AddrWidthMismatch;
+    }
+
+    return TlpAnomaly::None;
+}
+
+const char *
 tlpTypeName(TlpType type)
 {
     switch (type) {

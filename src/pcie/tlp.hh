@@ -66,6 +66,45 @@ enum class MsgCode : std::uint8_t
 constexpr std::uint32_t kMaxPayloadBytes = 256;
 
 /**
+ * Upper bound on any single TLP's request/payload length. Generous
+ * enough for the largest modelled burst (a transfer piece filling a
+ * whole 512 MiB bounce window travels as ONE synthetic burst TLP),
+ * but small enough that length arithmetic can never wrap 32 bits
+ * and a hostile length field (the classic near-UINT32_MAX wrap
+ * probe) is rejected as malformed.
+ */
+constexpr std::uint32_t kMaxTlpLengthBytes = 1024u * 1024 * 1024;
+
+/**
+ * Structural header defects a hostile endpoint can encode but a
+ * conforming device never produces (paper §4.1's "illegal packets").
+ * The Packet Filter rejects these before any rule walk; the fuzzer
+ * uses them as mutation targets.
+ */
+enum class TlpAnomaly : std::uint8_t
+{
+    None = 0,
+    /** Payload presence contradicts the fmt data bit (e.g. a
+     * ThreeDwNoData TLP arriving with payload bytes attached). */
+    PayloadFmtMismatch,
+    /** Header format impossible for the type (data-bearing MRd,
+     * no-data MWr, 4-DW completion/config, 3-DW message). */
+    FmtForType,
+    /** Addressed request with zero length. */
+    LengthZero,
+    /** Length beyond kMaxTlpLengthBytes (the 1024-DW-wrap class). */
+    LengthOverflow,
+    /** Real payload size disagrees with the header length field. */
+    LengthMismatch,
+    /** 4-DW header carrying a 32-bit address, or a 3-DW header with
+     * an address that needs 64 bits. */
+    AddrWidthMismatch,
+};
+
+/** Human-readable anomaly name (stable; used in corpus headers). */
+const char *tlpAnomalyName(TlpAnomaly anomaly);
+
+/**
  * One simulated TLP. A "burst" TLP (payloadBytes > kMaxPayloadBytes)
  * stands for ceil(payloadBytes / kMaxPayloadBytes) wire packets.
  */
@@ -151,11 +190,24 @@ struct Tlp
     std::uint32_t
     unitCount() const
     {
-        std::uint32_t payload = hasData() ? payloadBytes() : 0;
+        // 64-bit ceil-divide: a hostile lengthBytes near UINT32_MAX
+        // must not wrap to a unit count of 0 (fuzzer finding; see
+        // tests/attack/corpus/malformed-length-wrap.tlp).
+        std::uint64_t payload = hasData() ? payloadBytes() : 0;
         if (payload <= kMaxPayloadBytes)
             return 1;
-        return (payload + kMaxPayloadBytes - 1) / kMaxPayloadBytes;
+        return static_cast<std::uint32_t>(
+            (payload + kMaxPayloadBytes - 1) / kMaxPayloadBytes);
     }
+
+    /**
+     * Structural header validation. TLPs built by the make*
+     * constructors always return None; raw TLPs from a hostile
+     * endpoint may not. The Packet Filter consults this before its
+     * rule walk and maps any defect to A1 (see
+     * sc::PacketFilter::classifyEx).
+     */
+    TlpAnomaly headerAnomaly() const;
 
     /** Serialize header fields for integrity binding (AAD). */
     Bytes serializeHeader() const;

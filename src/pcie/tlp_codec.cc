@@ -1,0 +1,133 @@
+#include "tlp_codec.hh"
+
+#include <cstring>
+
+#include "common/bytes_util.hh"
+
+namespace ccai::pcie
+{
+
+namespace
+{
+
+constexpr std::uint8_t kMagic[4] = {'C', 'T', 'L', 'P'};
+
+constexpr std::uint8_t kFlagSynthetic = 1 << 0;
+constexpr std::uint8_t kFlagEncrypted = 1 << 1;
+constexpr std::uint8_t kFlagAckRequired = 1 << 2;
+constexpr std::uint8_t kFlagMask =
+    kFlagSynthetic | kFlagEncrypted | kFlagAckRequired;
+
+bool
+validCplStatus(std::uint8_t v)
+{
+    return v == static_cast<std::uint8_t>(
+                    CplStatus::SuccessfulCompletion) ||
+           v == static_cast<std::uint8_t>(
+                    CplStatus::UnsupportedRequest) ||
+           v == static_cast<std::uint8_t>(CplStatus::CompleterAbort);
+}
+
+} // namespace
+
+Bytes
+encodeTlp(const Tlp &tlp)
+{
+    const std::size_t tagLen = tlp.integrityTag.size();
+    const std::size_t dataLen = tlp.synthetic ? 0 : tlp.data.size();
+    Bytes out(kTlpCodecHeaderBytes + tagLen + dataLen, 0);
+
+    std::memcpy(out.data(), kMagic, sizeof(kMagic));
+    out[4] = kTlpCodecVersion;
+    out[5] = static_cast<std::uint8_t>(tlp.fmt);
+    out[6] = static_cast<std::uint8_t>(tlp.type);
+    out[7] = static_cast<std::uint8_t>(tlp.cplStatus);
+    out[8] = static_cast<std::uint8_t>(tlp.msgCode);
+    out[9] = tlp.tag;
+    out[10] = (tlp.synthetic ? kFlagSynthetic : 0) |
+              (tlp.encrypted ? kFlagEncrypted : 0) |
+              (tlp.ackRequired ? kFlagAckRequired : 0);
+    out[11] = 0;
+    out[12] = static_cast<std::uint8_t>(tlp.requester.raw() >> 8);
+    out[13] = static_cast<std::uint8_t>(tlp.requester.raw());
+    out[14] = static_cast<std::uint8_t>(tlp.completer.raw() >> 8);
+    out[15] = static_cast<std::uint8_t>(tlp.completer.raw());
+    storeBe64(out.data() + 16, tlp.address);
+    storeBe32(out.data() + 24, tlp.lengthBytes);
+    storeBe64(out.data() + 28, tlp.seqNo);
+    storeBe64(out.data() + 36, tlp.authTagId);
+    out[44] = static_cast<std::uint8_t>(tlp.txChannel >> 8);
+    out[45] = static_cast<std::uint8_t>(tlp.txChannel);
+    out[46] = static_cast<std::uint8_t>(tagLen >> 8);
+    out[47] = static_cast<std::uint8_t>(tagLen);
+    storeBe32(out.data() + 48, static_cast<std::uint32_t>(dataLen));
+
+    std::uint8_t *p = out.data() + kTlpCodecHeaderBytes;
+    if (tagLen) {
+        std::memcpy(p, tlp.integrityTag.data(), tagLen);
+        p += tagLen;
+    }
+    if (dataLen)
+        std::memcpy(p, tlp.data.data(), dataLen);
+    return out;
+}
+
+std::optional<Tlp>
+decodeTlp(const Bytes &raw)
+{
+    if (raw.size() < kTlpCodecHeaderBytes)
+        return std::nullopt;
+    if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0)
+        return std::nullopt;
+    if (raw[4] != kTlpCodecVersion)
+        return std::nullopt;
+    if (raw[5] > static_cast<std::uint8_t>(TlpFmt::FourDwData))
+        return std::nullopt;
+    if (raw[6] > static_cast<std::uint8_t>(TlpType::Message))
+        return std::nullopt;
+    if (!validCplStatus(raw[7]))
+        return std::nullopt;
+    if (raw[8] > static_cast<std::uint8_t>(MsgCode::TransportAck))
+        return std::nullopt;
+    if (raw[10] & ~kFlagMask)
+        return std::nullopt;
+    if (raw[11] != 0)
+        return std::nullopt;
+
+    const std::uint64_t tagLen =
+        (std::uint64_t(raw[46]) << 8) | raw[47];
+    const std::uint64_t dataLen = loadBe32(raw.data() + 48);
+    // Exact-size match, computed in 64 bits so a hostile length pair
+    // cannot wrap the sum.
+    if (raw.size() != kTlpCodecHeaderBytes + tagLen + dataLen)
+        return std::nullopt;
+    if ((raw[10] & kFlagSynthetic) && dataLen != 0)
+        return std::nullopt;
+
+    Tlp tlp;
+    tlp.fmt = static_cast<TlpFmt>(raw[5]);
+    tlp.type = static_cast<TlpType>(raw[6]);
+    tlp.cplStatus = static_cast<CplStatus>(raw[7]);
+    tlp.msgCode = static_cast<MsgCode>(raw[8]);
+    tlp.tag = raw[9];
+    tlp.synthetic = raw[10] & kFlagSynthetic;
+    tlp.encrypted = raw[10] & kFlagEncrypted;
+    tlp.ackRequired = raw[10] & kFlagAckRequired;
+    tlp.requester =
+        Bdf::fromRaw((std::uint16_t(raw[12]) << 8) | raw[13]);
+    tlp.completer =
+        Bdf::fromRaw((std::uint16_t(raw[14]) << 8) | raw[15]);
+    tlp.address = loadBe64(raw.data() + 16);
+    tlp.lengthBytes = loadBe32(raw.data() + 24);
+    tlp.seqNo = loadBe64(raw.data() + 28);
+    tlp.authTagId = loadBe64(raw.data() + 36);
+    tlp.txChannel = (std::uint16_t(raw[44]) << 8) | raw[45];
+
+    const std::uint8_t *p = raw.data() + kTlpCodecHeaderBytes;
+    tlp.integrityTag.assign(p, p + tagLen);
+    p += tagLen;
+    tlp.data.assign(p, p + dataLen);
+    return tlp;
+}
+
+} // namespace ccai::pcie

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Canonical byte encoding for Tlp — the substrate the adversarial
+ * fuzzer mutates (attack::TlpFuzzer) and the format of the regression
+ * corpus under tests/attack/corpus/.
+ *
+ * This is NOT the PCIe wire format (serializeHeader() stays the
+ * authoritative 32-byte AAD for integrity binding); it is a strict,
+ * self-describing container chosen so that:
+ *
+ *  - encodeTlp(decodeTlp(b)) == b whenever decodeTlp(b) succeeds
+ *    (every byte is either a field image or a checked constant), and
+ *  - decodeTlp never crashes on arbitrary bytes: it either returns a
+ *    self-consistent Tlp or nullopt.
+ *
+ * Layout (all multi-byte fields big-endian):
+ *
+ *   off len field
+ *     0   4 magic "CTLP"
+ *     4   1 version (1)
+ *     5   1 fmt          (<= 3)
+ *     6   1 type         (<= 5)
+ *     7   1 cplStatus    (0, 1 or 4)
+ *     8   1 msgCode      (<= 3)
+ *     9   1 tag
+ *    10   1 flags: bit0 synthetic, bit1 encrypted, bit2 ackRequired
+ *    11   1 reserved (0)
+ *    12   2 requester (Bdf::raw)
+ *    14   2 completer (Bdf::raw)
+ *    16   8 address
+ *    24   4 lengthBytes
+ *    28   8 seqNo
+ *    36   8 authTagId
+ *    44   2 txChannel
+ *    46   2 integrityTag size
+ *    48   4 data size
+ *    52   . integrityTag bytes, then data bytes
+ */
+
+#ifndef CCAI_PCIE_TLP_CODEC_HH
+#define CCAI_PCIE_TLP_CODEC_HH
+
+#include <optional>
+
+#include "pcie/tlp.hh"
+
+namespace ccai::pcie
+{
+
+/** Fixed header size of the encoded form. */
+constexpr std::size_t kTlpCodecHeaderBytes = 52;
+
+/** Encoded-form version accepted by decodeTlp. */
+constexpr std::uint8_t kTlpCodecVersion = 1;
+
+/**
+ * Serialize to the canonical byte form. A synthetic TLP encodes a
+ * data size of 0 (its payload is length-only), so synthetic TLPs
+ * that also carry real bytes are not representable — the make*
+ * constructors never produce such a TLP.
+ */
+Bytes encodeTlp(const Tlp &tlp);
+
+/**
+ * Strict parse of the canonical byte form. Returns nullopt on any
+ * defect of the container itself: short/oversized buffer, bad magic
+ * or version, out-of-range enum, nonzero reserved bits, or a
+ * synthetic TLP carrying data bytes. A successfully decoded Tlp may
+ * still be semantically hostile (headerAnomaly() != None) — the
+ * codec validates the container, the filter validates the packet.
+ */
+std::optional<Tlp> decodeTlp(const Bytes &raw);
+
+} // namespace ccai::pcie
+
+#endif // CCAI_PCIE_TLP_CODEC_HH

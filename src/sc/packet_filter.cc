@@ -67,29 +67,40 @@ PacketFilter::rebuildBoundaries()
     boundaries_.erase(
         std::unique(boundaries_.begin(), boundaries_.end()),
         boundaries_.end());
-    // The interval index must fit the 16-bit key field; a policy
-    // with >32k address-bearing rules would overflow it, so fall
-    // back to an always-miss TLB rather than alias intervals.
-    if (boundaries_.size() >= 0xffff)
+    // Both interval ordinals must fit their 8-bit key fields; a
+    // policy with hundreds of address-bearing rules falls back to an
+    // always-miss TLB rather than alias intervals.
+    if (boundaries_.size() > 0xfe)
         boundaries_.clear();
 }
 
 std::uint64_t
 PacketFilter::tlbKey(const pcie::Tlp &tlp) const
 {
-    // Classification consults only type, requester, completer,
-    // msgCode, and the address — and between two consecutive rule
-    // boundaries the address cannot change which rules match, so
-    // the interval ordinal stands in for the address.
-    auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
-                               tlp.address);
-    auto interval = static_cast<std::uint64_t>(
-        it - boundaries_.begin());
+    // For a well-formed TLP, classification consults only type,
+    // requester, completer, msgCode, and the span [address, address
+    // + extent) — and between two consecutive rule boundaries an
+    // address cannot change which rules match, so the interval
+    // ordinals of the request's first and last byte stand in for
+    // them. The last-byte ordinal makes boundary-straddling probes
+    // (start inside a window, run past its end) distinguishable
+    // from in-window traffic with the same start interval.
+    auto ordinal = [&](Addr a) {
+        auto it = std::upper_bound(boundaries_.begin(),
+                                   boundaries_.end(), a);
+        return static_cast<std::uint64_t>(it - boundaries_.begin());
+    };
+    const std::uint64_t extent = requestExtent(tlp);
+    // Saturate: a span wrapping the top of the address space still
+    // needs a deterministic key (it matches no window either way).
+    const Addr last = tlp.address > ~Addr(0) - (extent - 1)
+                          ? ~Addr(0)
+                          : tlp.address + extent - 1;
     return (static_cast<std::uint64_t>(tlp.type) << 56) |
            (static_cast<std::uint64_t>(tlp.msgCode) << 48) |
            (static_cast<std::uint64_t>(tlp.requester.raw()) << 32) |
            (static_cast<std::uint64_t>(tlp.completer.raw()) << 16) |
-           interval;
+           (ordinal(tlp.address) << 8) | ordinal(last);
 }
 
 size_t
@@ -100,32 +111,83 @@ PacketFilter::tlbIndex(std::uint64_t key)
     return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> 58);
 }
 
+namespace
+{
+
+BlockReason
+reasonForAnomaly(pcie::TlpAnomaly anomaly)
+{
+    switch (anomaly) {
+      case pcie::TlpAnomaly::PayloadFmtMismatch:
+        return BlockReason::MalformedPayload;
+      case pcie::TlpAnomaly::FmtForType:
+        return BlockReason::MalformedFmt;
+      case pcie::TlpAnomaly::LengthZero:
+      case pcie::TlpAnomaly::LengthOverflow:
+      case pcie::TlpAnomaly::LengthMismatch:
+        return BlockReason::MalformedLength;
+      case pcie::TlpAnomaly::AddrWidthMismatch:
+        return BlockReason::MalformedAddress;
+      case pcie::TlpAnomaly::None:
+        break;
+    }
+    return BlockReason::None;
+}
+
+} // namespace
+
 SecurityAction
 PacketFilter::classify(const pcie::Tlp &tlp)
+{
+    return classifyEx(tlp).action;
+}
+
+FilterVerdict
+PacketFilter::classifyEx(const pcie::Tlp &tlp)
 {
     classified_.inc();
     unitsClassified_.inc(tlp.unitCount());
 
+    // Structural validation precedes the TLB: the defect lives in
+    // fmt/length/payload fields the key does not cover, and a
+    // malformed packet must never share (or plant) a cached verdict
+    // for its well-formed twin.
+    const pcie::TlpAnomaly anomaly = tlp.headerAnomaly();
+    if (anomaly != pcie::TlpAnomaly::None) {
+        FilterVerdict v;
+        v.action = SecurityAction::A1_Disallow;
+        v.reason = reasonForAnomaly(anomaly);
+        blocked_.inc();
+        blockedByReason_[static_cast<size_t>(v.reason)].inc();
+        return v;
+    }
+
     const std::uint64_t key = tlbKey(tlp);
     TlbEntry &entry = tlb_[tlbIndex(key)];
-    SecurityAction action;
+    FilterVerdict verdict;
     if (entry.valid && entry.generation == generation_ &&
         entry.key == key) {
         tlbHits_.inc();
-        action = entry.action;
+        verdict = entry.verdict;
     } else {
         tlbMisses_.inc();
-        action = tables_.classify(tlp);
-        entry = TlbEntry{key, generation_, action, true};
+        verdict = tables_.classifyEx(tlp);
+        entry = TlbEntry{key, generation_, verdict, true};
     }
-    if (action == SecurityAction::A1_Disallow)
+    if (verdict.action == SecurityAction::A1_Disallow) {
         blocked_.inc();
-    return action;
+        blockedByReason_[static_cast<size_t>(verdict.reason)].inc();
+    }
+    return verdict;
 }
 
 Tick
 PacketFilter::lookupDelay(const pcie::Tlp &tlp) const
 {
+    // Malformed packets die in the header-validation stage of the
+    // L1 pipeline; they never reach L2 or the TLB.
+    if (tlp.headerAnomaly() != pcie::TlpAnomaly::None)
+        return timing_.l1LookupLatency;
     const std::uint64_t key = tlbKey(tlp);
     const TlbEntry &entry = tlb_[tlbIndex(key)];
     if (entry.valid && entry.generation == generation_ &&

@@ -5,14 +5,17 @@
  * encrypted policy updates through a dedicated configuration space.
  *
  * A small direct-mapped rule TLB sits in front of the table walk:
- * classification is a pure function of the TLP's match header
- * (type, requester, completer, msgCode) and of which inter-boundary
- * address interval the target falls into, so steady-state streaming
+ * for a structurally well-formed TLP, classification is a pure
+ * function of the TLP's match header (type, requester, completer,
+ * msgCode) and of which inter-boundary address intervals the
+ * request's first and last byte fall into, so steady-state streaming
  * traffic — thousands of chunk TLPs walking a bounce window covered
  * by one rule span — resolves from the cache instead of re-walking
- * L1+L2 per packet. A generation counter bumped on every table
- * change (install or authenticated config update) guarantees stale
- * entries can never classify a packet under a superseded policy.
+ * L1+L2 per packet. Malformed TLPs are rejected before the probe
+ * (their defects live outside the key). A generation counter bumped
+ * on every table change (install or authenticated config update)
+ * guarantees stale entries can never classify a packet under a
+ * superseded policy.
  */
 
 #ifndef CCAI_SC_PACKET_FILTER_HH
@@ -73,6 +76,17 @@ class PacketFilter
     SecurityAction classify(const pcie::Tlp &tlp);
 
     /**
+     * classify() with the full verdict: action, block reason and
+     * deciding rule indices. Structurally malformed TLPs
+     * (pcie::TlpAnomaly) are rejected here, BEFORE the TLB probe:
+     * malformed-ness lives in fmt/length/payload fields the TLB key
+     * does not cover, so letting such a packet share a cache line
+     * with its well-formed twin would classify it under the twin's
+     * verdict. Rejection never fills the TLB.
+     */
+    FilterVerdict classifyEx(const pcie::Tlp &tlp);
+
+    /**
      * Filter service time for a TLP. The match pipeline inspects
      * headers in parallel with payload streaming, so a burst TLP
      * (payload > 256 B, standing for several wire packets) pays the
@@ -106,6 +120,13 @@ class PacketFilter
     {
         return unitsClassified_.value();
     }
+
+    /** Packets blocked for one specific reason. */
+    std::uint64_t
+    blockedFor(BlockReason reason) const
+    {
+        return blockedByReason_[static_cast<size_t>(reason)].value();
+    }
     /** Monotonic table version; bumped per successful update. */
     std::uint32_t policyGeneration() const { return generation_; }
 
@@ -115,7 +136,7 @@ class PacketFilter
     {
         std::uint64_t key = 0;
         std::uint32_t generation = 0;
-        SecurityAction action = SecurityAction::A1_Disallow;
+        FilterVerdict verdict;
         bool valid = false;
     };
 
@@ -139,6 +160,8 @@ class PacketFilter
     sim::Counter tlbHits_;
     sim::Counter tlbMisses_;
     sim::Counter unitsClassified_;
+    /** Indexed by BlockReason; feeds obs + fuzzer coverage. */
+    std::array<sim::Counter, kBlockReasonCount> blockedByReason_{};
 };
 
 } // namespace ccai::sc

@@ -67,7 +67,13 @@ PcieSc::Handles::Handles(sim::StatGroup &g)
       a2DownCryptTicks(g.histogramHandle("a2_down_crypt_ticks")),
       a2UpCryptTicks(g.histogramHandle("a2_up_crypt_ticks")),
       forwardQueueTicks(g.histogramHandle("forward_queue_ticks"))
-{}
+{
+    for (size_t i = 0; i < kBlockReasonCount; ++i) {
+        blockedByReason[i] = g.counterHandle(
+            std::string("blocked_") +
+            blockReasonName(static_cast<BlockReason>(i)));
+    }
+}
 
 PcieSc::PcieSc(sim::System &sys, std::string name,
                const PcieScConfig &config)
@@ -316,10 +322,13 @@ PcieSc::processDownstreamBound(const TlpPtr &tlp)
 
     s_.downTlps.inc();
     Tick filter_delay = filter_.lookupDelay(*tlp);
-    SecurityAction action = filter_.classify(*tlp);
+    FilterVerdict verdict = filter_.classifyEx(*tlp);
+    SecurityAction action = verdict.action;
 
     if (action == SecurityAction::A1_Disallow) {
         s_.a1Blocked.inc();
+        s_.blockedByReason[static_cast<size_t>(verdict.reason)]
+            .inc();
         if (tlp->type == TlpType::MemRead ||
             tlp->type == TlpType::CfgRead) {
             // Abort the read so the requester does not hang.
@@ -547,10 +556,13 @@ PcieSc::processUpstreamBound(const TlpPtr &tlp)
 {
     s_.upTlps.inc();
     Tick filter_delay = filter_.lookupDelay(*tlp);
-    SecurityAction action = filter_.classify(*tlp);
+    FilterVerdict verdict = filter_.classifyEx(*tlp);
+    SecurityAction action = verdict.action;
 
     if (action == SecurityAction::A1_Disallow) {
         s_.a1Blocked.inc();
+        s_.blockedByReason[static_cast<size_t>(verdict.reason)]
+            .inc();
         if (tlp->type == TlpType::MemRead) {
             auto abort = std::make_shared<Tlp>(Tlp::makeCompletion(
                 pcie::wellknown::kPcieSc, tlp->requester, tlp->tag, {},

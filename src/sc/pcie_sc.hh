@@ -18,6 +18,7 @@
 #ifndef CCAI_SC_PCIE_SC_HH
 #define CCAI_SC_PCIE_SC_HH
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -347,6 +348,15 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
         obs::CounterHandle transportNaksSent;
         obs::CounterHandle transportRetransmits;
         obs::CounterHandle transportTimeoutRetransmits;
+        /**
+         * Per-reason blocked-packet counters, indexed by
+         * BlockReason and exported as blocked_<reason> (the
+         * fuzzer's coverage signal and the EXPERIMENTS.md
+         * blocked-by-reason table). blocked_none never fires; it
+         * exists so the array indexes the enum directly.
+         */
+        std::array<obs::CounterHandle, kBlockReasonCount>
+            blockedByReason;
 
         obs::HistogramHandle a2DownCryptTicks;
         obs::HistogramHandle a2UpCryptTicks;

@@ -41,6 +41,73 @@ accessPermissionName(AccessPermission perm)
     return "?";
 }
 
+std::uint64_t
+requestExtent(const pcie::Tlp &tlp)
+{
+    std::uint64_t bytes = 0;
+    switch (tlp.type) {
+      case pcie::TlpType::MemRead:
+      case pcie::TlpType::CfgRead:
+        bytes = tlp.lengthBytes;
+        break;
+      case pcie::TlpType::MemWrite:
+      case pcie::TlpType::CfgWrite:
+        bytes = tlp.payloadBytes();
+        break;
+      default:
+        break;
+    }
+    return bytes ? bytes : 1;
+}
+
+namespace
+{
+
+/**
+ * Window containment for the WHOLE request, not just its first byte:
+ * a read that starts inside an allowed window but runs past its end
+ * (the boundary-straddle DMA probe) must not match the window rule
+ * and instead falls through to the deny rules. Overflow-safe: the
+ * extent comparison subtracts on the window side.
+ */
+bool
+windowContains(Addr addrLo, Addr addrHi, const pcie::Tlp &tlp)
+{
+    if (tlp.address < addrLo || tlp.address >= addrHi)
+        return false;
+    return requestExtent(tlp) <= addrHi - tlp.address;
+}
+
+} // namespace
+
+const char *
+blockReasonName(BlockReason reason)
+{
+    switch (reason) {
+      case BlockReason::None:
+        return "none";
+      case BlockReason::MalformedPayload:
+        return "malformed_payload";
+      case BlockReason::MalformedFmt:
+        return "malformed_fmt";
+      case BlockReason::MalformedLength:
+        return "malformed_length";
+      case BlockReason::MalformedAddress:
+        return "malformed_address";
+      case BlockReason::L1DenyRule:
+        return "l1_deny_rule";
+      case BlockReason::L1DenyDefault:
+        return "l1_deny_default";
+      case BlockReason::L1NoMatch:
+        return "l1_no_match";
+      case BlockReason::L2DenyRule:
+        return "l2_deny_rule";
+      case BlockReason::L2NoMatch:
+        return "l2_no_match";
+    }
+    return "?";
+}
+
 bool
 L1Rule::matches(const pcie::Tlp &tlp) const
 {
@@ -51,7 +118,7 @@ L1Rule::matches(const pcie::Tlp &tlp) const
     if ((mask & kMatchCompleter) && tlp.completer != completer)
         return false;
     if (mask & kMatchAddress) {
-        if (tlp.address < addrLo || tlp.address >= addrHi)
+        if (!windowContains(addrLo, addrHi, tlp))
             return false;
     }
     return true;
@@ -112,8 +179,12 @@ L2Rule::matches(const pcie::Tlp &tlp) const
           case pcie::TlpType::MemWrite:
           case pcie::TlpType::CfgRead:
           case pcie::TlpType::CfgWrite:
-            if (tlp.address < addrLo || tlp.address >= addrHi)
+            if (registerWindow) {
+                if (tlp.address < addrLo || tlp.address >= addrHi)
+                    return false;
+            } else if (!windowContains(addrLo, addrHi, tlp)) {
                 return false;
+            }
             break;
           default:
             return false;
@@ -139,6 +210,7 @@ L2Rule::serialize() const
     out[24] = static_cast<std::uint8_t>(action);
     out[25] = anyMsgCode ? 1 : 0;
     out[26] = static_cast<std::uint8_t>(msgCode);
+    out[27] = registerWindow ? 1 : 0;
     return out;
 }
 
@@ -160,6 +232,7 @@ L2Rule::deserialize(const Bytes &raw)
     r.action = static_cast<SecurityAction>(raw[24]);
     r.anyMsgCode = raw[25] != 0;
     r.msgCode = static_cast<pcie::MsgCode>(raw[26]);
+    r.registerWindow = raw[27] != 0;
     return r;
 }
 
@@ -173,25 +246,49 @@ RuleTables::clear()
 SecurityAction
 RuleTables::classify(const pcie::Tlp &tlp) const
 {
+    return classifyEx(tlp).action;
+}
+
+FilterVerdict
+RuleTables::classifyEx(const pcie::Tlp &tlp) const
+{
+    FilterVerdict v;
+
     // L1: masked access control, first match wins, default deny.
     bool to_l2 = false;
-    for (const L1Rule &rule : l1_) {
-        if (rule.matches(tlp)) {
-            if (rule.verdict == L1Verdict::ExecuteA1)
-                return SecurityAction::A1_Disallow;
-            to_l2 = true;
-            break;
+    for (size_t i = 0; i < l1_.size(); ++i) {
+        if (!l1_[i].matches(tlp))
+            continue;
+        v.l1Index = static_cast<std::uint16_t>(i);
+        if (l1_[i].verdict == L1Verdict::ExecuteA1) {
+            v.action = SecurityAction::A1_Disallow;
+            v.reason = l1_[i].mask == 0 ? BlockReason::L1DenyDefault
+                                        : BlockReason::L1DenyRule;
+            return v;
         }
+        to_l2 = true;
+        break;
     }
-    if (!to_l2)
-        return SecurityAction::A1_Disallow;
+    if (!to_l2) {
+        v.action = SecurityAction::A1_Disallow;
+        v.reason = BlockReason::L1NoMatch;
+        return v;
+    }
 
     // L2: permission classification, first match wins, default deny.
-    for (const L2Rule &rule : l2_) {
-        if (rule.matches(tlp))
-            return rule.action;
+    for (size_t i = 0; i < l2_.size(); ++i) {
+        if (!l2_[i].matches(tlp))
+            continue;
+        v.l2Index = static_cast<std::uint16_t>(i);
+        v.action = l2_[i].action;
+        v.reason = v.action == SecurityAction::A1_Disallow
+                       ? BlockReason::L2DenyRule
+                       : BlockReason::None;
+        return v;
     }
-    return SecurityAction::A1_Disallow;
+    v.action = SecurityAction::A1_Disallow;
+    v.reason = BlockReason::L2NoMatch;
+    return v;
 }
 
 Bytes
@@ -268,7 +365,8 @@ defaultPolicy(const std::vector<pcie::Bdf> &tvms, pcie::Bdf xpu,
 
     // ---- L2: permission classes for the authorized packets ----
     auto l2 = [&](TlpType type, std::optional<pcie::Bdf> req,
-                  pcie::AddrRange range, SecurityAction action) {
+                  pcie::AddrRange range, SecurityAction action,
+                  bool registerWindow = false) {
         L2Rule r;
         r.type = type;
         r.anyRequester = !req.has_value();
@@ -277,6 +375,7 @@ defaultPolicy(const std::vector<pcie::Bdf> &tvms, pcie::Bdf xpu,
         r.anyCompleter = true;
         r.addrLo = range.base;
         r.addrHi = range.size ? range.base + range.size : 0;
+        r.registerWindow = registerWindow;
         r.action = action;
         t.addL2(r);
     };
@@ -285,19 +384,23 @@ defaultPolicy(const std::vector<pcie::Bdf> &tvms, pcie::Bdf xpu,
         // TVM -> PCIe-SC configuration (encrypted policies + keys).
         l2(TlpType::MemWrite, tvm, mm::kScRuleTable,
            SecurityAction::A2_CryptIntegrity);
+        // The SC's own BAR is a register file: batched chunk-record
+        // registrations stream 64 KiB through the kParamWindow
+        // offset, so these windows match on start address only.
         l2(TlpType::MemWrite, tvm, mm::kScMmio,
-           SecurityAction::A3_PlainIntegrity);
+           SecurityAction::A3_PlainIntegrity, true);
         l2(TlpType::MemRead, tvm, mm::kScMmio,
-           SecurityAction::A4_Transparent);
+           SecurityAction::A4_Transparent, true);
         l2(TlpType::MemRead, tvm, mm::kScRuleTable,
            SecurityAction::A1_Disallow);
 
         // TVM -> xPU MMIO: commands are Write Protected, status
-        // reads are Full Accessible.
+        // reads are Full Accessible. Register-file semantics, as
+        // for the SC's own BAR.
         l2(TlpType::MemWrite, tvm, mm::kXpuMmio,
-           SecurityAction::A3_PlainIntegrity);
+           SecurityAction::A3_PlainIntegrity, true);
         l2(TlpType::MemRead, tvm, mm::kXpuMmio,
-           SecurityAction::A4_Transparent);
+           SecurityAction::A4_Transparent, true);
 
         // TVM -> xPU VRAM aperture: direct writes carry sensitive
         // data (Write-Read Protected); direct reads would leak

@@ -80,6 +80,19 @@ struct L2Rule
      */
     bool anyMsgCode = true;
     pcie::MsgCode msgCode = pcie::MsgCode::MsiInterrupt;
+    /**
+     * Register-window semantics: match on the start address alone.
+     * MMIO register files (the PCIe-SC's own BAR, the xPU command
+     * space) stream arbitrarily long payloads through one register
+     * address — a batched chunk-record write is 64 KiB at the
+     * kParamWindow offset — so span containment is meaningless
+     * there. DMA windows (bounce/metadata/VRAM/host DRAM) leave
+     * this false and get full-extent containment: a request that
+     * starts inside the window but runs past its end matches
+     * nothing and falls through to the deny default (the
+     * boundary-straddle probe, see attack::HostileEndpoint).
+     */
+    bool registerWindow = false;
     SecurityAction action = SecurityAction::A1_Disallow;
 
     bool matches(const pcie::Tlp &tlp) const;
@@ -89,6 +102,37 @@ struct L2Rule
 
 /** Serialized rule size (paper: 32 bytes per policy). */
 constexpr size_t kRuleBytes = 32;
+
+/** "No rule" marker for FilterVerdict rule indices. */
+constexpr std::uint16_t kNoRuleIndex = 0xffff;
+
+/**
+ * Full classification outcome: the action plus why and which rules
+ * decided it. The reason taxonomy feeds the per-reason blocked
+ * counters (obs) and the fuzzer's coverage signal; the rule indices
+ * make two verdicts distinguishable even when action and reason
+ * coincide.
+ */
+struct FilterVerdict
+{
+    SecurityAction action = SecurityAction::A1_Disallow;
+    BlockReason reason = BlockReason::None;
+    std::uint16_t l1Index = kNoRuleIndex; ///< matching L1 rule
+    std::uint16_t l2Index = kNoRuleIndex; ///< matching L2 rule
+
+    bool
+    blocked() const
+    {
+        return action == SecurityAction::A1_Disallow;
+    }
+};
+
+/**
+ * Bytes a request touches past tlp.address: the span the address-
+ * window comparison must contain. At least 1 so zero-length probes
+ * still need their start address inside a window.
+ */
+std::uint64_t requestExtent(const pcie::Tlp &tlp);
 
 /**
  * The two tables plus the lookup that drives the Packet Filter.
@@ -104,6 +148,14 @@ class RuleTables
 
     /** Full classification: L1 then L2. */
     SecurityAction classify(const pcie::Tlp &tlp) const;
+
+    /**
+     * classify() plus the why: which table/rule decided, and the
+     * BlockReason for denies. Structural (malformed-header) reasons
+     * are the PacketFilter's job — this walk assumes a well-formed
+     * TLP and reports rule-table outcomes only.
+     */
+    FilterVerdict classifyEx(const pcie::Tlp &tlp) const;
 
     size_t l1Size() const { return l1_.size(); }
     size_t l2Size() const { return l2_.size(); }

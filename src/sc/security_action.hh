@@ -8,6 +8,7 @@
 #ifndef CCAI_SC_SECURITY_ACTION_HH
 #define CCAI_SC_SECURITY_ACTION_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ccai::sc
@@ -76,6 +77,39 @@ permissionFor(SecurityAction action)
 
 const char *securityActionName(SecurityAction action);
 const char *accessPermissionName(AccessPermission perm);
+
+/**
+ * Why a packet was (or was not) blocked — the verdict-reason
+ * taxonomy behind the per-reason blocked-packet counters and the
+ * fuzzer's coverage signal. Reasons other than None imply
+ * SecurityAction::A1_Disallow; None accompanies A2-A4.
+ */
+enum class BlockReason : std::uint8_t
+{
+    None = 0,
+    /** Structural header defect (see pcie::TlpAnomaly). */
+    MalformedPayload,  ///< payload/fmt contradiction
+    MalformedFmt,      ///< header format illegal for the type
+    MalformedLength,   ///< zero, wrapped, or mismatched length
+    MalformedAddress,  ///< address width disagrees with header size
+    /** An L1 rule with real match bits fired ExecuteA1. */
+    L1DenyRule,
+    /** Fell through to the L1 catch-all (mask == 0) deny rule. */
+    L1DenyDefault,
+    /** No L1 rule matched at all: implicit deny. */
+    L1NoMatch,
+    /** An L2 rule assigned A1_Disallow. */
+    L2DenyRule,
+    /** L1 authorized the packet but no L2 rule covered it. */
+    L2NoMatch,
+};
+
+/** Number of BlockReason values (sizing per-reason counter arrays). */
+constexpr std::size_t kBlockReasonCount =
+    static_cast<std::size_t>(BlockReason::L2NoMatch) + 1;
+
+/** Stable snake_case reason name (metric keys, corpus headers). */
+const char *blockReasonName(BlockReason reason);
 
 } // namespace ccai::sc
 

@@ -1,78 +1,77 @@
 #!/usr/bin/env python3
-"""Gate bench_pipeline_parallel results against a checked-in baseline.
+"""Gate bench results against a checked-in baseline.
 
 Usage:
-    check_perf.py BENCH_pipeline.json baseline.json [--tolerance PCT]
+    check_perf.py BENCH.json baseline.json [--tolerance PCT] [--floor PCT]
 
-Compares the deterministic sim-time columns of the current run's
-sweep against the baseline, width by width (widths present in the
-baseline but missing from the current run are an error; extra widths
-in the current run are ignored, so a full sweep can be checked
-against a --quick baseline):
+The bench kind is dispatched on the "workload" field of the two JSON
+files (which must match):
 
-  - sim_seconds          (sequential bit-exactness phase)
-  - pipeline_sim_seconds (depth-K pipelined phase)
+fig8-llama2-transfer-mix (bench_pipeline_parallel)
+    Compares the deterministic sim-time columns of the current run's
+    sweep against the baseline, width by width (widths present in the
+    baseline but missing from the current run are an error; extra
+    widths in the current run are ignored, so a full sweep can be
+    checked against a --quick baseline):
 
-A width regresses when its current time exceeds the baseline by more
-than the tolerance (default 15%). Sim time is analytic and seeded,
-so on an unchanged tree the comparison is exact; the tolerance only
-absorbs intentional model drift in future changes. Improvements are
-reported but never fail the gate — refresh the baseline by copying
-the new BENCH_pipeline.json over it when a speedup should become the
-new floor.
+      - sim_seconds          (sequential bit-exactness phase)
+      - pipeline_sim_seconds (depth-K pipelined phase)
 
-Exits non-zero listing every regressed cell.
+    A width regresses when its current time exceeds the baseline by
+    more than the tolerance (default 15%). Sim time is analytic and
+    seeded, so on an unchanged tree the comparison is exact; the
+    tolerance only absorbs intentional model drift in future changes.
+
+metric "serve_fleet" (bench_serve_fleet)
+    Three gates, per tenant count present in the baseline:
+
+      1. speedup_10k >= 10.0 in the CURRENT run: the timer-wheel
+         event kernel must dispatch the 10k-tenant mix at least 10x
+         faster (wall clock) than the legacy binary-heap kernel.
+      2. Determinism: issued / completed / slo_misses /
+         events_dispatched / sim_seconds in the serve sweep must
+         match the baseline exactly. These are seeded sim outputs —
+         any drift means the event core reordered something.
+      3. Throughput floor: wheel_events_per_sec (kernel gate) and
+         events_per_sec (serve sweep) must stay above --floor
+         percent of the baseline (default 40%, because wall-clock
+         throughput is noisy on shared CI runners).
+
+Improvements are reported but never fail the gate — refresh the
+baseline by copying the new bench JSON over it when a speedup should
+become the new floor. Exits non-zero listing every regressed cell.
 """
 
 import json
 import sys
 
 
-def load_sweep(path):
+def load_bench(path):
     with open(path) as f:
-        bench = json.load(f)
-    if bench.get("workload") != "fig8-llama2-transfer-mix":
-        raise ValueError(
-            f"{path}: workload is {bench.get('workload')!r}, "
-            "expected 'fig8-llama2-transfer-mix'"
-        )
-    rows = bench.get("sweep", [])
-    if not rows:
-        raise ValueError(f"{path}: no sweep rows")
-    return {row["crypto_threads"]: row for row in rows}
+        return json.load(f)
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    tolerance = 0.15
-    for a in argv[1:]:
-        if a.startswith("--tolerance"):
-            tolerance = float(a.split("=", 1)[1]) / 100.0
-    if len(args) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
+def check_pipeline(current, baseline, tolerance, _floor):
+    def sweep(bench, path):
+        rows = bench.get("sweep", [])
+        if not rows:
+            raise ValueError(f"{path}: no sweep rows")
+        return {row["crypto_threads"]: row for row in rows}
 
-    try:
-        current = load_sweep(args[0])
-        baseline = load_sweep(args[1])
-    except (ValueError, KeyError, OSError, json.JSONDecodeError) as e:
-        print(f"FAIL: {e}", file=sys.stderr)
-        return 1
+    cur_rows = sweep(current, "current")
+    base_rows = sweep(baseline, "baseline")
 
     regressions = []
     print(
         f"{'width':>5} {'phase':>10} {'baseline ms':>12} "
         f"{'current ms':>12} {'delta':>8}"
     )
-    for width, base_row in sorted(baseline.items()):
-        cur_row = current.get(width)
+    for width, base_row in sorted(base_rows.items()):
+        cur_row = cur_rows.get(width)
         if cur_row is None:
-            print(
-                f"FAIL: width {width} in baseline but missing from "
-                "current run",
-                file=sys.stderr,
+            raise ValueError(
+                f"width {width} in baseline but missing from current run"
             )
-            return 1
         for key, phase in (
             ("sim_seconds", "sequential"),
             ("pipeline_sim_seconds", "pipelined"),
@@ -90,15 +89,138 @@ def main(argv):
                     f"baseline {base * 1e3:.3f} ms "
                     f"(+{delta * 100:.1f}% > {tolerance * 100:.0f}%)"
                 )
+    if not regressions:
+        print(
+            f"perf ok: {len(base_rows)} widths within "
+            f"{tolerance * 100:.0f}% of baseline"
+        )
+    return regressions
+
+
+SERVE_EXACT = (
+    "issued",
+    "completed",
+    "slo_misses",
+    "events_dispatched",
+    "sim_seconds",
+)
+
+
+def check_serve(current, baseline, _tolerance, floor):
+    regressions = []
+
+    speedup = current.get("speedup_10k", 0.0)
+    print(f"speedup_10k: {speedup:.1f}x (gate: >= 10.0x)")
+    if speedup < 10.0:
+        regressions.append(
+            f"speedup_10k {speedup:.2f}x below the 10x kernel gate"
+        )
+
+    def by_tenants(bench, key, path):
+        rows = bench.get(key, [])
+        if not rows:
+            raise ValueError(f"{path}: no {key!r} rows")
+        return {row["tenants"]: row for row in rows}
+
+    # Kernel-gate throughput floor.
+    cur_gate = by_tenants(current, "kernel_gate", "current")
+    base_gate = by_tenants(baseline, "kernel_gate", "baseline")
+    for tenants, base_row in sorted(base_gate.items()):
+        cur_row = cur_gate.get(tenants)
+        if cur_row is None:
+            raise ValueError(
+                f"kernel_gate tenants={tenants} missing from current run"
+            )
+        base = base_row["wheel_events_per_sec"]
+        cur = cur_row["wheel_events_per_sec"]
+        print(
+            f"kernel {tenants:>6} tenants: wheel {cur / 1e6:8.2f} Mev/s "
+            f"(baseline {base / 1e6:.2f}, floor {floor * 100:.0f}%)"
+        )
+        if cur < base * floor:
+            regressions.append(
+                f"kernel_gate tenants={tenants}: wheel events/sec "
+                f"{cur:.0f} below {floor * 100:.0f}% of baseline "
+                f"{base:.0f}"
+            )
+
+    # Serve sweep: exact determinism columns + throughput floor.
+    cur_serve = by_tenants(current, "serve", "current")
+    base_serve = by_tenants(baseline, "serve", "baseline")
+    for tenants, base_row in sorted(base_serve.items()):
+        cur_row = cur_serve.get(tenants)
+        if cur_row is None:
+            raise ValueError(
+                f"serve tenants={tenants} missing from current run"
+            )
+        for key in SERVE_EXACT:
+            if cur_row[key] != base_row[key]:
+                regressions.append(
+                    f"serve tenants={tenants}: {key} drifted "
+                    f"({cur_row[key]!r} != baseline {base_row[key]!r}) "
+                    "— deterministic sim output changed"
+                )
+        base = base_row["events_per_sec"]
+        cur = cur_row["events_per_sec"]
+        print(
+            f"serve  {tenants:>6} tenants: {cur / 1e6:8.2f} Mev/s "
+            f"(baseline {base / 1e6:.2f}), issued {cur_row['issued']}, "
+            f"misses {cur_row['slo_misses']}"
+        )
+        if cur < base * floor:
+            regressions.append(
+                f"serve tenants={tenants}: events/sec {cur:.0f} below "
+                f"{floor * 100:.0f}% of baseline {base:.0f}"
+            )
+
+    if not regressions:
+        print(
+            f"perf ok: serve gate passed for {len(base_serve)} tenant "
+            f"counts (speedup_10k {speedup:.1f}x)"
+        )
+    return regressions
+
+
+CHECKERS = {
+    "fig8-llama2-transfer-mix": check_pipeline,
+    "serve_fleet": check_serve,
+}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tolerance = 0.15
+    floor = 0.40
+    for a in argv[1:]:
+        if a.startswith("--tolerance"):
+            tolerance = float(a.split("=", 1)[1]) / 100.0
+        elif a.startswith("--floor"):
+            floor = float(a.split("=", 1)[1]) / 100.0
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        current = load_bench(args[0])
+        baseline = load_bench(args[1])
+        workload = baseline.get("workload")
+        if current.get("workload") != workload:
+            raise ValueError(
+                f"workload mismatch: current {current.get('workload')!r} "
+                f"vs baseline {workload!r}"
+            )
+        checker = CHECKERS.get(workload)
+        if checker is None:
+            raise ValueError(f"unknown workload {workload!r}")
+        regressions = checker(current, baseline, tolerance, floor)
+    except (ValueError, KeyError, OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
 
     if regressions:
         for r in regressions:
             print(f"FAIL: {r}", file=sys.stderr)
         return 1
-    print(
-        f"perf ok: {len(baseline)} widths within "
-        f"{tolerance * 100:.0f}% of baseline"
-    )
     return 0
 
 

@@ -5,6 +5,7 @@ Usage:
     validate_obs.py METRICS_JSON SCHEMA_JSON [TRACE_JSON]
     validate_obs.py --bench BENCH_recovery.json
     validate_obs.py --bench-pipeline BENCH_pipeline.json
+    validate_obs.py --bench-serve BENCH_serve.json
 
 Checks (default mode):
   1. METRICS_JSON parses and validates against SCHEMA_JSON. Uses the
@@ -23,6 +24,15 @@ Checks (--bench-pipeline mode, for bench_pipeline_parallel output):
   sequential digests bit-identical across widths, ring-occupancy and
   queue-wait histograms internally consistent, and the pipeline
   speedup gate (>= 6x at 8 threads when both widths are present).
+
+Checks (--bench-serve mode, for bench_serve_fleet output):
+  schema_version 2, every kernel-gate row dispatched events through
+  both kernels with the wheel dispatching strictly fewer (the legacy
+  heap pays for stale no-op cancellations; the wheel deschedules
+  them), the >= 10x wall-clock speedup gate at the largest tenant
+  count, and every serve row internally consistent: completions do
+  not exceed issues, SLO misses do not exceed issues, and the
+  TTFT / end-to-end percentiles are monotonically ordered.
 
 Checks (--bench mode, for bench_recovery output):
   The watchdog-tax gate holds (overhead_pct < target_pct with probe
@@ -306,7 +316,91 @@ def check_bench_pipeline(bench_path):
     )
 
 
+def check_bench_serve(bench_path):
+    with open(bench_path) as f:
+        bench = json.load(f)
+    if bench.get("schema_version") != 2:
+        raise ValueError(
+            f"bench: schema_version is "
+            f"{bench.get('schema_version')!r}, expected 2"
+        )
+    if bench.get("workload") != "serve_fleet":
+        raise ValueError(
+            f"bench: workload is {bench.get('workload')!r}, "
+            "expected 'serve_fleet'"
+        )
+
+    gate_rows = bench.get("kernel_gate", [])
+    if not gate_rows:
+        raise ValueError("bench: no kernel_gate rows recorded")
+    for row in gate_rows:
+        label = f"bench kernel_gate[{row.get('tenants', '?')}]"
+        if row["legacy_dispatched"] <= 0 or row["wheel_dispatched"] <= 0:
+            raise ValueError(f"{label}: a kernel dispatched nothing")
+        if row["wheel_dispatched"] >= row["legacy_dispatched"]:
+            raise ValueError(
+                f"{label}: wheel dispatched "
+                f"{row['wheel_dispatched']} >= legacy "
+                f"{row['legacy_dispatched']} — O(1) deschedule is "
+                "not eliding the stale no-op dispatches"
+            )
+        if row["speedup"] <= 0:
+            raise ValueError(f"{label}: non-positive speedup")
+    speedup = bench.get("speedup_10k", 0.0)
+    if speedup < 10.0:
+        raise ValueError(
+            f"bench: speedup_10k {speedup:.2f}x < 10.00x — the "
+            "timer-wheel kernel gate failed"
+        )
+
+    serve_rows = bench.get("serve", [])
+    if not serve_rows:
+        raise ValueError("bench: no serve rows recorded")
+    for row in serve_rows:
+        label = f"bench serve[{row.get('tenants', '?')}]"
+        if row["issued"] <= 0:
+            raise ValueError(f"{label}: no requests issued")
+        if row["completed"] > row["issued"]:
+            raise ValueError(
+                f"{label}: completed {row['completed']} > issued "
+                f"{row['issued']}"
+            )
+        if row["slo_misses"] > row["issued"]:
+            raise ValueError(
+                f"{label}: slo_misses {row['slo_misses']} > issued "
+                f"{row['issued']}"
+            )
+        if row["events_dispatched"] <= 0:
+            raise ValueError(f"{label}: no events dispatched")
+        for prefix in ("ttft", "e2e"):
+            p50 = row[f"{prefix}_p50_s"]
+            p95 = row[f"{prefix}_p95_s"]
+            p99 = row[f"{prefix}_p99_s"]
+            if not 0 <= p50 <= p95 <= p99:
+                raise ValueError(
+                    f"{label}: {prefix} percentiles out of order "
+                    f"(p50={p50} p95={p95} p99={p99})"
+                )
+    print(
+        f"bench ok: speedup_10k {speedup:.1f}x (>= 10x), "
+        f"{len(gate_rows)} kernel-gate rows, {len(serve_rows)} serve "
+        f"rows, {sum(r['issued'] for r in serve_rows)} requests"
+    )
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--bench-serve":
+        try:
+            check_bench_serve(argv[2])
+        except (
+            ValueError,
+            KeyError,
+            OSError,
+            json.JSONDecodeError,
+        ) as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
+        return 0
     if len(argv) == 3 and argv[1] == "--bench-pipeline":
         try:
             check_bench_pipeline(argv[2])

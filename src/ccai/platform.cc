@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "crypto/worker_pool.hh"
 #include "obs/json.hh"
+#include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
 namespace ccai
@@ -669,10 +670,34 @@ Platform::exportMetricsJson(bool includeWall)
     std::ostringstream os;
     obs::JsonEmitter json(os);
     json.beginObject();
-    json.field("schema_version", 2);
+    json.field("schema_version", 3);
     json.field("seed", effectiveSeed_);
     json.field("sim_now_ticks", sys_.now());
     json.field("secure", config_.secure);
+
+    // Event-core rollup from the timer-wheel kernel. Deterministic:
+    // schedule/dispatch/cancel counts depend only on the seeded sim,
+    // never on wall clock, so the section lives outside "wall".
+    {
+        const sim::EventQueue::Stats eq = sys_.eventq().snapshotStats();
+        json.key("event_core");
+        json.beginObject();
+        json.field("scheduled", eq.scheduled);
+        json.field("dispatched", eq.dispatched);
+        json.field("cancelled", eq.cancelled);
+        json.field("cascades", eq.cascades);
+        json.field("pending", eq.pending);
+        json.field("max_pending", eq.maxPending);
+        json.field("overflow_high_watermark", eq.overflowHwm);
+        json.field("one_shot_capacity", eq.oneShotCapacity);
+        json.field("one_shot_live", eq.oneShotLive);
+        json.key("level_high_watermarks");
+        json.beginArray();
+        for (std::uint64_t hwm : eq.levelHwm)
+            json.value(hwm);
+        json.endArray();
+        json.endObject();
+    }
 
     json.key("groups");
     sys_.metrics().writeJson(json, /*withBuckets=*/false);

@@ -135,6 +135,9 @@ RecoveryManager::RecoveryManager(sim::System &sys, std::string name,
       s_(stats_),
       tracer_(&sys.tracer())
 {
+    beatTimer_.setCallback([this] { beat(); }, "recovery-beat");
+    probeTimer_.setCallback([this] { evaluateProbeRound(); },
+                            "recovery-probe-deadline");
 }
 
 void
@@ -152,7 +155,6 @@ RecoveryManager::startWatchdog(Tick horizon)
     horizon_ = std::max(horizon_, horizon);
     if (!watchdogArmed_) {
         watchdogArmed_ = true;
-        ++watchdogGen_;
         scheduleBeat();
     }
 }
@@ -161,19 +163,18 @@ void
 RecoveryManager::stopWatchdog()
 {
     watchdogArmed_ = false;
-    ++watchdogGen_;
-    ++probeGen_; // cancels any pending probe-round evaluation
+    if (beatTimer_.scheduled())
+        eventq().deschedule(&beatTimer_);
+    ++probeGen_; // cancels in-flight probe hook callbacks
+    if (probeTimer_.scheduled())
+        eventq().deschedule(&probeTimer_);
     probeInFlight_ = false;
 }
 
 void
 RecoveryManager::scheduleBeat()
 {
-    const std::uint64_t gen = watchdogGen_;
-    eventq().scheduleIn(config_.heartbeatPeriod, [this, gen] {
-        if (gen == watchdogGen_)
-            beat();
-    });
+    eventq().rescheduleIn(&beatTimer_, config_.heartbeatPeriod);
 }
 
 bool
@@ -254,10 +255,7 @@ RecoveryManager::startProbeRound(bool fromOpTimeout)
         round_.xpuOk = true;
     }
 
-    eventq().scheduleIn(config_.probeDeadline, [this, gen] {
-        if (gen == probeGen_)
-            evaluateProbeRound();
-    });
+    eventq().rescheduleIn(&probeTimer_, config_.probeDeadline);
 }
 
 void
@@ -663,6 +661,7 @@ RecoveryManager::issueHead(std::uint32_t slot)
 
     const std::uint64_t id = op.id;
     const int attempt = op.attempts;
+    const Tick deadline = opDeadline(op);
     if (op.kind == GuardedOp::Kind::RoundTrip) {
         if (hooks_.issueRoundTrip) {
             hooks_.issueRoundTrip(
@@ -681,9 +680,24 @@ RecoveryManager::issueHead(std::uint32_t slot)
                                });
         }
     }
-    eventq().scheduleIn(opDeadline(op), [this, slot, id, attempt] {
-        onOpDeadline(slot, id, attempt);
-    });
+    armOpDeadline(slot, id, attempt, deadline);
+}
+
+void
+RecoveryManager::armOpDeadline(std::uint32_t slot, std::uint64_t id,
+                               int attempt, Tick deadline)
+{
+    TenantRec &tenant = tenants_[slot];
+    if (!tenant.opTimer)
+        tenant.opTimer = std::make_unique<sim::EventFunctionWrapper>(
+            [this, slot] {
+                TenantRec &t = tenants_[slot];
+                onOpDeadline(slot, t.opTimerId, t.opTimerAttempt);
+            },
+            "recovery-op-deadline");
+    tenant.opTimerId = id;
+    tenant.opTimerAttempt = attempt;
+    eventq().rescheduleIn(tenant.opTimer.get(), deadline);
 }
 
 void
@@ -701,6 +715,8 @@ RecoveryManager::onOpComplete(std::uint32_t slot, std::uint64_t id,
         s_.opStaleCompletions.inc();
         return;
     }
+    if (tenant.opTimer && tenant.opTimer->scheduled())
+        eventq().deschedule(tenant.opTimer.get());
     GuardedOp op = std::move(tenant.ops.front());
     tenant.ops.pop_front();
     auto submitted = opSubmitTick_.find(id);
@@ -750,6 +766,8 @@ void
 RecoveryManager::failAllOps(std::uint32_t slot)
 {
     TenantRec &tenant = tenants_[slot];
+    if (tenant.opTimer && tenant.opTimer->scheduled())
+        eventq().deschedule(tenant.opTimer.get());
     while (!tenant.ops.empty()) {
         GuardedOp op = std::move(tenant.ops.front());
         tenant.ops.pop_front();
@@ -793,8 +811,11 @@ void
 RecoveryManager::reset()
 {
     watchdogArmed_ = false;
-    ++watchdogGen_;
+    if (beatTimer_.scheduled())
+        eventq().deschedule(&beatTimer_);
     ++probeGen_;
+    if (probeTimer_.scheduled())
+        eventq().deschedule(&probeTimer_);
     probeInFlight_ = false;
     suspectRounds_ = 0;
     suspectAt_ = 0;
@@ -815,6 +836,8 @@ RecoveryManager::reset()
         tenant.quarantined = false;
         tenant.replayEpisodes = 0;
         tenant.ops.clear();
+        if (tenant.opTimer && tenant.opTimer->scheduled())
+            eventq().deschedule(tenant.opTimer.get());
     }
     quarantinedBdfs_.clear();
     opSubmitTick_.clear();

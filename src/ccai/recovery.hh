@@ -26,6 +26,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -303,6 +304,12 @@ class RecoveryManager : public sim::SimObject
         bool quarantined = false;
         std::uint32_t replayEpisodes = 0;
         std::deque<GuardedOp> ops; ///< serialized per tenant
+        /** Owned deadline timer for the in-flight head op; the
+         * (id, attempt) it was armed for live beside it so a fired
+         * deadline can still detect a superseded op. */
+        std::unique_ptr<sim::EventFunctionWrapper> opTimer;
+        std::uint64_t opTimerId = 0;
+        int opTimerAttempt = 0;
     };
 
     struct ProbeRound
@@ -329,6 +336,8 @@ class RecoveryManager : public sim::SimObject
 
     std::uint64_t submitOp(std::uint32_t slot, GuardedOp op);
     void issueHead(std::uint32_t slot);
+    void armOpDeadline(std::uint32_t slot, std::uint64_t id,
+                       int attempt, Tick deadline);
     void onOpComplete(std::uint32_t slot, std::uint64_t id,
                       int attempt, Bytes readback);
     void onOpDeadline(std::uint32_t slot, std::uint64_t id,
@@ -350,11 +359,15 @@ class RecoveryManager : public sim::SimObject
     Tick stateSince_ = 0;
 
     bool watchdogArmed_ = false;
-    std::uint64_t watchdogGen_ = 0;
+    /** Owned heartbeat timer, re-armed in place each beat. */
+    sim::EventFunctionWrapper beatTimer_;
     Tick horizon_ = 0;
 
     bool probeInFlight_ = false;
+    /** Guards in-flight probe hook callbacks (not queue events). */
     std::uint64_t probeGen_ = 0;
+    /** Owned probe-round evaluation deadline. */
+    sim::EventFunctionWrapper probeTimer_;
     ProbeRound round_;
     int suspectRounds_ = 0;
     Tick suspectAt_ = 0;

@@ -63,59 +63,64 @@ RootComplex::sendRead(Tlp tlp, CplCallback cb)
     OutstandingRead entry;
     entry.cb = std::move(cb);
     entry.request = req;
-    entry.gen = nextReadGen_++;
     entry.issued = curTick();
-    std::uint64_t gen = entry.gen;
     outstanding_[tag] = std::move(entry);
 
     s_.readsSent.inc();
     down_->send(req);
     if (retry_.enabled)
-        armReadTimer(tag, gen);
+        armReadTimer(tag);
 }
 
 void
-RootComplex::armReadTimer(std::uint8_t tag, std::uint64_t gen)
+RootComplex::armReadTimer(std::uint8_t tag)
 {
     auto it = outstanding_.find(tag);
     if (it == outstanding_.end())
         return;
-    Tick timeout =
-        retry_.timeoutFor(retry_.readTimeout, it->second.attempts);
-    // The queue has no cancellation: the timer captures (tag, gen)
-    // and no-ops when the read completed or the tag was reused.
-    eventq().scheduleIn(timeout, [this, tag, gen] {
-        auto it = outstanding_.find(tag);
-        if (it == outstanding_.end() || it->second.gen != gen)
-            return;
-        OutstandingRead &o = it->second;
-        if (o.attempts >= retry_.maxReadRetries) {
-            // Budget exhausted: fabricate an abort completion so
-            // the caller's state machine can fail instead of hang.
-            CplCallback cb = std::move(o.cb);
-            TlpPtr req = o.request;
-            outstanding_.erase(it);
-            s_.readRetryExhausted.inc();
-            s_.faultsFatal.inc();
-            warnRateLimited(
-                "rc-read-exhausted",
-                "root complex: read tag %d addr 0x%llx exhausted "
-                "its retry budget",
-                int(req->tag),
-                (unsigned long long)req->address);
-            auto cpl = std::make_shared<Tlp>(Tlp::makeCompletion(
-                req->completer, req->requester, req->tag, {},
-                CplStatus::CompleterAbort));
-            cb(cpl);
-            return;
-        }
-        ++o.attempts;
-        s_.readRetries.inc();
-        if (tracer_->enabled())
-            tracer_->instant(traceTrack(), "read.retry", curTick());
-        down_->send(o.request);
-        armReadTimer(tag, gen);
-    });
+    OutstandingRead &o = it->second;
+    if (!o.timer)
+        o.timer = std::make_unique<sim::EventFunctionWrapper>(
+            [this, tag] { onReadTimeout(tag); }, "rc-read-timeout");
+    Tick timeout = retry_.timeoutFor(retry_.readTimeout, o.attempts);
+    eventq().rescheduleIn(o.timer.get(), timeout);
+}
+
+void
+RootComplex::onReadTimeout(std::uint8_t tag)
+{
+    auto it = outstanding_.find(tag);
+    if (it == outstanding_.end())
+        return;
+    OutstandingRead &o = it->second;
+    if (o.attempts >= retry_.maxReadRetries) {
+        // Budget exhausted: fabricate an abort completion so the
+        // caller's state machine can fail instead of hang. Erasing
+        // the entry destroys the timer event executing right now, so
+        // everything needed afterwards is moved out first.
+        CplCallback cb = std::move(o.cb);
+        TlpPtr req = o.request;
+        outstanding_.erase(it);
+        s_.readRetryExhausted.inc();
+        s_.faultsFatal.inc();
+        warnRateLimited(
+            "rc-read-exhausted",
+            "root complex: read tag %d addr 0x%llx exhausted "
+            "its retry budget",
+            int(req->tag),
+            (unsigned long long)req->address);
+        auto cpl = std::make_shared<Tlp>(Tlp::makeCompletion(
+            req->completer, req->requester, req->tag, {},
+            CplStatus::CompleterAbort));
+        cb(cpl);
+        return;
+    }
+    ++o.attempts;
+    s_.readRetries.inc();
+    if (tracer_->enabled())
+        tracer_->instant(traceTrack(), "read.retry", curTick());
+    down_->send(o.request);
+    armReadTimer(tag);
 }
 
 void

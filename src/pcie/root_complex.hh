@@ -12,11 +12,13 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "obs/trace.hh"
 #include "pcie/host_memory.hh"
 #include "pcie/link.hh"
 #include "pcie/transport.hh"
+#include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
 namespace ccai::pcie
@@ -131,13 +133,16 @@ class RootComplex : public sim::SimObject, public PcieNode
         CplCallback cb;
         TlpPtr request; ///< retransmit copy (same tag)
         int attempts = 0;
-        std::uint64_t gen = 0; ///< guards against stale timers
-        Tick issued = 0;       ///< for the read-latency histogram
+        Tick issued = 0; ///< for the read-latency histogram
+        /** Owned deadline timer: descheduled in O(1) when the entry
+         * is erased, so completed reads leave nothing queued. */
+        std::unique_ptr<sim::EventFunctionWrapper> timer;
     };
 
     std::uint8_t allocTag();
     void handleInboundRequest(const TlpPtr &tlp);
-    void armReadTimer(std::uint8_t tag, std::uint64_t gen);
+    void armReadTimer(std::uint8_t tag);
+    void onReadTimeout(std::uint8_t tag);
     /** In-order delivery gate for ackRequired TLPs; true = deliver. */
     bool transportGate(const TlpPtr &tlp);
     void sendAck(std::uint16_t channel, std::uint64_t seq, bool nak);
@@ -146,7 +151,6 @@ class RootComplex : public sim::SimObject, public PcieNode
     Link *down_ = nullptr;
     std::map<std::uint8_t, OutstandingRead> outstanding_;
     std::uint8_t nextTag_ = 0;
-    std::uint64_t nextReadGen_ = 1;
     MsgCallback msgHandler_;
     std::map<std::uint16_t, MsgCallback> msgHandlers_;
     std::map<std::uint16_t, TransportAckCallback> transportHandlers_;

@@ -248,9 +248,9 @@ PcieSc::firmwareRestart()
     if (!hung_)
         return;
     hung_ = false;
-    // Rebooted firmware has no transport or pending-read state; the
-    // stale generation-counter timers all no-op against the cleared
-    // maps. Sessions survive (their keys live in battery-backed
+    // Rebooted firmware has no transport or pending-read state;
+    // clearing the maps destroys the owned deadline/ack timers, which
+    // deschedule themselves. Sessions survive (their keys live in battery-backed
     // SRAM in this model) so the recovery flow's endTask() still
     // performs the uniform key-destruction + scrub teardown.
     pendingSensitiveReads_.clear();
@@ -1071,11 +1071,13 @@ PcieSc::handleUpstreamAck(const pcie::TransportAck &ack)
     if (tx.dirty)
         s_.faultsRecovered.inc(popped);
     tx.attempts = 0;
-    ++tx.timerGen; // retire the running timer chain
-    if (tx.unacked.empty())
+    if (tx.unacked.empty()) {
         tx.dirty = false;
-    else
+        if (tx.timer.scheduled())
+            eventq().deschedule(&tx.timer);
+    } else {
         armUpTxTimer(ack.channel);
+    }
 }
 
 void
@@ -1108,41 +1110,47 @@ void
 PcieSc::armUpTxTimer(std::uint16_t channel)
 {
     TxChannel &tx = upTx_[channel];
-    std::uint64_t gen = ++tx.timerGen;
+    if (!tx.timerInit) {
+        tx.timer.setCallback([this, channel] { onUpTxTimeout(channel); },
+                             "sc-uptx-timeout");
+        tx.timerInit = true;
+    }
     Tick timeout =
         config_.retry.timeoutFor(config_.retry.ackTimeout, tx.attempts);
-    // The queue has no cancellation: the timer captures (channel,
-    // gen) and no-ops once the window advanced or was abandoned.
-    eventq().scheduleIn(timeout, [this, channel, gen] {
-        auto it = upTx_.find(channel);
-        if (it == upTx_.end())
-            return;
-        TxChannel &tx = it->second;
-        if (tx.timerGen != gen || tx.unacked.empty())
-            return;
-        if (tx.attempts >= config_.retry.maxRetries) {
-            s_.faultsFatal.inc(tx.unacked.size());
-            warnRateLimited(
-                "sc-uptx-exhausted",
-                "%s: upstream channel %u exhausted its retry budget "
-                "(%zu packets abandoned)",
-                name().c_str(), unsigned(channel),
-                tx.unacked.size());
-            tx.unacked.clear();
-            tx.attempts = 0;
-            tx.dirty = false;
-            return;
-        }
-        ++tx.attempts;
-        tx.dirty = true;
-        s_.transportTimeoutRetransmits.inc();
-        if (tracer_->enabled())
-            tracer_->instant(traceTrack(), "arq.up_timeout_retx",
-                             curTick());
-        for (const auto &p : tx.unacked)
-            forward(p, true, 0);
-        armUpTxTimer(channel);
-    });
+    eventq().rescheduleIn(&tx.timer, timeout);
+}
+
+void
+PcieSc::onUpTxTimeout(std::uint16_t channel)
+{
+    auto it = upTx_.find(channel);
+    if (it == upTx_.end())
+        return;
+    TxChannel &tx = it->second;
+    if (tx.unacked.empty())
+        return;
+    if (tx.attempts >= config_.retry.maxRetries) {
+        s_.faultsFatal.inc(tx.unacked.size());
+        warnRateLimited(
+            "sc-uptx-exhausted",
+            "%s: upstream channel %u exhausted its retry budget "
+            "(%zu packets abandoned)",
+            name().c_str(), unsigned(channel),
+            tx.unacked.size());
+        tx.unacked.clear();
+        tx.attempts = 0;
+        tx.dirty = false;
+        return;
+    }
+    ++tx.attempts;
+    tx.dirty = true;
+    s_.transportTimeoutRetransmits.inc();
+    if (tracer_->enabled())
+        tracer_->instant(traceTrack(), "arq.up_timeout_retx",
+                         curTick());
+    for (const auto &p : tx.unacked)
+        forward(p, true, 0);
+    armUpTxTimer(channel);
 }
 
 void
@@ -1151,39 +1159,47 @@ PcieSc::armSensitiveReadTimer(std::uint8_t tag)
     auto it = pendingSensitiveReads_.find(tag);
     if (it == pendingSensitiveReads_.end() || !it->second.request)
         return;
-    it->second.gen = pendingGen_++;
-    std::uint64_t gen = it->second.gen;
-    Tick timeout = config_.retry.timeoutFor(config_.retry.readTimeout,
-                                            it->second.attempts);
-    eventq().scheduleIn(timeout, [this, tag, gen] {
-        auto it = pendingSensitiveReads_.find(tag);
-        if (it == pendingSensitiveReads_.end() ||
-            it->second.gen != gen)
-            return;
-        PendingRead &p = it->second;
-        if (p.attempts >= config_.retry.maxReadRetries) {
-            s_.faultsFatal.inc();
-            warnRateLimited(
-                "sc-read-exhausted",
-                "%s: sensitive read tag %d addr 0x%llx exhausted "
-                "its retry budget",
-                name().c_str(), int(tag),
-                (unsigned long long)p.addr);
-            auto abort = std::make_shared<Tlp>(Tlp::makeCompletion(
-                pcie::wellknown::kPcieSc, p.request->requester, tag,
-                {}, pcie::CplStatus::CompleterAbort));
-            recentCompleted_.insert(tag);
-            pendingSensitiveReads_.erase(it);
-            forward(abort, false, 0);
-            return;
-        }
-        ++p.attempts;
-        s_.a2ReadRetries.inc();
-        if (tracer_->enabled())
-            tracer_->instant(traceTrack(), "read.retry", curTick());
-        forward(std::make_shared<Tlp>(*p.request), true, 0);
-        armSensitiveReadTimer(tag);
-    });
+    PendingRead &p = it->second;
+    if (!p.timer)
+        p.timer = std::make_unique<sim::EventFunctionWrapper>(
+            [this, tag] { onSensitiveReadDeadline(tag); },
+            "sc-read-deadline");
+    Tick timeout =
+        config_.retry.timeoutFor(config_.retry.readTimeout, p.attempts);
+    eventq().rescheduleIn(p.timer.get(), timeout);
+}
+
+void
+PcieSc::onSensitiveReadDeadline(std::uint8_t tag)
+{
+    auto it = pendingSensitiveReads_.find(tag);
+    if (it == pendingSensitiveReads_.end())
+        return;
+    PendingRead &p = it->second;
+    if (p.attempts >= config_.retry.maxReadRetries) {
+        s_.faultsFatal.inc();
+        warnRateLimited(
+            "sc-read-exhausted",
+            "%s: sensitive read tag %d addr 0x%llx exhausted "
+            "its retry budget",
+            name().c_str(), int(tag),
+            (unsigned long long)p.addr);
+        auto abort = std::make_shared<Tlp>(Tlp::makeCompletion(
+            pcie::wellknown::kPcieSc, p.request->requester, tag,
+            {}, pcie::CplStatus::CompleterAbort));
+        recentCompleted_.insert(tag);
+        // Erasing the map entry destroys the timer event that is
+        // executing right now — nothing below may touch `p`.
+        pendingSensitiveReads_.erase(it);
+        forward(abort, false, 0);
+        return;
+    }
+    ++p.attempts;
+    s_.a2ReadRetries.inc();
+    if (tracer_->enabled())
+        tracer_->instant(traceTrack(), "read.retry", curTick());
+    forward(std::make_shared<Tlp>(*p.request), true, 0);
+    armSensitiveReadTimer(tag);
 }
 
 void

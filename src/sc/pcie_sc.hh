@@ -32,6 +32,7 @@
 #include "sc/engines.hh"
 #include "sc/env_guard.hh"
 #include "sc/packet_filter.hh"
+#include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "trust/key_manager.hh"
 
@@ -203,7 +204,9 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
         std::uint16_t tenant = 0;
         pcie::TlpPtr request; ///< re-request copy (retry enabled)
         int attempts = 0;
-        std::uint64_t gen = 0; ///< guards against stale timers
+        /** Owned deadline timer: descheduled in O(1) when the entry
+         * is erased, so completed reads leave nothing queued. */
+        std::unique_ptr<sim::EventFunctionWrapper> timer;
     };
 
     /** Upstream ARQ sender state, one channel per tenant. */
@@ -213,7 +216,9 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
         std::deque<pcie::TlpPtr> unacked;
         int attempts = 0;       ///< consecutive ack timeouts
         bool dirty = false;     ///< a retransmission is in flight
-        std::uint64_t timerGen = 0;
+        /** Owned ack timer, re-armed in place (no allocation). */
+        sim::EventFunctionWrapper timer;
+        bool timerInit = false;
         Tick lastGoBack = 0;    ///< NAK retransmit rate limiting
     };
 
@@ -255,7 +260,9 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
     void handleUpstreamAck(const pcie::TransportAck &ack);
     void retransmitUpTx(std::uint16_t channel, std::uint64_t fromSeq);
     void armUpTxTimer(std::uint16_t channel);
+    void onUpTxTimeout(std::uint16_t channel);
     void armSensitiveReadTimer(std::uint8_t tag);
+    void onSensitiveReadDeadline(std::uint8_t tag);
 
     PcieScConfig config_;
     PacketFilter filter_;
@@ -280,7 +287,6 @@ class PcieSc : public sim::SimObject, public pcie::PcieNode
      * decrypted copy and feed ciphertext to the device.
      */
     std::set<std::uint8_t> recentCompleted_;
-    std::uint64_t pendingGen_ = 1;
 
     /** Upstream ARQ channels, keyed by tenant requester ID. */
     std::map<std::uint16_t, TxChannel> upTx_;

@@ -1,0 +1,297 @@
+#include "load_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ccai::serve
+{
+
+namespace
+{
+
+/** Nearest-rank percentile of an unsorted sample set. */
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    double rank = p / 100.0 * static_cast<double>(values.size());
+    std::size_t idx = rank <= 1.0
+                          ? 0
+                          : static_cast<std::size_t>(
+                                std::ceil(rank)) -
+                                1;
+    if (idx >= values.size())
+        idx = values.size() - 1;
+    return values[idx];
+}
+
+} // namespace
+
+LoadGenerator::Handles::Handles(sim::StatGroup &g)
+    : issued(g.counterHandle("requests_issued")),
+      completed(g.counterHandle("requests_completed")),
+      sloMisses(g.counterHandle("slo_misses")),
+      ttftTicks(g.histogramHandle("ttft_ticks")),
+      e2eTicks(g.histogramHandle("e2e_ticks"))
+{}
+
+LoadGenerator::LoadGenerator(sim::System &sys, std::string name,
+                             const ServeConfig &config)
+    : sim::SimObject(sys, std::move(name)), config_(config),
+      stats_(sys.metrics(), this->name()), s_(stats_)
+{
+    if (config_.fleet.empty())
+        config_.fleet.push_back(xpu::XpuSpec::a100());
+    if (config_.tenants == 0)
+        panic("serve: tenant count must be positive");
+
+    const double perTenantRate =
+        config_.profile.aggregateRatePerSec /
+        static_cast<double>(config_.tenants);
+
+    devices_.reserve(config_.fleet.size());
+    for (std::size_t d = 0; d < config_.fleet.size(); ++d) {
+        auto dev = std::make_unique<DeviceState>();
+        dev->spec = config_.fleet[d];
+        dev->stepTimer.setCallback(
+            [this, d] {
+                onDeviceStep(static_cast<std::uint32_t>(d));
+            },
+            "serve-device-step");
+        devices_.push_back(std::move(dev));
+    }
+
+    tenants_.reserve(config_.tenants);
+    for (std::uint32_t i = 0; i < config_.tenants; ++i) {
+        ArrivalProcess arrivals =
+            config_.profile.traceGaps.empty()
+                ? ArrivalProcess::poisson(perTenantRate)
+                : ArrivalProcess::trace(config_.profile.traceGaps);
+        std::uint64_t seed =
+            config_.seed ^
+            sim::seedHash(this->name() + "/tenant/" +
+                          std::to_string(i));
+        auto t = std::make_unique<TenantState>(seed,
+                                               std::move(arrivals));
+        t->device = i % static_cast<std::uint32_t>(devices_.size());
+        t->arrivalTimer.setCallback([this, i] { onArrival(i); },
+                                    "serve-arrival");
+        t->deadlineTimer.setCallback([this, i] { onDeadline(i); },
+                                     "serve-slo-deadline");
+        tenants_.push_back(std::move(t));
+    }
+}
+
+void
+LoadGenerator::start()
+{
+    for (auto &t : tenants_) {
+        Tick gap = t->arrivals.nextGap(t->rng);
+        if (curTick() + gap < config_.horizon)
+            eventq().rescheduleIn(&t->arrivalTimer, gap);
+    }
+}
+
+Tick
+LoadGenerator::secureScaled(Tick t) const
+{
+    if (!config_.secure)
+        return t;
+    return static_cast<Tick>(static_cast<double>(t) *
+                             config_.secureComputeOverhead);
+}
+
+Tick
+LoadGenerator::prefillTicks(const DeviceState &dev) const
+{
+    const llm::ModelSpec &m = config_.model;
+    double flops = 2.0 * static_cast<double>(m.params) *
+                   config_.profile.promptTokens;
+    double seconds = flops / (dev.spec.fp16Tflops * 1e12 *
+                              dev.spec.computeEfficiency);
+    Tick t = secondsToTicks(seconds) + dev.spec.kernelLaunchOverhead;
+    t = secureScaled(t);
+    if (config_.secure)
+        t += config_.secureSetupTicks;
+    return t;
+}
+
+Tick
+LoadGenerator::decodeStepTicks(const DeviceState &dev,
+                               std::uint32_t seqLen) const
+{
+    const llm::ModelSpec &m = config_.model;
+    double bw = dev.spec.memBwGBs * 1e9 *
+                dev.spec.bandwidthEfficiency;
+    double bytes = static_cast<double>(m.weightBytes()) +
+                   static_cast<double>(m.kvBytesPerToken()) *
+                       static_cast<double>(seqLen);
+    double bwSeconds = bytes / bw;
+    double flops = 2.0 * static_cast<double>(m.params);
+    double computeSeconds = flops / (dev.spec.fp16Tflops * 1e12 *
+                                     dev.spec.computeEfficiency);
+    Tick t = secondsToTicks(std::max(bwSeconds, computeSeconds)) +
+             dev.spec.kernelLaunchOverhead;
+    return secureScaled(t);
+}
+
+void
+LoadGenerator::onArrival(std::uint32_t tenant)
+{
+    TenantState &t = *tenants_[tenant];
+    if (curTick() >= config_.horizon)
+        return;
+
+    Request req;
+    req.tenant = tenant;
+    req.arrival = curTick();
+    DeviceState &dev = *devices_[t.device];
+    dev.queue.push_back(req);
+    ++t.issued;
+    ++t.outstanding;
+    ++issued_;
+    s_.issued.inc();
+    if (!dev.busy)
+        startNext(t.device);
+
+    // The most recent request must complete within the deadline; a
+    // completion that empties the tenant's outstanding set disarms
+    // the timer in O(1).
+    eventq().rescheduleIn(&t.deadlineTimer,
+                          config_.profile.sloDeadline);
+
+    if (t.arrivals.done())
+        return;
+    if (config_.maxRequestsPerTenant != 0 &&
+        t.issued >= config_.maxRequestsPerTenant)
+        return;
+    Tick gap = t.arrivals.nextGap(t.rng);
+    if (curTick() + gap < config_.horizon)
+        eventq().rescheduleIn(&t.arrivalTimer, gap);
+}
+
+void
+LoadGenerator::onDeadline(std::uint32_t tenant)
+{
+    TenantState &t = *tenants_[tenant];
+    if (t.outstanding == 0)
+        return;
+    ++sloMisses_;
+    s_.sloMisses.inc();
+}
+
+void
+LoadGenerator::startNext(std::uint32_t device)
+{
+    DeviceState &dev = *devices_[device];
+    if (dev.queue.empty()) {
+        dev.busy = false;
+        return;
+    }
+    dev.busy = true;
+    dev.active = dev.queue.front();
+    dev.queue.pop_front();
+    dev.prefilling = true;
+    eventq().rescheduleIn(&dev.stepTimer, prefillTicks(dev));
+}
+
+void
+LoadGenerator::onDeviceStep(std::uint32_t device)
+{
+    DeviceState &dev = *devices_[device];
+    Request &req = dev.active;
+
+    if (dev.prefilling) {
+        dev.prefilling = false;
+        req.ttftTick = curTick();
+        double ttft = ticksToSeconds(curTick() - req.arrival);
+        ttftSeconds_.push_back(ttft);
+        s_.ttftTicks.sample(curTick() - req.arrival);
+        eventq().rescheduleIn(
+            &dev.stepTimer,
+            decodeStepTicks(dev, config_.profile.promptTokens));
+        return;
+    }
+
+    ++req.stepsDone;
+    if (req.stepsDone < config_.profile.genTokens) {
+        eventq().rescheduleIn(
+            &dev.stepTimer,
+            decodeStepTicks(dev, config_.profile.promptTokens +
+                                     req.stepsDone));
+        return;
+    }
+
+    // Request complete.
+    Tick e2eTicksV = curTick() - req.arrival;
+    double e2e = ticksToSeconds(e2eTicksV);
+    e2eSeconds_.push_back(e2e);
+    s_.e2eTicks.sample(e2eTicksV);
+    double decodeSeconds = ticksToSeconds(curTick() - req.ttftTick);
+    tpsValues_.push_back(decodeSeconds > 0
+                             ? config_.profile.genTokens /
+                                   decodeSeconds
+                             : 0.0);
+    ++completed_;
+    s_.completed.inc();
+
+    TenantState &t = *tenants_[req.tenant];
+    ccai_assert(t.outstanding > 0);
+    --t.outstanding;
+    if (t.outstanding == 0 && t.deadlineTimer.scheduled())
+        eventq().deschedule(&t.deadlineTimer);
+
+    startNext(device);
+}
+
+ServeReport
+LoadGenerator::report() const
+{
+    ServeReport r;
+    r.issued = issued_;
+    r.completed = completed_;
+    r.sloMisses = sloMisses_;
+    r.simSeconds = ticksToSeconds(curTick());
+    r.ttftP50 = percentile(ttftSeconds_, 50.0);
+    r.ttftP95 = percentile(ttftSeconds_, 95.0);
+    r.ttftP99 = percentile(ttftSeconds_, 99.0);
+    r.tpsP50 = percentile(tpsValues_, 50.0);
+    r.tpsP5 = percentile(tpsValues_, 5.0);
+    r.e2eP50 = percentile(e2eSeconds_, 50.0);
+    r.e2eP95 = percentile(e2eSeconds_, 95.0);
+    r.e2eP99 = percentile(e2eSeconds_, 99.0);
+    return r;
+}
+
+void
+LoadGenerator::reset()
+{
+    for (auto &t : tenants_) {
+        if (t->arrivalTimer.scheduled())
+            eventq().deschedule(&t->arrivalTimer);
+        if (t->deadlineTimer.scheduled())
+            eventq().deschedule(&t->deadlineTimer);
+        t->issued = 0;
+        t->outstanding = 0;
+        t->rng = sim::Rng(t->seed);
+        t->arrivals.restart();
+    }
+    for (auto &d : devices_) {
+        if (d->stepTimer.scheduled())
+            eventq().deschedule(&d->stepTimer);
+        d->queue.clear();
+        d->busy = false;
+        d->prefilling = false;
+    }
+    issued_ = completed_ = sloMisses_ = 0;
+    ttftSeconds_.clear();
+    tpsValues_.clear();
+    e2eSeconds_.clear();
+    stats_.reset();
+}
+
+} // namespace ccai::serve

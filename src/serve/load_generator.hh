@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Fleet-scale multi-tenant serving simulator: an open-loop load
+ * generator drives secure inference sessions from thousands of
+ * tenants across a heterogeneous xPU fleet and reports SLO
+ * percentiles (TTFT, TPS, end-to-end latency).
+ *
+ * Every tenant owns a Poisson or trace-driven ArrivalProcess fed by
+ * its own Rng stream (derived from one root seed), an owned arrival
+ * timer, and an owned SLO-deadline timer that is re-armed on every
+ * arrival and descheduled on completion — the deschedule/reschedule
+ * churn pattern the hierarchical timer wheel makes O(1). Devices
+ * model prefill and per-token decode with the same roofline formulas
+ * as llm::InferenceEngine, scaled by a secure-mode overhead factor,
+ * so the SLO numbers line up with the single-request benchmarks.
+ */
+
+#ifndef CCAI_SERVE_LOAD_GENERATOR_HH
+#define CCAI_SERVE_LOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llm/model_spec.hh"
+#include "serve/arrival.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "xpu/xpu_spec.hh"
+
+namespace ccai::serve
+{
+
+/** Workload shape shared by every tenant. */
+struct TenantProfile
+{
+    /** Aggregate offered load (req/s) split evenly over tenants. */
+    double aggregateRatePerSec = 20.0;
+    /** Optional inter-arrival trace (ticks); overrides Poisson. */
+    std::vector<Tick> traceGaps;
+    std::uint32_t promptTokens = 128;
+    std::uint32_t genTokens = 32;
+    /** Per-request completion deadline for the SLO-miss counter. */
+    Tick sloDeadline = 8 * kTicksPerSec;
+};
+
+/** One serving experiment's configuration. */
+struct ServeConfig
+{
+    std::uint32_t tenants = 100;
+    std::uint64_t seed = 1;
+    /** Arrivals stop here; queued work drains afterwards. */
+    Tick horizon = 20 * kTicksPerSec;
+    /** 0 = unbounded until the horizon. */
+    std::uint32_t maxRequestsPerTenant = 0;
+
+    /** Secure sessions: compute inflated by the ccAI data-path
+     * overhead plus a fixed per-request session-setup cost. */
+    bool secure = true;
+    double secureComputeOverhead = 1.12;
+    Tick secureSetupTicks = 150 * kTicksPerUs;
+
+    llm::ModelSpec model = llm::ModelSpec::llama2_7b();
+    /** Fleet devices; tenants are assigned round-robin. */
+    std::vector<xpu::XpuSpec> fleet;
+    TenantProfile profile;
+};
+
+/** Aggregated SLO results of one run (simulated time only). */
+struct ServeReport
+{
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t sloMisses = 0;
+    double simSeconds = 0.0;
+
+    double ttftP50 = 0.0, ttftP95 = 0.0, ttftP99 = 0.0;
+    double tpsP50 = 0.0, tpsP5 = 0.0;
+    double e2eP50 = 0.0, e2eP95 = 0.0, e2eP99 = 0.0;
+};
+
+/**
+ * The load generator. start() arms every tenant's first arrival;
+ * running the event queue to drain then completes all admitted
+ * requests. Identical (config, seed) pairs replay identically.
+ */
+class LoadGenerator : public sim::SimObject
+{
+  public:
+    LoadGenerator(sim::System &sys, std::string name,
+                  const ServeConfig &config);
+
+    /** Schedule every tenant's first arrival. */
+    void start();
+
+    /** Aggregate results (call after the queue drained). */
+    ServeReport report() const;
+
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t completed() const { return completed_; }
+
+    void reset() override;
+
+  private:
+    struct Request
+    {
+        std::uint32_t tenant = 0;
+        Tick arrival = 0;
+        Tick ttftTick = 0; ///< prefill completion (0 = pending)
+        std::uint32_t stepsDone = 0;
+    };
+
+    struct TenantState
+    {
+        sim::Rng rng;
+        std::uint64_t seed; ///< kept so reset() replays the stream
+        ArrivalProcess arrivals;
+        std::uint32_t device = 0;
+        std::uint32_t issued = 0;
+        std::uint32_t outstanding = 0;
+        sim::EventFunctionWrapper arrivalTimer;
+        sim::EventFunctionWrapper deadlineTimer;
+
+        TenantState(std::uint64_t seed_, ArrivalProcess ap)
+            : rng(seed_), seed(seed_), arrivals(std::move(ap))
+        {}
+    };
+
+    struct DeviceState
+    {
+        xpu::XpuSpec spec;
+        std::deque<Request> queue;
+        Request active;
+        bool busy = false;
+        bool prefilling = false;
+        sim::EventFunctionWrapper stepTimer;
+    };
+
+    void onArrival(std::uint32_t tenant);
+    void onDeadline(std::uint32_t tenant);
+    void onDeviceStep(std::uint32_t device);
+    void startNext(std::uint32_t device);
+
+    Tick prefillTicks(const DeviceState &dev) const;
+    Tick decodeStepTicks(const DeviceState &dev,
+                         std::uint32_t seqLen) const;
+    Tick secureScaled(Tick t) const;
+
+    ServeConfig config_;
+    std::vector<std::unique_ptr<TenantState>> tenants_;
+    std::vector<std::unique_ptr<DeviceState>> devices_;
+
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t sloMisses_ = 0;
+    std::vector<double> ttftSeconds_;
+    std::vector<double> tpsValues_;
+    std::vector<double> e2eSeconds_;
+
+    sim::StatGroup stats_;
+    struct Handles
+    {
+        explicit Handles(sim::StatGroup &g);
+        obs::CounterHandle issued;
+        obs::CounterHandle completed;
+        obs::CounterHandle sloMisses;
+        obs::HistogramHandle ttftTicks;
+        obs::HistogramHandle e2eTicks;
+    } s_;
+};
+
+} // namespace ccai::serve
+
+#endif // CCAI_SERVE_LOAD_GENERATOR_HH

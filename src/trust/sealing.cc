@@ -62,13 +62,14 @@ ChassisSealing::start()
     started_ = true;
     pollOnce();
 
-    // Periodic re-poll via a self-rescheduling functor.
-    auto poller = std::make_shared<std::function<void()>>();
-    *poller = [this, poller] {
-        pollOnce();
-        eventq().scheduleIn(pollPeriod_, *poller);
-    };
-    eventq().scheduleIn(pollPeriod_, *poller);
+    // Periodic re-poll via a self-rearming owned timer.
+    pollTimer_.setCallback(
+        [this] {
+            pollOnce();
+            eventq().rescheduleIn(&pollTimer_, pollPeriod_);
+        },
+        "sealing-poll");
+    eventq().rescheduleIn(&pollTimer_, pollPeriod_);
 }
 
 void

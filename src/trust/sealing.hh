@@ -79,6 +79,8 @@ class ChassisSealing : public sim::SimObject
     bool tampered_ = false;
     bool started_ = false;
     Bytes lastDigest_;
+    /** Owned poll timer, re-armed in place each period. */
+    sim::EventFunctionWrapper pollTimer_;
 };
 
 } // namespace ccai::trust

@@ -102,11 +102,12 @@ Adaptor::handleTransportAck(const pcie::TransportAck &ack)
     if (txDirty_)
         s_.faultsRecovered.inc(popped);
     txAttempts_ = 0;
-    ++txTimerGen_; // retire the running timer chain
-    if (txUnacked_.empty())
+    if (txUnacked_.empty()) {
         txDirty_ = false;
-    else
+        retireTxTimer();
+    } else {
         armTxTimer();
+    }
 }
 
 void
@@ -135,36 +136,49 @@ Adaptor::goBackN(std::uint64_t fromSeq)
 void
 Adaptor::armTxTimer()
 {
-    std::uint64_t gen = ++txTimerGen_;
+    if (!txTimerInit_) {
+        txTimer_.setCallback([this] { onTxTimeout(); },
+                             "adaptor-tx-timeout");
+        txTimerInit_ = true;
+    }
     Tick timeout = config_.retry.timeoutFor(config_.retry.ackTimeout,
                                             txAttempts_);
-    // The queue has no cancellation: the timer captures gen and
-    // no-ops once the window advanced or was abandoned.
-    eventq().scheduleIn(timeout, [this, gen] {
-        if (txTimerGen_ != gen || txUnacked_.empty())
-            return;
-        if (txAttempts_ >= config_.retry.maxRetries) {
-            s_.faultsFatal.inc(txUnacked_.size());
-            warnRateLimited(
-                "adaptor-tx-exhausted",
-                "%s: %zu transported writes exhausted the retry "
-                "budget",
-                name().c_str(), txUnacked_.size());
-            txUnacked_.clear();
-            txAttempts_ = 0;
-            txDirty_ = false;
-            return;
-        }
-        ++txAttempts_;
-        txDirty_ = true;
-        s_.transportTimeoutRetransmits.inc();
-        if (tracer_->enabled())
-            tracer_->instant(traceTrack(), "arq.timeout_retx",
-                             curTick());
-        for (const auto &p : txUnacked_)
-            tvm_.rootComplex().sendWrite(p);
-        armTxTimer();
-    });
+    eventq().rescheduleIn(&txTimer_, timeout);
+}
+
+void
+Adaptor::retireTxTimer()
+{
+    if (txTimer_.scheduled())
+        eventq().deschedule(&txTimer_);
+}
+
+void
+Adaptor::onTxTimeout()
+{
+    if (txUnacked_.empty())
+        return;
+    if (txAttempts_ >= config_.retry.maxRetries) {
+        s_.faultsFatal.inc(txUnacked_.size());
+        warnRateLimited(
+            "adaptor-tx-exhausted",
+            "%s: %zu transported writes exhausted the retry "
+            "budget",
+            name().c_str(), txUnacked_.size());
+        txUnacked_.clear();
+        txAttempts_ = 0;
+        txDirty_ = false;
+        return;
+    }
+    ++txAttempts_;
+    txDirty_ = true;
+    s_.transportTimeoutRetransmits.inc();
+    if (tracer_->enabled())
+        tracer_->instant(traceTrack(), "arq.timeout_retx",
+                         curTick());
+    for (const auto &p : txUnacked_)
+        tvm_.rootComplex().sendWrite(p);
+    armTxTimer();
 }
 
 void
@@ -199,7 +213,7 @@ Adaptor::establishSession(const Bytes &sessionSecret)
     txUnacked_.clear();
     txAttempts_ = 0;
     txDirty_ = false;
-    ++txTimerGen_; // retire live ack timers
+    retireTxTimer();
     lastGoBack_ = 0;
     ++sessionEpoch_;
     // The controller resets the tenant's completion ring in
@@ -222,7 +236,7 @@ Adaptor::abortSession()
     txUnacked_.clear();
     txAttempts_ = 0;
     txDirty_ = false;
-    ++txTimerGen_;
+    retireTxTimer();
     lastGoBack_ = 0;
     ++sessionEpoch_;
 }
@@ -962,7 +976,7 @@ Adaptor::reset()
     txUnacked_.clear();
     txAttempts_ = 0;
     txDirty_ = false;
-    ++txTimerGen_; // retire live timers
+    retireTxTimer();
     lastGoBack_ = 0;
     ++sessionEpoch_; // retire queued CPU continuations
     stats_.reset();

@@ -26,6 +26,7 @@
 #include "sc/control_panels.hh"
 #include "sc/engines.hh"
 #include "sc/rules.hh"
+#include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "trust/key_manager.hh"
 #include "tvm/tvm.hh"
@@ -266,6 +267,8 @@ class Adaptor : public sim::SimObject
     void handleTransportAck(const pcie::TransportAck &ack);
     void goBackN(std::uint64_t fromSeq);
     void armTxTimer();
+    void onTxTimeout();
+    void retireTxTimer();
 
     void fetchForCollect(std::shared_ptr<CollectState> st);
     void finishCollect(std::shared_ptr<CollectState> st);
@@ -315,7 +318,9 @@ class Adaptor : public sim::SimObject
     std::deque<pcie::TlpPtr> txUnacked_;
     int txAttempts_ = 0;
     bool txDirty_ = false; ///< a retransmission is in flight
-    std::uint64_t txTimerGen_ = 0;
+    /** Owned ack timer, re-armed in place (no allocation). */
+    sim::EventFunctionWrapper txTimer_;
+    bool txTimerInit_ = false;
     Tick lastGoBack_ = 0;
 
     /**

@@ -180,11 +180,14 @@ XpuDevice::startNextCommand()
         env_.tlbDirty = true;
         s_.kernels.inc();
         Tick total = spec_.kernelLaunchOverhead + cmd.duration;
-        eventq().scheduleIn(total,
-                            [this, cmd, epoch = resetEpoch_] {
-                                if (epoch == resetEpoch_)
-                                    finishCommand(cmd);
-                            });
+        if (!kernelDoneInit_) {
+            kernelDone_.setCallback(
+                [this] { finishCommand(runningKernel_); },
+                "xpu-kernel-done");
+            kernelDoneInit_ = true;
+        }
+        runningKernel_ = cmd;
+        eventq().rescheduleIn(&kernelDone_, total);
         return;
       }
       case XpuCmdType::DmaFromHost:
@@ -337,7 +340,8 @@ XpuDevice::coldReset()
     busy_ = false;
     wedged_ = false;
     dmaRead_ = DmaReadState{};
-    ++resetEpoch_;
+    if (kernelDone_.scheduled())
+        eventq().deschedule(&kernelDone_);
     env_ = XpuEnvState{};
     regs_[mm::xpureg::kStatus] = 0x1;
     s_.resets.inc();

@@ -19,6 +19,7 @@
 #include "pcie/host_memory.hh"
 #include "pcie/link.hh"
 #include "pcie/memory_map.hh"
+#include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "xpu/xpu_command.hh"
 #include "xpu/xpu_spec.hh"
@@ -120,12 +121,14 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
     bool busy_ = false;
     bool wedged_ = false;
     /**
-     * Bumped by coldReset(); in-flight kernel-finish events capture
-     * the epoch they were scheduled under and no-op after a reset,
-     * so a pre-crash kernel can't retire into a post-recovery
-     * command stream (the event queue has no cancellation).
+     * Owned kernel-completion timer (the device executes one command
+     * at a time, so one suffices). coldReset() deschedules it, so a
+     * pre-crash kernel can't retire into a post-recovery command
+     * stream.
      */
-    std::uint64_t resetEpoch_ = 0;
+    sim::EventFunctionWrapper kernelDone_;
+    bool kernelDoneInit_ = false;
+    XpuCommand runningKernel_;
     std::uint64_t retired_ = 0;
     std::uint8_t nextTag_ = 0;
     std::map<std::uint8_t, std::function<void(const pcie::TlpPtr &)>>

@@ -75,9 +75,13 @@ TEST(PlatformObservability, MetricsJsonByteIdenticalOnRerun)
     std::string two = metricsAfterRun(2);
     EXPECT_EQ(one, two);
 
-    EXPECT_NE(one.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(one.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(one.find("\"sim_now_ticks\""), std::string::npos);
     EXPECT_NE(one.find("\"seed\""), std::string::npos);
+    // Event-core rollup from the timer-wheel kernel.
+    EXPECT_NE(one.find("\"event_core\""), std::string::npos);
+    EXPECT_NE(one.find("\"dispatched\""), std::string::npos);
+    EXPECT_NE(one.find("\"level_high_watermarks\""), std::string::npos);
     // Every secure-path component registered a metric group.
     for (const char *prefix :
          {"\"adaptor\"", "\"pcie_sc\"", "\"rc\"", "\"xpu\"",
@@ -202,7 +206,7 @@ TEST(PlatformObservability, VanillaPlatformExports)
     Platform p(cfg);
     ASSERT_TRUE(p.establishTrust().ok());
     std::string json = p.exportMetricsJson(/*includeWall=*/false);
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"secure\": false"), std::string::npos);
     // No adaptor: the tenants section is empty but present.
     EXPECT_NE(json.find("\"tenants\""), std::string::npos);

@@ -12,13 +12,15 @@ using namespace ccai;
 using namespace ccai::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     LogConfig::Quiet quiet;
 
+    const backend::Kind kind = parseBackendFlag(argc, argv);
+
     std::printf("=== Figure 10: E2E latency across xPUs (tok=512, "
                 "batch=1) ===\n");
-    printHeader("E2E Latency by device", "E2E");
+    printHeader("E2E Latency by device", "E2E", secureLabel(kind));
 
     struct Point
     {
@@ -41,6 +43,7 @@ main()
 
         PlatformConfig base;
         base.xpuSpec = point.device;
+        base.protection = kind;
         Row row{point.device.name + "(" + point.model.name + ")",
                 runComparison(cfg, base)};
         std::printf("%-22s %12.3fs %12.3fs %9.2f%%\n",

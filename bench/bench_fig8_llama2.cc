@@ -27,6 +27,10 @@ main(int argc, char **argv)
     bool quick = false;
     for (int i = 1; i < argc; ++i)
         quick = quick || std::strcmp(argv[i], "--quick") == 0;
+    const backend::Kind kind = parseBackendFlag(argc, argv);
+    const std::string sname = secureLabel(kind);
+    PlatformConfig base;
+    base.protection = kind;
 
     std::vector<std::uint32_t> token_sweep = {64,  128,  256,
                                               512, 1024, 2048};
@@ -44,7 +48,8 @@ main(int argc, char **argv)
         cfg.batch = 1;
         cfg.inTokens = tokens;
         fix_batch.push_back(
-            {std::to_string(tokens) + "-tok", runComparison(cfg)});
+            {std::to_string(tokens) + "-tok",
+             runComparison(cfg, base)});
         std::fprintf(stderr, "fig8: fix-batch %u-tok done\n", tokens);
     }
     for (std::uint32_t batch : batch_sweep) {
@@ -53,41 +58,48 @@ main(int argc, char **argv)
         cfg.batch = batch;
         cfg.inTokens = 128;
         fix_token.push_back(
-            {std::to_string(batch) + "-bat", runComparison(cfg)});
+            {std::to_string(batch) + "-bat",
+             runComparison(cfg, base)});
         std::fprintf(stderr, "fig8: fix-token %u-bat done\n", batch);
     }
 
     std::printf("=== Figure 8: Llama-2-7B-Chat on A100 (vanilla vs "
-                "ccAI) ===\n");
+                "%s) ===\n",
+                sname.c_str());
 
-    printHeader("(a) Fix-batch (batch=1) E2E Latency", "E2E");
+    printHeader("(a) Fix-batch (batch=1) E2E Latency", "E2E", sname);
     for (const Row &row : fix_batch)
         printE2eRow(row);
 
-    printHeader("(b) Fix-token (tok=128) E2E Latency", "E2E");
+    printHeader("(b) Fix-token (tok=128) E2E Latency", "E2E", sname);
     for (const Row &row : fix_token)
         printE2eRow(row);
 
-    printHeader("(c) Fix-batch TPS", "TPS");
+    printHeader("(c) Fix-batch TPS", "TPS", sname);
     for (const Row &row : fix_batch)
         printTpsRow(row);
 
-    printHeader("(d) Fix-token TPS", "TPS");
+    printHeader("(d) Fix-token TPS", "TPS", sname);
     for (const Row &row : fix_token)
         printTpsRow(row);
 
-    printHeader("(e) Fix-batch TTFT", "TTFT");
+    printHeader("(e) Fix-batch TTFT", "TTFT", sname);
     for (const Row &row : fix_batch)
         printTtftRow(row);
 
-    printHeader("(f) Fix-token TTFT", "TTFT");
+    printHeader("(f) Fix-token TTFT", "TTFT", sname);
     for (const Row &row : fix_token)
         printTtftRow(row);
 
     // Machine-readable results with latency percentile summaries
-    // (microsecond histograms over each sweep's rows).
-    BenchJson out("BENCH_fig8.json", "fig8-llama2-7b-a100");
+    // (microsecond histograms over each sweep's rows). The default
+    // backend keeps the historical file name and field set: golden
+    // digests pin that output bit for bit.
+    BenchJson out(benchOutputPath("BENCH_fig8.json", kind),
+                  "fig8-llama2-7b-a100");
     obs::JsonEmitter &json = out.json();
+    if (kind != backend::Kind::CcaiSc)
+        json.field("backend", backend::kindName(kind));
     json.field("quick", quick);
 
     auto writeSeries = [&](const char *key,

@@ -12,13 +12,17 @@ using namespace ccai;
 using namespace ccai::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     LogConfig::Quiet quiet;
 
+    const backend::Kind kind = parseBackendFlag(argc, argv);
+    PlatformConfig base;
+    base.protection = kind;
+
     std::printf("=== Figure 9: E2E latency across LLMs (tok=512, "
                 "batch=1, A100) ===\n");
-    printHeader("E2E Latency by model", "E2E");
+    printHeader("E2E Latency by model", "E2E", secureLabel(kind));
 
     for (const llm::ModelSpec &model : llm::ModelSpec::all()) {
         llm::InferenceConfig cfg;
@@ -26,7 +30,7 @@ main()
         cfg.batch = 1;
         cfg.inTokens = 512;
         Row row{model.name + "/" + llm::quantName(model.quant),
-                runComparison(cfg)};
+                runComparison(cfg, base)};
         std::printf("%-24s %11.3fs %11.3fs %9.2f%%\n",
                     row.label.c_str(),
                     row.result.vanilla.e2eSeconds,

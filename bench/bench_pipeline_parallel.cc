@@ -344,11 +344,11 @@ runPipelined(SweepResult &r)
     r.stageCopies =
         get("h2d_stage_copies") + get("d2h_stage_copies");
     r.h2dPrepareTicks =
-        p.adaptor()->stats().histogram("h2d_prepare_ticks");
+        *p.adaptor()->stats().histogramHandle("h2d_prepare_ticks").get();
     r.d2hCollectTicks =
-        p.adaptor()->stats().histogram("d2h_collect_ticks");
+        *p.adaptor()->stats().histogramHandle("d2h_collect_ticks").get();
     r.metaRingOccupancy =
-        p.adaptor()->stats().histogram("meta_ring_occupancy");
+        *p.adaptor()->stats().histogramHandle("meta_ring_occupancy").get();
 }
 
 SweepResult

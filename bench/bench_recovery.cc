@@ -168,9 +168,9 @@ runChaos(ChaosRow row)
     row.opsCompleted = p.system().sumCounter("ops_completed");
     row.opsFailed = p.system().sumCounter("ops_failed");
     row.opReplays = p.system().sumCounter("op_replays");
-    row.detectLatency = rec.stats().histogram("detect_latency_ticks");
+    row.detectLatency = *rec.stats().histogramHandle("detect_latency_ticks").get();
     row.recoveryLatency =
-        rec.stats().histogram("recovery_latency_ticks");
+        *rec.stats().histogramHandle("recovery_latency_ticks").get();
     return row;
 }
 

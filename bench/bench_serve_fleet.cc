@@ -197,11 +197,13 @@ struct ServeRow
 };
 
 ServeRow
-runServe(std::uint32_t tenants, bool quick)
+runServe(std::uint32_t tenants, bool quick,
+         ccai::backend::Kind protection)
 {
     sim::System sys;
     serve::ServeConfig cfg;
     cfg.tenants = tenants;
+    cfg.protection = protection;
     cfg.seed = 0xcca1u;
     // Fleet-scale sizing: every tenant offers the same load and the
     // heterogeneous fleet grows with the tenant population (one
@@ -239,7 +241,7 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
-    std::string jsonPath = "BENCH_serve.json";
+    std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
@@ -248,6 +250,11 @@ main(int argc, char **argv)
             jsonPath = argv[++i];
     }
     sim::applySeedFlag(argc, argv);
+    const backend::Kind backendKind =
+        bench::parseBackendFlag(argc, argv);
+    if (jsonPath.empty())
+        jsonPath = bench::benchOutputPath("BENCH_serve.json",
+                                          backendKind);
 
     const std::vector<std::uint32_t> tenantCounts = {100, 1000,
                                                      10000};
@@ -301,7 +308,7 @@ main(int argc, char **argv)
                 "e2e_p95", "ev/s");
     std::vector<ServeRow> rows;
     for (std::uint32_t t : tenantCounts) {
-        ServeRow row = runServe(t, quick);
+        ServeRow row = runServe(t, quick, backendKind);
         std::printf("%-8u %9llu %9llu %8llu %8.3fs %8.3fs %8.3fs "
                     "%10.0f\n",
                     t, (unsigned long long)row.report.issued,
@@ -314,6 +321,8 @@ main(int argc, char **argv)
 
     bench::BenchJson out(jsonPath, "serve_fleet");
     auto &json = out.json();
+    if (backendKind != backend::Kind::CcaiSc)
+        json.field("backend", backend::kindName(backendKind));
     json.field("quick", quick);
     json.field("speedup_10k", speedup10k);
     json.key("kernel_gate");

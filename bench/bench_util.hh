@@ -12,16 +12,75 @@
 #define CCAI_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "backend/protection_backend.hh"
 #include "ccai/experiment.hh"
 #include "obs/json.hh"
 #include "obs/stats.hh"
 
 namespace ccai::bench
 {
+
+/**
+ * Parse a `--backend {ccai,h100cc,acai}` flag (also accepts
+ * `--backend=NAME`). Defaults to the paper's interposed PCIe-SC;
+ * exits with an actionable message on an unknown name so CI sweeps
+ * fail loudly instead of silently benchmarking the wrong design.
+ */
+inline backend::Kind
+parseBackendFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        std::string_view value;
+        if (arg == "--backend" && i + 1 < argc)
+            value = argv[i + 1];
+        else if (arg.rfind("--backend=", 0) == 0)
+            value = arg.substr(std::strlen("--backend="));
+        else
+            continue;
+        if (auto kind = backend::parseKind(value))
+            return *kind;
+        std::fprintf(stderr,
+                     "unknown --backend '%.*s' (expected ccai, "
+                     "h100cc or acai)\n",
+                     static_cast<int>(value.size()), value.data());
+        std::exit(2);
+    }
+    return backend::Kind::CcaiSc;
+}
+
+/**
+ * Result-file path for a backend sweep: the default backend keeps
+ * the historical name (golden digests pin those files), rivals get
+ * a `_<backend>` suffix before the extension.
+ */
+inline std::string
+benchOutputPath(const std::string &base, backend::Kind kind)
+{
+    if (kind == backend::Kind::CcaiSc)
+        return base;
+    std::string path = base;
+    std::size_t dot = path.rfind(".json");
+    if (dot == std::string::npos)
+        dot = path.size();
+    path.insert(dot, std::string("_") + backend::kindName(kind));
+    return path;
+}
+
+/** Column label for the protected configuration. */
+inline const char *
+secureLabel(backend::Kind kind)
+{
+    return kind == backend::Kind::CcaiSc ? "ccAI"
+                                         : backend::kindName(kind);
+}
 
 /**
  * RAII writer for a BENCH_*.json result file. Opens the root object
@@ -73,12 +132,13 @@ struct Row
 };
 
 inline void
-printHeader(const std::string &title, const std::string &metric)
+printHeader(const std::string &title, const std::string &metric,
+            const std::string &secureName = "ccAI")
 {
     std::printf("\n%s\n", title.c_str());
     std::printf("%-14s %14s %14s %10s\n", "config",
                 ("vanilla " + metric).c_str(),
-                ("ccAI " + metric).c_str(), "overhead");
+                (secureName + " " + metric).c_str(), "overhead");
     std::printf("%s\n", std::string(56, '-').c_str());
 }
 

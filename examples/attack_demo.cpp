@@ -107,7 +107,7 @@ main()
                     (unsigned long long)p.busTap()->tampered(),
                     (unsigned long long)p.pcieSc()
                         ->stats()
-                        .counter("a2_integrity_failures")
+                        .counterHandle("a2_integrity_failures")
                         .value());
         std::printf("corrupted data reached the device: %s\n",
                     p.xpu().vram().read(0, secret.size()) ==
@@ -132,11 +132,11 @@ main()
                     "dropped; A3 failures: %llu)\n",
                     (unsigned long long)p.xpu()
                         .stats()
-                        .counter("kernels")
+                        .counterHandle("kernels")
                         .value(),
                     (unsigned long long)p.pcieSc()
                         ->stats()
-                        .counter("a3_integrity_failures")
+                        .counterHandle("a3_integrity_failures")
                         .value());
     }
 
@@ -163,7 +163,7 @@ main()
                     "%llu\n",
                     (unsigned long long)p.rootComplex()
                         .stats()
-                        .counter("iommu_blocked")
+                        .counterHandle("iommu_blocked")
                         .value(),
                     (unsigned long long)p.pcieSc()->filter().blocked());
     }

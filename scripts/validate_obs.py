@@ -6,6 +6,7 @@ Usage:
     validate_obs.py --bench BENCH_recovery.json
     validate_obs.py --bench-pipeline BENCH_pipeline.json
     validate_obs.py --bench-serve BENCH_serve.json
+    validate_obs.py --bench-backends BENCH_backends.json
 
 Checks (default mode):
   1. METRICS_JSON parses and validates against SCHEMA_JSON. Uses the
@@ -33,6 +34,15 @@ Checks (--bench-serve mode, for bench_serve_fleet output):
   count, and every serve row internally consistent: completions do
   not exceed issues, SLO misses do not exceed issues, and the
   TTFT / end-to-end percentiles are monotonically ordered.
+
+Checks (--bench-backends mode, for bench_backends output):
+  Validates against schemas/bench_backends.schema.json (resolved
+  relative to this script), then checks all three protection
+  backends (ccai, h100cc, acai) are present with the same row
+  labels, every row's overhead matches its vanilla/secure pair, the
+  rival designs charge a non-trivial overhead where the interposed
+  PCIe-SC stays cheap, and the ccai backend's mean E2E overhead is
+  the lowest of the three.
 
 Checks (--bench mode, for bench_recovery output):
   The watchdog-tax gate holds (overhead_pct < target_pct with probe
@@ -388,7 +398,103 @@ def check_bench_serve(bench_path):
     )
 
 
+def check_bench_backends(bench_path):
+    import os
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    schema_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "..",
+        "schemas",
+        "bench_backends.schema.json",
+    )
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        import jsonschema
+
+        jsonschema.validate(bench, schema)
+        how = "jsonschema"
+    except ImportError:
+        fallback_validate(bench, schema)
+        how = "builtin validator"
+
+    backends = {b["backend"]: b for b in bench["backends"]}
+    expected = {"ccai", "h100cc", "acai"}
+    if set(backends) != expected:
+        raise ValueError(
+            f"bench: backends {sorted(backends)} != "
+            f"{sorted(expected)}"
+        )
+
+    label_sets = {
+        name: [row["label"] for row in b["rows"]]
+        for name, b in backends.items()
+    }
+    if len({tuple(labels) for labels in label_sets.values()}) != 1:
+        raise ValueError(
+            f"bench: backends ran different row sets: {label_sets}"
+        )
+    if not label_sets["ccai"]:
+        raise ValueError("bench: no comparison rows recorded")
+
+    for name, b in backends.items():
+        for row in b["rows"]:
+            label = f"bench {name}[{row['label']}]"
+            if row["vanilla_e2e_s"] <= 0:
+                raise ValueError(f"{label}: non-positive vanilla E2E")
+            expected_pct = (
+                100.0
+                * (row["secure_e2e_s"] - row["vanilla_e2e_s"])
+                / row["vanilla_e2e_s"]
+            )
+            if abs(expected_pct - row["e2e_overhead_pct"]) > 0.05:
+                raise ValueError(
+                    f"{label}: e2e_overhead_pct "
+                    f"{row['e2e_overhead_pct']:.3f} inconsistent "
+                    f"with e2e pair ({expected_pct:.3f})"
+                )
+
+    means = {
+        name: b["mean_e2e_overhead_pct"]
+        for name, b in backends.items()
+    }
+    for name, mean in means.items():
+        if mean < 0:
+            raise ValueError(
+                f"bench: {name} mean overhead {mean:.2f}% is "
+                "negative — the protected run beat vanilla"
+            )
+    if means["ccai"] >= min(means["h100cc"], means["acai"]):
+        raise ValueError(
+            f"bench: ccai mean overhead {means['ccai']:.2f}% is not "
+            f"the lowest (h100cc {means['h100cc']:.2f}%, acai "
+            f"{means['acai']:.2f}%)"
+        )
+    print(
+        f"bench ok ({how}): {len(label_sets['ccai'])} rows x 3 "
+        "backends, mean E2E overhead "
+        + ", ".join(
+            f"{name} {means[name]:.2f}%"
+            for name in ("ccai", "h100cc", "acai")
+        )
+    )
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--bench-backends":
+        try:
+            check_bench_backends(argv[2])
+        except (
+            ValueError,
+            KeyError,
+            OSError,
+            json.JSONDecodeError,
+        ) as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
+        return 0
     if len(argv) == 3 and argv[1] == "--bench-serve":
         try:
             check_bench_serve(argv[2])

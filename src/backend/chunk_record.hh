@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-chunk cryptographic transfer descriptor (paper §4.2) — the
+ * wire record the Adaptor registers with whichever protection
+ * backend seals the secure data path. The ccAI backend streams these
+ * into the PCIe-SC's parameter window; device-crypto backends would
+ * carry the same fields in their own transfer metadata.
+ */
+
+#ifndef CCAI_BACKEND_CHUNK_RECORD_HH
+#define CCAI_BACKEND_CHUNK_RECORD_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "trust/key_manager.hh"
+
+namespace ccai::backend
+{
+
+/**
+ * Cryptographic parameters for one protected transfer chunk. The
+ * Adaptor registers H2D chunks before the device pulls them; the
+ * PCIe-SC creates D2H chunks as results stream out.
+ */
+struct ChunkRecord
+{
+    std::uint64_t chunkId = 0;
+    trust::StreamDir dir = trust::StreamDir::HostToDevice;
+    Addr addr = 0;            ///< bounce-buffer address of the chunk
+    std::uint32_t length = 0; ///< plaintext length in bytes
+    std::uint32_t epoch = 0;  ///< key epoch
+    Bytes iv;                 ///< 12-byte GCM IV
+    Bytes tag;                ///< 16-byte GCM tag
+    bool synthetic = false;   ///< payload modelled by length only
+
+    /** Wire size of a serialized record. */
+    static constexpr std::uint32_t kWireBytes = 64;
+
+    Bytes serialize() const;
+    static ChunkRecord deserialize(const Bytes &raw);
+    /** Parse a concatenation of records. */
+    static std::vector<ChunkRecord> deserializeBatch(const Bytes &raw);
+    /** Serialize a batch. */
+    static Bytes serializeBatch(const std::vector<ChunkRecord> &recs);
+};
+
+} // namespace ccai::backend
+
+#endif // CCAI_BACKEND_CHUNK_RECORD_HH

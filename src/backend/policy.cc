@@ -1,10 +1,10 @@
-#include "rules.hh"
+#include "backend/policy.hh"
 
 #include "common/bytes_util.hh"
 #include "common/logging.hh"
 #include "pcie/memory_map.hh"
 
-namespace ccai::sc
+namespace ccai::backend
 {
 
 namespace mm = pcie::memmap;
@@ -490,4 +490,4 @@ defaultPolicy(const std::vector<pcie::Bdf> &tvms, pcie::Bdf xpu,
     return t;
 }
 
-} // namespace ccai::sc
+} // namespace ccai::backend

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Packet access-control categories and security actions (paper
+ * Table 1). These are protection-policy wire types shared by every
+ * protection backend: the ccAI Packet Filter classifies every TLP
+ * into one of four access-permission classes, each with a fixed
+ * security action, and rival backends reuse the same vocabulary to
+ * describe what they do (and do not) enforce.
+ */
+
+#ifndef CCAI_BACKEND_SECURITY_ACTION_HH
+#define CCAI_BACKEND_SECURITY_ACTION_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccai::backend
+{
+
+/**
+ * Security actions A1-A4.
+ *
+ * | Access permission      | Action                                   |
+ * |------------------------|------------------------------------------|
+ * | Prohibited             | A1: Disallow                             |
+ * | Write-Read Protected   | A2: Integrity check (crypt) + en/decrypt |
+ * | Write Protected        | A3: Integrity check (plain) + verify     |
+ * | Full Accessible        | A4: Transparent transmission             |
+ */
+enum class SecurityAction : std::uint8_t
+{
+    A1_Disallow = 1,
+    A2_CryptIntegrity = 2,
+    A3_PlainIntegrity = 3,
+    A4_Transparent = 4,
+};
+
+/** Access-permission class names from Table 1. */
+enum class AccessPermission : std::uint8_t
+{
+    Prohibited,
+    WriteReadProtected,
+    WriteProtected,
+    FullAccessible,
+};
+
+/** Table 1 mapping: permission class -> security action. */
+constexpr SecurityAction
+actionFor(AccessPermission perm)
+{
+    switch (perm) {
+      case AccessPermission::Prohibited:
+        return SecurityAction::A1_Disallow;
+      case AccessPermission::WriteReadProtected:
+        return SecurityAction::A2_CryptIntegrity;
+      case AccessPermission::WriteProtected:
+        return SecurityAction::A3_PlainIntegrity;
+      case AccessPermission::FullAccessible:
+        return SecurityAction::A4_Transparent;
+    }
+    return SecurityAction::A1_Disallow;
+}
+
+/** Inverse of actionFor(). */
+constexpr AccessPermission
+permissionFor(SecurityAction action)
+{
+    switch (action) {
+      case SecurityAction::A1_Disallow:
+        return AccessPermission::Prohibited;
+      case SecurityAction::A2_CryptIntegrity:
+        return AccessPermission::WriteReadProtected;
+      case SecurityAction::A3_PlainIntegrity:
+        return AccessPermission::WriteProtected;
+      case SecurityAction::A4_Transparent:
+        return AccessPermission::FullAccessible;
+    }
+    return AccessPermission::Prohibited;
+}
+
+const char *securityActionName(SecurityAction action);
+const char *accessPermissionName(AccessPermission perm);
+
+/**
+ * Why a packet was (or was not) blocked — the verdict-reason
+ * taxonomy behind the per-reason blocked-packet counters and the
+ * fuzzer's coverage signal. Reasons other than None imply
+ * SecurityAction::A1_Disallow; None accompanies A2-A4.
+ */
+enum class BlockReason : std::uint8_t
+{
+    None = 0,
+    /** Structural header defect (see pcie::TlpAnomaly). */
+    MalformedPayload,  ///< payload/fmt contradiction
+    MalformedFmt,      ///< header format illegal for the type
+    MalformedLength,   ///< zero, wrapped, or mismatched length
+    MalformedAddress,  ///< address width disagrees with header size
+    /** An L1 rule with real match bits fired ExecuteA1. */
+    L1DenyRule,
+    /** Fell through to the L1 catch-all (mask == 0) deny rule. */
+    L1DenyDefault,
+    /** No L1 rule matched at all: implicit deny. */
+    L1NoMatch,
+    /** An L2 rule assigned A1_Disallow. */
+    L2DenyRule,
+    /** L1 authorized the packet but no L2 rule covered it. */
+    L2NoMatch,
+};
+
+/** Number of BlockReason values (sizing per-reason counter arrays). */
+constexpr std::size_t kBlockReasonCount =
+    static_cast<std::size_t>(BlockReason::L2NoMatch) + 1;
+
+/** Stable snake_case reason name (metric keys, corpus headers). */
+const char *blockReasonName(BlockReason reason);
+
+} // namespace ccai::backend
+
+#endif // CCAI_BACKEND_SECURITY_ACTION_HH

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "crypto/worker_pool.hh"
 #include "obs/json.hh"
+#include "sc/ccai_sc_backend.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
@@ -18,10 +19,63 @@ using pcie::wellknown::kPcieSc;
 using pcie::wellknown::kTvm;
 using pcie::wellknown::kXpu;
 
+std::string
+PlatformConfig::validationError() const
+{
+    std::ostringstream os;
+    if (scConfig.dataEngineThreads < 1) {
+        os << "scConfig.dataEngineThreads must be >= 1 (got "
+           << scConfig.dataEngineThreads
+           << "); use 1 for the serial data plane";
+        return os.str();
+    }
+    if (scConfig.metaBatchSize == 0)
+        return "scConfig.metaBatchSize must be >= 1: the metadata "
+               "completion ring flushes in batches of this size";
+    if (adaptorConfig.cryptoThreads < 1) {
+        os << "adaptorConfig.cryptoThreads must be >= 1 (got "
+           << adaptorConfig.cryptoThreads
+           << "); use 1 to model a single-threaded CPU data plane";
+        return os.str();
+    }
+    if (adaptorConfig.chunkBytes == 0)
+        return "adaptorConfig.chunkBytes must be > 0: it is the "
+               "bounce-buffer chunk granularity";
+    if (adaptorConfig.subtaskBytes == 0)
+        return "adaptorConfig.subtaskBytes must be > 0: it is the "
+               "subtask granularity of the non-batched design";
+    if (adaptorConfig.d2hSlotBytes == 0)
+        return "adaptorConfig.d2hSlotBytes must be > 0: the device "
+               "stages every D2H collection through this slot";
+    if (maxTenants < 1)
+        return "maxTenants must be >= 1: slot 0 is the owner TVM";
+    if (secure && protection != backend::Kind::CcaiSc) {
+        const char *alt = backend::kindName(protection);
+        if (attachBusTap) {
+            os << "attachBusTap requires protection = ccai: the bus "
+                  "tap splices into the host<->PCIe-SC segment, "
+                  "which the "
+               << alt << " backend does not build";
+            return os.str();
+        }
+        if (maxTenants > 1) {
+            os << "maxTenants > 1 requires protection = ccai: tenant "
+                  "slots ride on the PCIe-SC's per-tenant sessions, "
+                  "which the "
+               << alt << " backend does not model (got maxTenants="
+               << maxTenants << ")";
+            return os.str();
+        }
+    }
+    return {};
+}
+
 Platform::Platform(const PlatformConfig &config)
     : config_(config), effectiveSeed_(sim::resolveSeed(config.seed)),
       rng_(effectiveSeed_)
 {
+    if (std::string err = config_.validationError(); !err.empty())
+        fatal("PlatformConfig: %s", err.c_str());
     // A fault schedule left on the default seed follows the platform
     // seed, so a CI log line with the seed replays the failing run;
     // an explicitly-seeded schedule is honoured as-is.
@@ -66,10 +120,14 @@ Platform::buildTopology()
     switch_->mapRoutingId(kTvm, up_port);
     switch_->mapRoutingId(pcie::wellknown::kRootComplex, up_port);
 
-    if (config_.secure) {
+    if (config_.secure)
+        backend_ = backend::makeBackend(config_.protection);
+
+    if (config_.secure && config_.protection == backend::Kind::CcaiSc) {
         sc::PcieScConfig sc_cfg = config_.scConfig;
         sc_cfg.retry = config_.retry;
-        sc_ = std::make_unique<sc::PcieSc>(sys_, "pcie_sc", sc_cfg);
+        sc_ = static_cast<backend::CcaiScBackend &>(*backend_)
+                  .buildInterposer(sys_, "pcie_sc", sc_cfg);
 
         // Switch <-> [optional bus attacker] <-> PCIe-SC.
         pcie::PcieNode *sc_upstream_neighbor = switch_.get();
@@ -80,16 +138,16 @@ Platform::buildTopology()
                 sys_, "sw_tap", switch_.get(), busTap_.get(),
                 config_.hostLink);
             tapScLink_ = std::make_unique<pcie::DuplexLink>(
-                sys_, "tap_sc", busTap_.get(), sc_.get(),
+                sys_, "tap_sc", busTap_.get(), sc_,
                 config_.hostLink);
             busTap_->connect(&switchScLink_->upstream(), switch_.get(),
-                             &tapScLink_->downstream(), sc_.get());
+                             &tapScLink_->downstream(), sc_);
             sc_->connectUpstream(&tapScLink_->upstream(),
                                  busTap_.get());
             sc_upstream_neighbor = busTap_.get();
         } else {
             switchScLink_ = std::make_unique<pcie::DuplexLink>(
-                sys_, "sw_sc", switch_.get(), sc_.get(),
+                sys_, "sw_sc", switch_.get(), sc_,
                 config_.hostLink);
             sc_->connectUpstream(&switchScLink_->upstream(),
                                  switch_.get());
@@ -106,7 +164,7 @@ Platform::buildTopology()
 
         // PCIe-SC <-> xPU (internal PCIe inside the chassis).
         scXpuLink_ = std::make_unique<pcie::DuplexLink>(
-            sys_, "sc_xpu", sc_.get(), xpu_.get(),
+            sys_, "sc_xpu", sc_, xpu_.get(),
             config_.internalLink);
         sc_->connectDownstream(&scXpuLink_->downstream(), xpu_.get());
         xpu_->connectUpstream(&scXpuLink_->upstream());
@@ -148,7 +206,11 @@ Platform::buildTopology()
 
         tvm_->configureIommu(true);
     } else {
-        // Vanilla: switch connects straight to the xPU.
+        // Vanilla: switch connects straight to the xPU. The
+        // cost-modelled rival backends build the same topology —
+        // neither H100-CC nor ACAI puts hardware on the bus — and
+        // charge their overheads through the runtime/device hooks
+        // installed below.
         switchXpuLink_ = std::make_unique<pcie::DuplexLink>(
             sys_, "sw_xpu", switch_.get(), xpu_.get(),
             config_.hostLink);
@@ -163,6 +225,10 @@ Platform::buildTopology()
         runtime_ = std::make_unique<tvm::Runtime>(
             sys_, "ccrt", *tvm_, *driver_, tvm::RuntimeMode::Vanilla,
             nullptr);
+        if (backend_) {
+            runtime_->setProtection(backend_.get());
+            xpu_->setProtection(backend_.get());
+        }
         tvm_->configureIommu(false);
     }
 
@@ -247,6 +313,26 @@ Platform::establishTrust()
     if (!config_.secure) {
         report.secureBootOk = report.attestationOk = report.sealed =
             true;
+        return report;
+    }
+
+    if (config_.protection != backend::Kind::CcaiSc) {
+        // Rival designs do not simulate the boot/attestation
+        // exchange packet by packet; their one-time cost is the
+        // backend's sessionEstablishTicks, reported by the
+        // cross-backend comparison benches. Negotiate the session
+        // key on the backend and record the audit policy so that
+        // sealH2d/openD2h and policy queries behave uniformly.
+        report.secureBootOk = report.sealed = true;
+        Bytes secret = rng_.bytes(32);
+        report.attestationOk =
+            backend_->establishSession(kTvm.raw(), secret);
+        if (!report.attestationOk) {
+            report.failure = "backend session already established";
+            return report;
+        }
+        backend_->installPolicy(
+            backend::defaultPolicy(kTvm, kXpu, kPcieSc));
         return report;
     }
 
@@ -371,6 +457,7 @@ Platform::establishTrust()
                          tenantSlice(mm::kBounceD2h, 0),
                          tenantSlice(mm::kMetadataBuffer, 0));
     adaptor_->establishSession(secret_tvm);
+    backend_->establishSession(kTvm.raw(), secret_tvm);
 
     // ---- Packet policy ----
     TrustSpan policy_span(sys_, trust_track, "policy_install");
@@ -408,7 +495,9 @@ Platform::installPolicyForAllTenants()
             tvms.push_back(tenant->bdf);
     }
     sc::RuleTables policy = sc::defaultPolicy(tvms, kXpu, kPcieSc);
-    sc_->installPolicy(policy);
+    // Route through the backend: CcaiScBackend validates and pushes
+    // the tables to the PCIe-SC's rule memory.
+    backend_->installPolicy(policy);
     if (admitted(kTvm.raw()))
         adaptor_->setPolicy(policy);
 }
@@ -417,7 +506,8 @@ Platform::Tenant &
 Platform::addTenant(pcie::Bdf bdf)
 {
     if (!config_.secure || !sc_)
-        fatal("addTenant: requires a secure platform");
+        fatal("addTenant: requires a secure platform with the ccai "
+              "backend (per-tenant sessions live on the PCIe-SC)");
     if (!blade_)
         fatal("addTenant: establish trust first");
     std::uint32_t slot =
@@ -464,6 +554,7 @@ Platform::addTenant(pcie::Bdf bdf)
                          tenantSlice(mm::kBounceD2h, slot),
                          tenantSlice(mm::kMetadataBuffer, slot));
     tenant->adaptor->establishSession(secret_tenant);
+    backend_->establishSession(bdf.raw(), secret_tenant);
 
     tenants_.push_back(std::move(tenant));
     // Authorize the new requester ID in the packet policy.

@@ -13,8 +13,10 @@
 #define CCAI_CCAI_PLATFORM_HH
 
 #include <memory>
+#include <string>
 
 #include "attack/bus_tap.hh"
+#include "backend/protection_backend.hh"
 #include "ccai/recovery.hh"
 #include "llm/inference.hh"
 #include "pcie/fault_injector.hh"
@@ -32,8 +34,17 @@ namespace ccai
 /** How the machine is built. */
 struct PlatformConfig
 {
-    /** true: ccAI topology; false: vanilla baseline. */
+    /** true: protected topology; false: vanilla baseline. */
     bool secure = true;
+    /**
+     * Which protection design a secure platform models. CcaiSc is
+     * the paper's interposed PCIe-SC, simulated packet by packet.
+     * H100Cc and Acai are cost-modelled rivals: they build the
+     * vanilla topology (no interposer) and charge each transfer,
+     * request and kernel launch per backend::costModelFor(). Ignored
+     * when secure is false.
+     */
+    backend::Kind protection = backend::Kind::CcaiSc;
     xpu::XpuSpec xpuSpec = xpu::XpuSpec::a100();
     /** Host-side PCIe (root complex <-> switch <-> SC). */
     pcie::LinkConfig hostLink;
@@ -90,6 +101,14 @@ struct PlatformConfig
      * protected components to recover.
      */
     RecoveryConfig recovery;
+
+    /**
+     * Construction-time sanity check, run by the Platform
+     * constructor (which fatals on the returned message). Returns an
+     * empty string when the config is usable, otherwise an
+     * actionable description of the first problem found.
+     */
+    std::string validationError() const;
 };
 
 /** Outcome of Platform::establishTrust(). */
@@ -127,8 +146,15 @@ class Platform
     pcie::HostMemory &hostMemory() { return mem_; }
     pcie::Switch &rootSwitch() { return *switch_; }
 
-    /** nullptr on a vanilla platform. */
-    sc::PcieSc *pcieSc() { return sc_.get(); }
+    /**
+     * The protection backend (nullptr on a vanilla platform). For
+     * Kind::CcaiSc this fronts the simulated PCIe-SC; for the
+     * rivals it carries their cost model and session state.
+     */
+    backend::ProtectionBackend *protection() { return backend_.get(); }
+
+    /** nullptr unless this is a secure ccai-backend platform. */
+    sc::PcieSc *pcieSc() { return sc_; }
     tvm::Adaptor *adaptor() { return adaptor_.get(); }
     trust::HrotBlade *blade() { return blade_.get(); }
     trust::HrotBlade *cpuHrot() { return cpuHrot_.get(); }
@@ -267,7 +293,10 @@ class Platform
     std::unique_ptr<pcie::RootComplex> rc_;
     std::unique_ptr<tvm::Tvm> tvm_;
     std::unique_ptr<pcie::Switch> switch_;
-    std::unique_ptr<sc::PcieSc> sc_;
+    /** Owns the PCIe-SC on the ccai backend (see sc_ below). */
+    std::unique_ptr<backend::ProtectionBackend> backend_;
+    /** Borrowed from backend_; nullptr unless Kind::CcaiSc. */
+    sc::PcieSc *sc_ = nullptr;
     std::unique_ptr<xpu::XpuDevice> xpu_;
     std::unique_ptr<pcie::DuplexLink> rcSwitchLink_;
     std::unique_ptr<pcie::DuplexLink> switchScLink_;

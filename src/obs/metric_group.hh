@@ -8,9 +8,8 @@
  * by counterHandle()/histogramHandle()/... stay valid for the life
  * of the group, letting components resolve every stat once at
  * construction and never touch a string key on a hot path again.
- *
- * The string-keyed counter()/distribution() accessors are kept as a
- * deprecated shim for cold paths, tests and out-of-tree code.
+ * (Handles are the only mutable accessors; the const map views below
+ * exist for whole-group enumeration — JSON export, tenant rollups.)
  *
  * A MetricsRegistry is a non-owning directory of live groups (one
  * per sim::System); it powers whole-machine JSON snapshots and
@@ -54,37 +53,9 @@ class MetricGroup
     MetricGroup(const MetricGroup &) = delete;
     MetricGroup &operator=(const MetricGroup &) = delete;
 
-    /**
-     * String-keyed lookup, creating on first use. Deprecated shim:
-     * fine for cold paths and tests, but hot paths should resolve a
-     * typed handle once instead.
-     */
-    Counter &
-    counter(const std::string &name)
-    {
-        return counters_[name];
-    }
-
-    Distribution &
-    distribution(const std::string &name)
-    {
-        return dists_[name];
-    }
-
-    Gauge &
-    gauge(const std::string &name)
-    {
-        return gauges_[name];
-    }
-
-    Histogram &
-    histogram(const std::string &name)
-    {
-        return hists_[name];
-    }
-
     // Typed cached handles — resolve once, use forever. Two handles
-    // for the same name alias the same underlying stat.
+    // for the same name alias the same underlying stat; the stat is
+    // created on first lookup.
     CounterHandle
     counterHandle(const std::string &name)
     {

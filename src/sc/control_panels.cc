@@ -6,68 +6,6 @@
 namespace ccai::sc
 {
 
-Bytes
-ChunkRecord::serialize() const
-{
-    Bytes out(kWireBytes, 0);
-    storeLe64(out.data(), chunkId);
-    out[8] = dir == trust::StreamDir::HostToDevice ? 0 : 1;
-    out[9] = synthetic ? 1 : 0;
-    storeLe64(out.data() + 16, addr);
-    storeBe32(out.data() + 24, length);
-    storeBe32(out.data() + 28, epoch);
-    if (!iv.empty())
-        std::copy(iv.begin(), iv.end(), out.begin() + 32);
-    if (!tag.empty())
-        std::copy(tag.begin(), tag.end(), out.begin() + 44);
-    return out;
-}
-
-ChunkRecord
-ChunkRecord::deserialize(const Bytes &raw)
-{
-    if (raw.size() != kWireBytes)
-        fatal("ChunkRecord: expected %u bytes, got %zu", kWireBytes,
-              raw.size());
-    ChunkRecord rec;
-    rec.chunkId = loadLe64(raw.data());
-    rec.dir = raw[8] == 0 ? trust::StreamDir::HostToDevice
-                          : trust::StreamDir::DeviceToHost;
-    rec.synthetic = raw[9] != 0;
-    rec.addr = loadLe64(raw.data() + 16);
-    rec.length = loadBe32(raw.data() + 24);
-    rec.epoch = loadBe32(raw.data() + 28);
-    rec.iv.assign(raw.begin() + 32, raw.begin() + 44);
-    rec.tag.assign(raw.begin() + 44, raw.begin() + 60);
-    return rec;
-}
-
-std::vector<ChunkRecord>
-ChunkRecord::deserializeBatch(const Bytes &raw)
-{
-    if (raw.size() % kWireBytes != 0)
-        fatal("ChunkRecord batch: size %zu not a record multiple",
-              raw.size());
-    std::vector<ChunkRecord> recs;
-    for (size_t off = 0; off < raw.size(); off += kWireBytes) {
-        recs.push_back(deserialize(
-            Bytes(raw.begin() + off, raw.begin() + off + kWireBytes)));
-    }
-    return recs;
-}
-
-Bytes
-ChunkRecord::serializeBatch(const std::vector<ChunkRecord> &recs)
-{
-    Bytes out;
-    out.reserve(recs.size() * kWireBytes);
-    for (const ChunkRecord &rec : recs) {
-        Bytes raw = rec.serialize();
-        out.insert(out.end(), raw.begin(), raw.end());
-    }
-    return out;
-}
-
 void
 DecryptParamsManager::registerChunk(const ChunkRecord &rec)
 {

@@ -16,37 +16,13 @@
 #include "common/types.hh"
 #include "crypto/gcm.hh"
 #include "sim/stats.hh"
+#include "backend/chunk_record.hh"
 #include "trust/key_manager.hh"
 
 namespace ccai::sc
 {
 
-/**
- * Cryptographic parameters for one protected transfer chunk. The
- * Adaptor registers H2D chunks before the device pulls them; the
- * PCIe-SC creates D2H chunks as results stream out.
- */
-struct ChunkRecord
-{
-    std::uint64_t chunkId = 0;
-    trust::StreamDir dir = trust::StreamDir::HostToDevice;
-    Addr addr = 0;            ///< bounce-buffer address of the chunk
-    std::uint32_t length = 0; ///< plaintext length in bytes
-    std::uint32_t epoch = 0;  ///< key epoch
-    Bytes iv;                 ///< 12-byte GCM IV
-    Bytes tag;                ///< 16-byte GCM tag
-    bool synthetic = false;   ///< payload modelled by length only
-
-    /** Wire size of a serialized record. */
-    static constexpr std::uint32_t kWireBytes = 64;
-
-    Bytes serialize() const;
-    static ChunkRecord deserialize(const Bytes &raw);
-    /** Parse a concatenation of records. */
-    static std::vector<ChunkRecord> deserializeBatch(const Bytes &raw);
-    /** Serialize a batch. */
-    static Bytes serializeBatch(const std::vector<ChunkRecord> &recs);
-};
+using backend::ChunkRecord;
 
 /**
  * De/Encryption Parameters Manager: analyzes confidential packet

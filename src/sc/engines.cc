@@ -12,60 +12,4 @@ AesGcmShaEngine::cryptDelay(std::uint64_t bytes) const
     return timing_.gcmSetupLatency + secondsToTicks(seconds);
 }
 
-Bytes
-SignIntegrityEngine::computeMac(const pcie::Tlp &tlp) const
-{
-    Bytes message = tlp.serializeHeader();
-    if (!tlp.synthetic)
-        message.insert(message.end(), tlp.data.begin(), tlp.data.end());
-    Bytes mac = crypto::hmacSha256(key_, message);
-    mac.resize(16); // truncated MAC fits a TLP prefix
-    return mac;
-}
-
-bool
-SignIntegrityEngine::verify(const pcie::Tlp &tlp)
-{
-    if (key_.empty()) {
-        ++failures_;
-        return false;
-    }
-    // Synthetic bulk traffic is timing-only: the MAC bytes are not
-    // materialized, so only sequence monotonicity is enforced.
-    if (!tlp.synthetic) {
-        Bytes expected = computeMac(tlp);
-        if (!constantTimeEqual(expected, tlp.integrityTag)) {
-            ++failures_;
-            return false;
-        }
-    }
-    std::uint64_t &last = lastSeq_[tlp.requester.raw()];
-    if (tlp.seqNo <= last) {
-        ++failures_; // replayed or reordered packet
-        return false;
-    }
-    last = tlp.seqNo;
-    return true;
-}
-
-bool
-SignIntegrityEngine::verifyMac(const pcie::Tlp &tlp) const
-{
-    if (key_.empty())
-        return false;
-    if (tlp.synthetic)
-        return true; // timing-only traffic carries no MAC bytes
-    Bytes expected = computeMac(tlp);
-    return constantTimeEqual(expected, tlp.integrityTag);
-}
-
-Tick
-SignIntegrityEngine::verifyDelay(const pcie::Tlp &tlp) const
-{
-    // One pipeline fill plus throughput-bound MAC streaming.
-    std::uint64_t bytes = tlp.hasData() ? tlp.payloadBytes() : 0;
-    double seconds = bytes / timing_.shaBytesPerSec;
-    return timing_.sigCheckLatency + secondsToTicks(seconds);
-}
-
 } // namespace ccai::sc

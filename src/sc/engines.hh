@@ -14,28 +14,15 @@
 #include <optional>
 
 #include "common/types.hh"
+#include "backend/integrity.hh"
 #include "crypto/gcm.hh"
-#include "crypto/sha256.hh"
 #include "pcie/tlp.hh"
 
 namespace ccai::sc
 {
 
-/** Timing parameters of the FPGA crypto pipelines. */
-struct EngineTiming
-{
-    /** AES-GCM pipeline throughput: the engine is sized to keep up
-     * with the PCIe Gen4 x16 line rate (paper §7.2). */
-    double gcmBytesPerSec = 32.0e9;
-    /** Fixed per-chunk setup latency (key/IV schedule load). */
-    Tick gcmSetupLatency = 250 * kTicksPerNs;
-    /** Tag check latency per chunk. */
-    Tick tagCheckLatency = 120 * kTicksPerNs;
-    /** SHA/HMAC integrity pipeline throughput. */
-    double shaBytesPerSec = 22.0e9;
-    /** Per-packet integrity verify constant. */
-    Tick sigCheckLatency = 90 * kTicksPerNs;
-};
+using backend::EngineTiming;
+using backend::SignIntegrityEngine;
 
 /**
  * AES-GCM-SHA engine: seals and opens chunk payloads.
@@ -59,48 +46,6 @@ class AesGcmShaEngine
     EngineTiming timing_;
 };
 
-/**
- * Sign-based integrity engine for A3 packets: HMAC-SHA256 over
- * (header || payload) keyed with the session integrity key, plus a
- * monotonic per-requester sequence check against reordering/replay.
- */
-class SignIntegrityEngine
-{
-  public:
-    explicit SignIntegrityEngine(const EngineTiming &timing = {})
-        : timing_(timing)
-    {}
-
-    void setKey(const Bytes &key) { key_ = key; }
-    bool hasKey() const { return !key_.empty(); }
-
-    /** Compute the MAC an A3 packet must carry. */
-    Bytes computeMac(const pcie::Tlp &tlp) const;
-
-    /**
-     * Verify an A3 packet: MAC matches and sequence number is
-     * strictly increasing for its requester.
-     */
-    bool verify(const pcie::Tlp &tlp);
-
-    /**
-     * MAC-only check, no sequence-state mutation. Used when the
-     * transport ARQ owns sequencing (a retransmitted packet carries
-     * a seqNo the strict monotonic check would wrongly reject).
-     */
-    bool verifyMac(const pcie::Tlp &tlp) const;
-
-    /** Pipeline time to check one packet. */
-    Tick verifyDelay(const pcie::Tlp &tlp) const;
-
-    std::uint64_t failures() const { return failures_; }
-
-  private:
-    EngineTiming timing_;
-    Bytes key_;
-    std::map<std::uint16_t, std::uint64_t> lastSeq_;
-    std::uint64_t failures_ = 0;
-};
 
 } // namespace ccai::sc
 

@@ -42,6 +42,7 @@ LoadGenerator::Handles::Handles(sim::StatGroup &g)
 LoadGenerator::LoadGenerator(sim::System &sys, std::string name,
                              const ServeConfig &config)
     : sim::SimObject(sys, std::move(name)), config_(config),
+      cost_(backend::costModelFor(config.protection)),
       stats_(sys.metrics(), this->name()), s_(stats_)
 {
     if (config_.fleet.empty())
@@ -102,7 +103,7 @@ LoadGenerator::secureScaled(Tick t) const
     if (!config_.secure)
         return t;
     return static_cast<Tick>(static_cast<double>(t) *
-                             config_.secureComputeOverhead);
+                             cost_.computeOverhead);
 }
 
 Tick
@@ -116,7 +117,7 @@ LoadGenerator::prefillTicks(const DeviceState &dev) const
     Tick t = secondsToTicks(seconds) + dev.spec.kernelLaunchOverhead;
     t = secureScaled(t);
     if (config_.secure)
-        t += config_.secureSetupTicks;
+        t += cost_.perRequestSetup;
     return t;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/protection_backend.hh"
 #include "llm/model_spec.hh"
 #include "serve/arrival.hh"
 #include "sim/sim_object.hh"
@@ -56,11 +57,15 @@ struct ServeConfig
     /** 0 = unbounded until the horizon. */
     std::uint32_t maxRequestsPerTenant = 0;
 
-    /** Secure sessions: compute inflated by the ccAI data-path
-     * overhead plus a fixed per-request session-setup cost. */
+    /**
+     * Secure sessions: compute inflated by the protection backend's
+     * compute-overhead factor plus its per-request setup cost, both
+     * taken from backend::costModelFor(protection). This replaces
+     * the old free-floating secureComputeOverhead/secureSetupTicks
+     * knobs, which duplicated the backend cost model.
+     */
     bool secure = true;
-    double secureComputeOverhead = 1.12;
-    Tick secureSetupTicks = 150 * kTicksPerUs;
+    backend::Kind protection = backend::Kind::CcaiSc;
 
     llm::ModelSpec model = llm::ModelSpec::llama2_7b();
     /** Fleet devices; tenants are assigned round-robin. */
@@ -149,6 +154,8 @@ class LoadGenerator : public sim::SimObject
     Tick secureScaled(Tick t) const;
 
     ServeConfig config_;
+    /** Resolved once from config_.protection. */
+    backend::CostModel cost_;
     std::vector<std::unique_ptr<TenantState>> tenants_;
     std::vector<std::unique_ptr<DeviceState>> devices_;
 

@@ -12,7 +12,7 @@ namespace ccai::tvm
 {
 
 namespace mm = pcie::memmap;
-using sc::ChunkRecord;
+using backend::ChunkRecord;
 
 Adaptor::Handles::Handles(sim::StatGroup &g)
     : faultsRecovered(g.counterHandle("faults_recovered")),
@@ -266,7 +266,7 @@ Adaptor::pingXpu(std::function<void(bool)> cb)
 }
 
 void
-Adaptor::pktFilterManage(const sc::RuleTables &tables)
+Adaptor::pktFilterManage(const backend::RuleTables &tables)
 {
     if (!configCipher_)
         fatal("Adaptor: pktFilterManage before session establishment");

@@ -23,9 +23,9 @@
 
 #include "obs/trace.hh"
 #include "pcie/transport.hh"
-#include "sc/control_panels.hh"
-#include "sc/engines.hh"
-#include "sc/rules.hh"
+#include "backend/chunk_record.hh"
+#include "backend/integrity.hh"
+#include "backend/policy.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "trust/key_manager.hh"
@@ -168,7 +168,7 @@ class Adaptor : public sim::SimObject
      * pkt_filter_manage: encrypt the rule tables under the config
      * key and write them into the PCIe-SC's rule BAR.
      */
-    void pktFilterManage(const sc::RuleTables &tables);
+    void pktFilterManage(const backend::RuleTables &tables);
 
     /**
      * Prepare an H2D transfer: encrypt @p data (or a synthetic
@@ -208,7 +208,7 @@ class Adaptor : public sim::SimObject
     void endTask(bool softResetSupported);
 
     /** Remember the session policy for per-request refreshes. */
-    void setPolicy(const sc::RuleTables &tables) { policy_ = tables; }
+    void setPolicy(const backend::RuleTables &tables) { policy_ = tables; }
 
     /**
      * Re-install the session policy (per-request bounce windows) and
@@ -237,7 +237,7 @@ class Adaptor : public sim::SimObject
         bool synthetic = false;
         bool scTerminated = false;
         DataCb done;
-        std::vector<sc::ChunkRecord> recs; ///< deduped, addr-sorted
+        std::vector<backend::ChunkRecord> recs; ///< deduped, addr-sorted
         std::vector<Bytes> plain; ///< per-record plaintext (staged)
         Bytes out; ///< zero-copy output (opened in place per record)
         std::vector<char> ok;              ///< per-record decrypt ok
@@ -279,23 +279,23 @@ class Adaptor : public sim::SimObject
                      std::uint64_t length);
     void fetchRecordsBatched(std::uint64_t expectChunks,
                              std::function<void(
-                                 std::vector<sc::ChunkRecord>)> done);
+                                 std::vector<backend::ChunkRecord>)> done);
     void fetchRecordsMmio(std::function<void(
-                              std::vector<sc::ChunkRecord>)> done);
+                              std::vector<backend::ChunkRecord>)> done);
     void fetchOneRecordMmio(std::uint64_t index, std::uint64_t count,
-                            std::vector<sc::ChunkRecord> acc,
+                            std::vector<backend::ChunkRecord> acc,
                             std::function<void(
-                                std::vector<sc::ChunkRecord>)> done);
+                                std::vector<backend::ChunkRecord>)> done);
 
     Tvm &tvm_;
     AdaptorConfig config_;
     AdaptorTiming timing_;
 
     std::unique_ptr<trust::WorkloadKeyManager> keys_;
-    sc::SignIntegrityEngine signer_; ///< A3 MAC computation
+    backend::SignIntegrityEngine signer_; ///< A3 MAC computation
     std::optional<crypto::AesGcm> configCipher_;
     std::unique_ptr<crypto::Drbg> drbg_;
-    std::optional<sc::RuleTables> policy_;
+    std::optional<backend::RuleTables> policy_;
 
     Addr h2dCursor_ = 0;
     Addr d2hCursor_ = 0;
@@ -311,7 +311,7 @@ class Adaptor : public sim::SimObject
      * the next transfer's records — they wait here instead of being
      * dropped.
      */
-    std::vector<sc::ChunkRecord> metaPending_;
+    std::vector<backend::ChunkRecord> metaPending_;
     Tick cpuBusyUntil_ = 0;
 
     /** Downstream ARQ sender window (writes awaiting the SC's ack). */

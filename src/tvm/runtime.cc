@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/protection_backend.hh"
 #include "common/logging.hh"
 #include "pcie/memory_map.hh"
 #include "xpu/xpu_device.hh"
@@ -114,6 +115,14 @@ Runtime::memcpyH2DPiece(Addr devAddr, std::optional<Bytes> data,
     Tick copy = kind == TransferKind::KvSwap
                     ? 0
                     : tvm_.memcpyDelay(length);
+    if (protection_) {
+        // Rival cost model: the CPU seals the payload into the
+        // encrypted bounce buffer before the device may pull it.
+        // KV swaps get no exemption — without an on-path crypto
+        // engine there is no line-rate path to ride.
+        copy += protection_->hostSealDelay(length);
+        copy += protection_->perTransferSetup();
+    }
     eventq().scheduleIn(copy,
                         [submit_dma = std::move(submit_dma), staging] {
                             submit_dma(staging);
@@ -189,6 +198,10 @@ Runtime::memcpyD2HPiece(Addr devAddr, std::uint64_t length,
         Tick copy = kind == TransferKind::KvSwap
                         ? 0
                         : tvm_.memcpyDelay(length);
+        if (protection_) {
+            copy += protection_->hostOpenDelay(length);
+            copy += protection_->perTransferSetup();
+        }
         eventq().scheduleIn(copy, [this, staging, length, synthetic,
                                    done = std::move(done)]() {
             Bytes out;
@@ -206,7 +219,10 @@ Runtime::beginRequest(DoneCb done)
         adaptor_->refreshPolicy(std::move(done));
         return;
     }
-    eventq().scheduleIn(0, std::move(done));
+    // Rival backends charge their per-request setup (command-buffer
+    // authentication, granule delegation, ...) here.
+    Tick setup = protection_ ? protection_->perRequestSetup() : 0;
+    eventq().scheduleIn(setup, std::move(done));
 }
 
 void
@@ -215,6 +231,13 @@ Runtime::launchKernel(Tick duration)
     xpu::XpuCommand cmd;
     cmd.type = xpu::XpuCmdType::LaunchKernel;
     cmd.duration = duration;
+    if (protection_) {
+        // Confidential-compute mode costs the rivals a fixed factor
+        // on kernel time (encrypted HBM / stage-2 translation).
+        cmd.duration = static_cast<Tick>(
+            static_cast<double>(cmd.duration) *
+            protection_->computeOverhead());
+    }
     driver_.submitCommand(cmd);
 }
 

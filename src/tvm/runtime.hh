@@ -16,6 +16,11 @@
 
 #include "tvm/driver.hh"
 
+namespace ccai::backend
+{
+class ProtectionBackend;
+} // namespace ccai::backend
+
 namespace ccai::tvm
 {
 
@@ -53,6 +58,23 @@ class Runtime : public sim::SimObject
             Adaptor *adaptor = nullptr);
 
     RuntimeMode mode() const { return mode_; }
+
+    /**
+     * Attach a cost-modelled protection backend (H100-CC / ACAI
+     * rivals). A Vanilla-mode runtime with a backend attached
+     * charges the backend's host seal/open rates, per-transfer and
+     * per-request setup, and compute-overhead factor on top of the
+     * plain data path. nullptr (the default) charges nothing; the
+     * ccai backend's costs come from the simulated PCIe-SC instead.
+     */
+    void setProtection(const backend::ProtectionBackend *b)
+    {
+        protection_ = b;
+    }
+    const backend::ProtectionBackend *protection() const
+    {
+        return protection_;
+    }
 
     /**
      * Copy host data to device memory (synchronous semantics: @p
@@ -124,6 +146,7 @@ class Runtime : public sim::SimObject
     XpuDriver &driver_;
     RuntimeMode mode_;
     Adaptor *adaptor_;
+    const backend::ProtectionBackend *protection_ = nullptr;
     Addr stagingCursor_ = 0;
     std::uint64_t bytesH2d_ = 0;
     std::uint64_t bytesD2h_ = 0;

@@ -1,5 +1,6 @@
 #include "xpu_device.hh"
 
+#include "backend/protection_backend.hh"
 #include "common/logging.hh"
 
 namespace ccai::xpu
@@ -197,31 +198,21 @@ XpuDevice::startNextCommand()
         return;
       case XpuCmdType::DmaToHost: {
         s_.dmaD2h.inc();
-        // Device pushes VRAM contents to host memory as posted MWr.
-        std::uint64_t remaining = cmd.length;
-        Addr host = cmd.hostAddr;
-        Addr dev = cmd.devAddr;
-        const std::uint64_t burstMax =
-            cmd.burstBytes ? cmd.burstBytes : kDmaBurst;
-        while (remaining > 0) {
-            std::uint64_t burst = std::min(remaining, burstMax);
-            pcie::TlpPtr tlp;
-            if (cmd.synthetic) {
-                tlp = std::make_shared<pcie::Tlp>(
-                    pcie::Tlp::makeMemWriteSynthetic(
-                        bdf_, host, static_cast<std::uint32_t>(burst)));
-            } else {
-                Bytes data = vram_.read(dev - mm::kXpuVram.base, burst);
-                tlp = std::make_shared<pcie::Tlp>(
-                    pcie::Tlp::makeMemWrite(bdf_, host,
-                                            std::move(data)));
-            }
-            up_->send(tlp);
-            host += burst;
-            dev += burst;
-            remaining -= burst;
+        // A cost-modelled backend seals the payload in the device's
+        // crypto engines before anything leaves the die. Zero delay
+        // (no backend, or one without device crypto) keeps the
+        // direct synchronous path.
+        Tick crypt = protection_
+                         ? protection_->deviceCryptoDelay(cmd.length)
+                         : 0;
+        if (crypt == 0) {
+            emitDmaWrite(cmd);
+            return;
         }
-        finishCommand(cmd);
+        eventq().scheduleIn(crypt, [this, cmd] {
+            if (!wedged_)
+                emitDmaWrite(cmd);
+        });
         return;
       }
       case XpuCmdType::MemSet:
@@ -235,6 +226,35 @@ XpuDevice::startNextCommand()
         finishCommand(cmd);
         return;
     }
+}
+
+void
+XpuDevice::emitDmaWrite(const XpuCommand &cmd)
+{
+    // Device pushes VRAM contents to host memory as posted MWr.
+    std::uint64_t remaining = cmd.length;
+    Addr host = cmd.hostAddr;
+    Addr dev = cmd.devAddr;
+    const std::uint64_t burstMax =
+        cmd.burstBytes ? cmd.burstBytes : kDmaBurst;
+    while (remaining > 0) {
+        std::uint64_t burst = std::min(remaining, burstMax);
+        pcie::TlpPtr tlp;
+        if (cmd.synthetic) {
+            tlp = std::make_shared<pcie::Tlp>(
+                pcie::Tlp::makeMemWriteSynthetic(
+                    bdf_, host, static_cast<std::uint32_t>(burst)));
+        } else {
+            Bytes data = vram_.read(dev - mm::kXpuVram.base, burst);
+            tlp = std::make_shared<pcie::Tlp>(
+                pcie::Tlp::makeMemWrite(bdf_, host, std::move(data)));
+        }
+        up_->send(tlp);
+        host += burst;
+        dev += burst;
+        remaining -= burst;
+    }
+    finishCommand(cmd);
 }
 
 void
@@ -285,7 +305,22 @@ XpuDevice::pumpDmaRead()
                 pumpDmaRead();
             } else if (dmaRead_.inflight == 0 && dmaRead_.active) {
                 dmaRead_.active = false;
-                finishCommand(dmaRead_.cmd);
+                // Cost-modelled backends open the pulled ciphertext
+                // in the device crypto engines before the command
+                // may retire; zero delay retires directly.
+                Tick crypt =
+                    protection_ ? protection_->deviceCryptoDelay(
+                                      dmaRead_.cmd.length)
+                                : 0;
+                if (crypt == 0) {
+                    finishCommand(dmaRead_.cmd);
+                } else {
+                    const XpuCommand done_cmd = dmaRead_.cmd;
+                    eventq().scheduleIn(crypt, [this, done_cmd] {
+                        if (!wedged_)
+                            finishCommand(done_cmd);
+                    });
+                }
             }
         };
 

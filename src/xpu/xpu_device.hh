@@ -24,6 +24,11 @@
 #include "xpu/xpu_command.hh"
 #include "xpu/xpu_spec.hh"
 
+namespace ccai::backend
+{
+class ProtectionBackend;
+} // namespace ccai::backend
+
 namespace ccai::xpu
 {
 
@@ -93,6 +98,19 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
     /** Number of retired commands. */
     std::uint64_t retiredCommands() const { return retired_; }
 
+    /**
+     * Attach a cost-modelled protection backend. A device with a
+     * backend attached charges its on-die crypto rate (H100-CC's
+     * GCM engines sealing/opening every DMA payload) before bursts
+     * leave the device and before pulled data lands in VRAM.
+     * nullptr (the default) charges nothing — vanilla devices and
+     * the ccai backend, whose crypto runs in the PCIe-SC instead.
+     */
+    void setProtection(const backend::ProtectionBackend *b)
+    {
+        protection_ = b;
+    }
+
     sim::StatGroup &stats() { return stats_; }
     sim::StatGroup *statGroup() override { return &stats_; }
 
@@ -103,6 +121,8 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
     void handleMmioRead(const pcie::TlpPtr &tlp);
     void startNextCommand();
     void finishCommand(const XpuCommand &cmd);
+    /** Push one D2H command's VRAM contents upstream as MWr bursts. */
+    void emitDmaWrite(const XpuCommand &cmd);
     void startDmaRead(const XpuCommand &cmd);
     void pumpDmaRead();
     void raiseInterrupt(std::uint16_t msiTarget);
@@ -110,6 +130,7 @@ class XpuDevice : public sim::SimObject, public pcie::PcieNode
     XpuSpec spec_;
     pcie::Bdf bdf_;
     pcie::Link *up_ = nullptr;
+    const backend::ProtectionBackend *protection_ = nullptr;
 
     /** MMIO register file, keyed by offset within the MMIO BAR. */
     std::map<Addr, std::uint64_t> regs_;

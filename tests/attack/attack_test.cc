@@ -129,7 +129,7 @@ TEST(Tampering, CorruptedCiphertextDetectedNotConsumed)
     EXPECT_GT(rig.tap.tampered(), 0u);
     EXPECT_GT(rig.platform.pcieSc()
                   ->stats()
-                  .counter("a2_integrity_failures")
+                  .counterHandle("a2_integrity_failures")
                   .value(),
               0u);
     // The device never received the corrupted plaintext.
@@ -154,11 +154,11 @@ TEST(Tampering, CommandTamperDetectedByA3)
     EXPECT_GT(rig.tap.tampered(), 0u);
     EXPECT_GT(rig.platform.pcieSc()
                   ->stats()
-                  .counter("a3_integrity_failures")
+                  .counterHandle("a3_integrity_failures")
                   .value(),
               0u);
     // The tampered command never executed.
-    EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
+    EXPECT_EQ(rig.platform.xpu().stats().counterHandle("kernels").value(),
               0u);
 }
 
@@ -182,11 +182,11 @@ TEST(Replay, ReplayedCommandSuppressedExactlyOnce)
     // MAC covers the sequence fields, so an attacker cannot re-stamp
     // the replay with a fresh sequence number either — that variant
     // dies in a3_integrity_failures instead.)
-    EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
+    EXPECT_EQ(rig.platform.xpu().stats().counterHandle("kernels").value(),
               1u);
     EXPECT_GT(rig.platform.pcieSc()
                   ->stats()
-                  .counter("transport_rx_duplicates")
+                  .counterHandle("transport_rx_duplicates")
                   .value(),
               0u);
 }
@@ -209,11 +209,11 @@ TEST(Replay, ResequencedReplayFailsTheMac)
     rig.platform.runtime().launchKernel(1 * kTicksPerMs);
     rig.platform.run();
 
-    EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
+    EXPECT_EQ(rig.platform.xpu().stats().counterHandle("kernels").value(),
               1u);
     EXPECT_GT(rig.platform.pcieSc()
                   ->stats()
-                  .counter("a3_integrity_failures")
+                  .counterHandle("a3_integrity_failures")
                   .value(),
               0u);
 }
@@ -236,10 +236,10 @@ TEST(Reorder, SwappedCommandsHealedInOrder)
     // once with its commands applied in program order.
     EXPECT_GT(rig.platform.pcieSc()
                   ->stats()
-                  .counter("transport_rx_ooo")
+                  .counterHandle("transport_rx_ooo")
                   .value(),
               0u);
-    EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
+    EXPECT_EQ(rig.platform.xpu().stats().counterHandle("kernels").value(),
               1u);
 }
 
@@ -267,7 +267,7 @@ TEST(MaliciousDevice, BlockedFromHostAndXpu)
 
     EXPECT_TRUE(evil.loot().empty()) << "no data may leak";
     // Host read blocked by IOMMU, xPU probe aborted by the SC.
-    EXPECT_GT(p.rootComplex().stats().counter("iommu_blocked").value(),
+    EXPECT_GT(p.rootComplex().stats().counterHandle("iommu_blocked").value(),
               0u);
     EXPECT_GT(p.pcieSc()->filter().blocked(), 0u);
     EXPECT_GE(evil.aborts(), 1u);
@@ -314,7 +314,7 @@ TEST(RogueVm, UnauthorizedTvmBlockedByFilter)
 
     EXPECT_TRUE(loot.empty());
     EXPECT_GE(p.pcieSc()->filter().blocked(), 2u);
-    EXPECT_EQ(p.xpu().stats().counter("mmio_writes").value(), 0u);
+    EXPECT_EQ(p.xpu().stats().counterHandle("mmio_writes").value(), 0u);
 }
 
 TEST(ConfigInjection, ForgedPolicyUpdateRejected)
@@ -429,7 +429,7 @@ TEST(Droppping, DroppedPacketsDoNotCorruptState)
     // model) but nothing leaks and the device state is intact.
     EXPECT_FALSE(synced);
     EXPECT_GT(rig.tap.dropped(), 0u);
-    EXPECT_EQ(rig.platform.xpu().stats().counter("kernels").value(),
+    EXPECT_EQ(rig.platform.xpu().stats().counterHandle("kernels").value(),
               1u);
 }
 

@@ -182,9 +182,9 @@ TEST(HostileEndpoint, EndToEndSessionBlockedAndCounted)
 
     // The same tallies surface as schema-validated obs counters.
     auto &stats = p.pcieSc()->stats();
-    EXPECT_EQ(stats.counter("blocked_l2_deny_rule").value(),
+    EXPECT_EQ(stats.counterHandle("blocked_l2_deny_rule").value(),
               filter.blockedFor(sc::BlockReason::L2DenyRule));
-    EXPECT_EQ(stats.counter("blocked_malformed_fmt").value(),
+    EXPECT_EQ(stats.counterHandle("blocked_malformed_fmt").value(),
               filter.blockedFor(sc::BlockReason::MalformedFmt));
     const std::string json = p.exportMetricsJson(false);
     EXPECT_NE(json.find("blocked_l2_deny_rule"), std::string::npos);

@@ -112,11 +112,11 @@ TEST(LargeTransfers, SplitTransferExceedingBounceWindows)
                           600 * kMiB, [&] { done = true; });
     p.run();
     EXPECT_TRUE(done);
-    EXPECT_EQ(p.xpu().stats().counter("dma_aborts").value(), 0u);
-    EXPECT_EQ(p.rootComplex().stats().counter("iommu_blocked").value(),
+    EXPECT_EQ(p.xpu().stats().counterHandle("dma_aborts").value(), 0u);
+    EXPECT_EQ(p.rootComplex().stats().counterHandle("iommu_blocked").value(),
               0u);
     // 600 MiB at 256 KiB device bursts.
-    EXPECT_EQ(p.rootComplex().stats().counter("dma_reads").value(),
+    EXPECT_EQ(p.rootComplex().stats().counterHandle("dma_reads").value(),
               600u * kMiB / (256 * kKiB));
 }
 

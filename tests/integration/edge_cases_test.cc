@@ -27,7 +27,7 @@ TEST(EdgeCases, CommandRingWrapsPastSixtyFourSlots)
     EXPECT_TRUE(synced);
     EXPECT_EQ(p.xpu().retiredCommands(),
               std::uint64_t(kCount) + 1); // + fence
-    EXPECT_EQ(p.xpu().stats().counter("doorbell_empty").value(), 0u);
+    EXPECT_EQ(p.xpu().stats().counterHandle("doorbell_empty").value(), 0u);
 }
 
 TEST(EdgeCases, InterleavedTransfersAndKernelsSecure)
@@ -60,7 +60,7 @@ TEST(EdgeCases, InterleavedTransfersAndKernelsSecure)
     EXPECT_EQ(rounds_left, -1);
     EXPECT_EQ(p.pcieSc()
                   ->stats()
-                  .counter("a2_integrity_failures")
+                  .counterHandle("a2_integrity_failures")
                   .value(),
               0u);
 }
@@ -151,5 +151,5 @@ TEST(EdgeCases, BounceRingReuseAcrossManyTransfers)
     next();
     p.run();
     EXPECT_EQ(remaining, -1);
-    EXPECT_EQ(p.xpu().stats().counter("dma_aborts").value(), 0u);
+    EXPECT_EQ(p.xpu().stats().counterHandle("dma_aborts").value(), 0u);
 }

@@ -46,7 +46,7 @@ TEST(IvRotationLive, ManyChunksCrossEpochBoundaryCorrectly)
               0u);
     EXPECT_EQ(platform.pcieSc()
                   ->stats()
-                  .counter("a2_integrity_failures")
+                  .counterHandle("a2_integrity_failures")
                   .value(),
               0u);
 }
@@ -91,10 +91,10 @@ TEST(VendorMessages, SignedVendorMessageReachesDevice)
 
     p.adaptor()->sendVendorMessage(Bytes{0xca, 0xfe, 0x01});
     p.run();
-    EXPECT_EQ(p.xpu().stats().counter("vendor_messages").value(), 1u);
+    EXPECT_EQ(p.xpu().stats().counterHandle("vendor_messages").value(), 1u);
     EXPECT_EQ(p.pcieSc()
                   ->stats()
-                  .counter("a3_integrity_failures")
+                  .counterHandle("a3_integrity_failures")
                   .value(),
               0u);
 }
@@ -112,10 +112,10 @@ TEST(VendorMessages, UnsignedVendorMessageDropped)
     p.rootComplex().sendWrite(std::move(msg));
     p.run();
 
-    EXPECT_EQ(p.xpu().stats().counter("vendor_messages").value(), 0u);
+    EXPECT_EQ(p.xpu().stats().counterHandle("vendor_messages").value(), 0u);
     EXPECT_GT(p.pcieSc()
                   ->stats()
-                  .counter("a3_integrity_failures")
+                  .counterHandle("a3_integrity_failures")
                   .value(),
               0u);
 }

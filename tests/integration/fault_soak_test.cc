@@ -200,6 +200,6 @@ TEST_F(FaultSoak, KernelLaunchSurvivesLossyFabric)
     p.run();
 
     EXPECT_TRUE(synced);
-    EXPECT_EQ(p.xpu().stats().counter("kernels").value(), 1u);
+    EXPECT_EQ(p.xpu().stats().counterHandle("kernels").value(), 1u);
     EXPECT_EQ(p.system().sumCounter("faults_fatal"), 0u);
 }

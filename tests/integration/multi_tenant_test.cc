@@ -85,7 +85,7 @@ TEST_F(MultiTenantTest, BothTenantsRoundTripTheirOwnData)
     EXPECT_EQ(got_b, data_b);
     EXPECT_EQ(platform->pcieSc()
                   ->stats()
-                  .counter("a2_integrity_failures")
+                  .counterHandle("a2_integrity_failures")
                   .value(),
               0u);
 }
@@ -147,12 +147,12 @@ TEST_F(MultiTenantTest, SequenceNumbersIndependentPerTenant)
     platform->run();
     EXPECT_EQ(platform->pcieSc()
                   ->stats()
-                  .counter("a3_integrity_failures")
+                  .counterHandle("a3_integrity_failures")
                   .value(),
               0u);
     EXPECT_EQ(platform->pcieSc()
                   ->stats()
-                  .counter("transfer_notifies")
+                  .counterHandle("transfer_notifies")
                   .value(),
               2u);
 }
@@ -173,10 +173,10 @@ TEST_F(MultiTenantTest, TenantSignedWriteRejectedUnderWrongKey)
     platform->run();
     EXPECT_GT(platform->pcieSc()
                   ->stats()
-                  .counter("a3_integrity_failures")
+                  .counterHandle("a3_integrity_failures")
                   .value(),
               0u);
-    EXPECT_EQ(platform->xpu().stats().counter("doorbell_empty")
+    EXPECT_EQ(platform->xpu().stats().counterHandle("doorbell_empty")
                   .value(),
               0u);
 }

@@ -63,7 +63,7 @@ TEST_F(SecurePlatformTest, SecureH2dDeliversPlaintextToVram)
     EXPECT_NE(bounce, secret);
     EXPECT_EQ(platform->pcieSc()
                   ->stats()
-                  .counter("a2_integrity_failures")
+                  .counterHandle("a2_integrity_failures")
                   .value(),
               0u);
 }
@@ -112,7 +112,7 @@ TEST_F(SecurePlatformTest, KernelLaunchAndSyncWork)
     EXPECT_TRUE(synced);
     EXPECT_EQ(platform->pcieSc()
                   ->stats()
-                  .counter("a3_integrity_failures")
+                  .counterHandle("a3_integrity_failures")
                   .value(),
               0u);
 }
@@ -150,7 +150,7 @@ TEST_F(SecurePlatformTest, SyntheticBulkTransferCompletes)
     platform->run();
     EXPECT_TRUE(done);
     // 64 MiB at 256 KiB chunks: 256 records registered.
-    EXPECT_EQ(platform->pcieSc()->stats().counter("h2d_records")
+    EXPECT_EQ(platform->pcieSc()->stats().counterHandle("h2d_records")
                   .value(),
               256u);
 }
@@ -175,7 +175,7 @@ TEST(SecureNoOpt, UnoptimizedPathStillCorrect)
     platform.run();
     EXPECT_EQ(got, data);
     // The unoptimized design generated far more I/O interactions.
-    EXPECT_GT(platform.adaptor()->stats().counter("io_writes").value(),
+    EXPECT_GT(platform.adaptor()->stats().counterHandle("io_writes").value(),
               70u);
 }
 

@@ -4,8 +4,7 @@
  * plumbing: histogram bucket geometry and percentile accuracy versus
  * a sorted-sample oracle, merge semantics for cross-thread
  * aggregation, the Distribution empty-sentinel fix, typed-handle
- * identity with the deprecated string-keyed shim, and registry
- * add/remove/re-registration.
+ * identity/aliasing, and registry add/remove/re-registration.
  */
 
 #include <gtest/gtest.h>
@@ -218,7 +217,7 @@ TEST(Distribution, EmptySentinelNeverEscapes)
     EXPECT_EQ(d.max(), 9.0);
 }
 
-TEST(MetricGroup, HandleIdentityAndShim)
+TEST(MetricGroup, HandleIdentityAndAliasing)
 {
     obs::MetricGroup g("dev");
 
@@ -230,18 +229,16 @@ TEST(MetricGroup, HandleIdentityAndShim)
     EXPECT_EQ(h1.value(), 5u);
     EXPECT_EQ(h2.value(), 5u);
 
-    // The deprecated string shim reads/writes the same storage.
-    EXPECT_EQ(g.counter("tlps").value(), 5u);
-    g.counter("tlps").inc();
-    EXPECT_EQ(h1.value(), 6u);
+    // The map accessors observe the same storage the handles write.
+    EXPECT_EQ(g.counters().at("tlps").value(), 5u);
 
     // Same aliasing for histograms and gauges.
     obs::HistogramHandle hh = g.histogramHandle("lat");
     hh.sample(100);
-    EXPECT_EQ(g.histogram("lat").count(), 1u);
+    EXPECT_EQ(g.histogramHandle("lat").get()->count(), 1u);
     obs::GaugeHandle gh = g.gaugeHandle("depth");
     gh.set(3.5);
-    EXPECT_EQ(g.gauge("depth").value(), 3.5);
+    EXPECT_EQ(g.gaugeHandle("depth").value(), 3.5);
 
     // Default-constructed handles are inert no-ops.
     obs::CounterHandle unbound;
@@ -255,8 +252,8 @@ TEST(MetricGroup, DumpFormatUnchanged)
     // The historical "prefix.name value" dump format components and
     // tests rely on, via the sim::StatGroup alias.
     sim::StatGroup g("adaptor");
-    g.counter("h2d_bytes").inc(1024);
-    g.counter("a1_blocked");
+    g.counterHandle("h2d_bytes").inc(1024);
+    g.counterHandle("a1_blocked");
     std::string dump = g.dump();
     EXPECT_NE(dump.find("adaptor.h2d_bytes 1024\n"), std::string::npos)
         << dump;
@@ -270,8 +267,8 @@ TEST(MetricsRegistry, AddRemoveReregister)
     {
         obs::MetricGroup a(reg, "alpha");
         obs::MetricGroup b(reg, "beta");
-        a.counter("x").inc(2);
-        b.counter("x").inc(3);
+        a.counterHandle("x").inc(2);
+        b.counterHandle("x").inc(3);
         EXPECT_EQ(reg.groups().size(), 2u);
         EXPECT_EQ(reg.find("alpha"), &a);
         EXPECT_EQ(reg.sumCounter("x"), 5u);
@@ -283,7 +280,7 @@ TEST(MetricsRegistry, AddRemoveReregister)
 
     // Re-registration under the same prefix works (rebuilt Platform).
     obs::MetricGroup a2(reg, "alpha");
-    a2.counter("x").inc(7);
+    a2.counterHandle("x").inc(7);
     EXPECT_EQ(reg.find("alpha"), &a2);
     EXPECT_EQ(reg.sumCounter("x"), 7u);
 }
@@ -293,9 +290,9 @@ TEST(MetricsRegistry, JsonSnapshotSortedAndDeterministic)
     obs::MetricsRegistry reg;
     obs::MetricGroup z(reg, "zeta");
     obs::MetricGroup a(reg, "alpha");
-    z.counter("n").inc(1);
-    a.counter("n").inc(2);
-    a.histogram("lat").sample(10);
+    z.counterHandle("n").inc(1);
+    a.counterHandle("n").inc(2);
+    a.histogramHandle("lat").sample(10);
 
     auto snapshot = [&] {
         std::ostringstream os;

@@ -153,9 +153,9 @@ TEST(Link, StatsCountWireUnits)
     link.send(std::make_shared<Tlp>(
         Tlp::makeMemWriteSynthetic(wellknown::kTvm, 0, 1024)));
     sys.run();
-    EXPECT_EQ(link.stats().counter("tlps").value(), 1u);
-    EXPECT_EQ(link.stats().counter("wire_tlps").value(), 4u);
-    EXPECT_EQ(link.stats().counter("payload_bytes").value(), 1024u);
+    EXPECT_EQ(link.stats().counterHandle("tlps").value(), 1u);
+    EXPECT_EQ(link.stats().counterHandle("wire_tlps").value(), 4u);
+    EXPECT_EQ(link.stats().counterHandle("payload_bytes").value(), 1024u);
 }
 
 TEST(Switch, RoutesByAddress)
@@ -217,7 +217,7 @@ TEST(Switch, DropsUnroutableAndCounts)
                       wellknown::kTvm, 0x800, Bytes{1})),
                   &src);
     sys.run();
-    EXPECT_EQ(sw.stats().counter("dropped").value(), 1u);
+    EXPECT_EQ(sw.stats().counterHandle("dropped").value(), 1u);
 }
 
 TEST(Switch, MessagesGoToDefaultPort)
@@ -285,7 +285,7 @@ TEST(RootComplex, ReadCompletionMatching)
                 [&](const TlpPtr &cpl) { got = cpl->data; });
     sys.run();
     EXPECT_EQ(got, Bytes(8, 0x5a));
-    EXPECT_EQ(rc.stats().counter("completions").value(), 1u);
+    EXPECT_EQ(rc.stats().counterHandle("completions").value(), 1u);
 }
 
 TEST(RootComplex, DeviceDmaWriteHitsHostMemory)
@@ -313,7 +313,7 @@ TEST(RootComplex, IommuBlocksDisallowedDma)
             wellknown::kMaliciousDevice, 0x4000, Bytes{1})),
         nullptr);
     EXPECT_EQ(mem.read(0x4000, 1), Bytes{0});
-    EXPECT_EQ(rc.stats().counter("iommu_blocked").value(), 1u);
+    EXPECT_EQ(rc.stats().counterHandle("iommu_blocked").value(), 1u);
 
     rc.receiveTlp(std::make_shared<Tlp>(Tlp::makeMemWrite(
                       wellknown::kXpu, 0x4000, Bytes{1})),

@@ -86,7 +86,7 @@ runStream(const FaultConfig &faults, int count, bool encrypted = false)
     RunResult result;
     result.deliveries = sink.log;
     for (const char *name : kFaultCounters)
-        result.counters[name] = link.stats().counter(name).value();
+        result.counters[name] = link.stats().counterHandle(name).value();
     return result;
 }
 

@@ -149,8 +149,8 @@ TEST(Stats, DistributionMoments)
 TEST(Stats, GroupDump)
 {
     StatGroup g("unit");
-    g.counter("hits").inc(3);
-    g.distribution("lat").sample(1.0);
+    g.counterHandle("hits").inc(3);
+    g.distributionHandle("lat").sample(1.0);
     std::string dump = g.dump();
     EXPECT_NE(dump.find("unit.hits 3"), std::string::npos);
     EXPECT_NE(dump.find("unit.lat.count 1"), std::string::npos);

@@ -24,7 +24,7 @@ TEST(Tvm, IommuSecurePolicy)
                       wellknown::kXpu, mm::kTvmPrivate.base,
                       Bytes{1})),
                   nullptr);
-    EXPECT_EQ(rc.stats().counter("iommu_blocked").value(), 1u);
+    EXPECT_EQ(rc.stats().counterHandle("iommu_blocked").value(), 1u);
     EXPECT_EQ(p.hostMemory().read(mm::kTvmPrivate.base, 1), Bytes{0});
 
     rc.receiveTlp(std::make_shared<Tlp>(Tlp::makeMemWrite(
@@ -44,7 +44,7 @@ TEST(Tvm, IommuSecurePolicy)
                       wellknown::kPcieSc, mm::kTvmPrivate.base,
                       Bytes{9})),
                   nullptr);
-    EXPECT_EQ(rc.stats().counter("iommu_blocked").value(), 2u);
+    EXPECT_EQ(rc.stats().counterHandle("iommu_blocked").value(), 2u);
 }
 
 TEST(Tvm, InterruptWaitersFifo)
@@ -76,8 +76,8 @@ TEST(Adaptor, SignedWritesCarryMonotonicSequence)
                                  mm::screg::kNotifyTransfer,
                              Bytes(8, 1));
     p.run();
-    EXPECT_EQ(sc->stats().counter("transfer_notifies").value(), 2u);
-    EXPECT_EQ(sc->stats().counter("a3_integrity_failures").value(),
+    EXPECT_EQ(sc->stats().counterHandle("transfer_notifies").value(), 2u);
+    EXPECT_EQ(sc->stats().counterHandle("a3_integrity_failures").value(),
               0u);
 }
 

@@ -187,7 +187,7 @@ TEST(XpuDevice, LargeDmaSplitsIntoBursts)
     h.sys.run();
     EXPECT_EQ(h.dev.retiredCommands(), 1u);
     // 1 MiB at 256 KiB bursts: 4 read requests.
-    EXPECT_EQ(h.rc.stats().counter("dma_reads").value(), 4u);
+    EXPECT_EQ(h.rc.stats().counterHandle("dma_reads").value(), 4u);
 }
 
 TEST(XpuDevice, MmioReadReturnsRegister)
@@ -237,7 +237,7 @@ TEST(XpuDevice, SoftwareResetScrubsEverything)
     h.sys.run();
     EXPECT_TRUE(h.dev.envState().clean());
     EXPECT_EQ(h.dev.vram().read(0, 3), (Bytes{0, 0, 0}));
-    EXPECT_EQ(h.dev.stats().counter("resets").value(), 1u);
+    EXPECT_EQ(h.dev.stats().counterHandle("resets").value(), 1u);
 }
 
 TEST(XpuDevice, ColdResetDirect)
@@ -258,7 +258,7 @@ TEST(XpuDevice, DoorbellForEmptySlotIgnored)
         std::move(bell)));
     h.sys.run();
     EXPECT_EQ(h.dev.retiredCommands(), 0u);
-    EXPECT_EQ(h.dev.stats().counter("doorbell_empty").value(), 1u);
+    EXPECT_EQ(h.dev.stats().counterHandle("doorbell_empty").value(), 1u);
 }
 
 TEST(XpuDevice, KernelTimeScalesWithDuration)

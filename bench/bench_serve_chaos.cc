@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Overload and chaos robustness benchmark for the serving control
+ * plane.
+ *
+ * Sweeps offered load at {0.8, 1.0, 1.5, 3.0}x the fleet's roofline
+ * capacity, each factor twice: "controlled" (token-bucket admission,
+ * bounded queues, deadline shedding, backoff retry, least-loaded
+ * routing) and "unbounded" (the admit-everything plane), and with
+ * crash injection layered on the controlled runs — a seeded xPU
+ * crash kills a device mid-serving, its queue drains through the
+ * router to healthy devices while it walks reset -> re-attest ->
+ * rejoin.
+ *
+ * Gates (top-level booleans in BENCH_serve_chaos.json):
+ *   - goodput_retention_ok: controlled goodput at 3.0x stays >= 90%
+ *     of the 1.0x controlled goodput (bounded queues don't collapse).
+ *   - ttft_bounded_ok: controlled p99 TTFT of admitted requests at
+ *     3.0x stays within 2x of the uncontended 0.8x baseline.
+ *   - unbounded_collapse_shown: the admit-everything plane's p99
+ *     TTFT at 3.0x exceeds the controlled plane's — the contrast the
+ *     control plane exists to fix.
+ *   - zero_lost_ok: every chaos row satisfies
+ *     admitted == completed + shed_on_deadline (no admitted request
+ *     lost to a crash) and at least one crash fired.
+ *   - replay_identical: re-running the 3.0x chaos config on a fresh
+ *     System with the same seed reproduces every ledger counter and
+ *     a byte-identical schema-v4 metrics snapshot.
+ *
+ * Emits BENCH_serve_chaos.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "serve/load_generator.hh"
+#include "sim/event_queue.hh"
+#include "sim/metrics_snapshot.hh"
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "xpu/xpu_spec.hh"
+
+using namespace ccai;
+
+namespace
+{
+
+double
+wallSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct SweepPoint
+{
+    double factor = 1.0;
+    bool controlled = true;
+    bool chaos = false;
+};
+
+struct RunResult
+{
+    SweepPoint point;
+    double offeredPerSec = 0.0;
+    serve::ServeReport report;
+    std::uint64_t recoveryWindowMisses = 0;
+    std::uint64_t dispatched = 0;
+    double wallSeconds = 0.0;
+    std::string metricsJson;
+};
+
+serve::ServeConfig
+baseConfig(bool quick, std::uint64_t seed, backend::Kind protection)
+{
+    serve::ServeConfig cfg;
+    cfg.tenants = 50;
+    cfg.seed = seed;
+    cfg.protection = protection;
+    cfg.horizon = (quick ? 6 : 20) * kTicksPerSec;
+    cfg.profile.promptTokens = 128;
+    cfg.profile.genTokens = quick ? 16 : 32;
+    cfg.profile.sloDeadline = 6 * kTicksPerSec;
+    // Two heterogeneous groups: every spec twice, so the router has
+    // both fast and slow placement choices and a single crash never
+    // removes a device class entirely.
+    const auto &specs = xpu::XpuSpec::all();
+    for (int g = 0; g < 2; ++g)
+        cfg.fleet.insert(cfg.fleet.end(), specs.begin(),
+                         specs.end());
+    return cfg;
+}
+
+/** Fleet capacity (req/s) from the generator's own roofline. */
+double
+fleetCapacityPerSec(const serve::ServeConfig &cfg)
+{
+    sim::System sys;
+    serve::LoadGenerator gen(sys, "capacity_probe", cfg);
+    double cap = 0.0;
+    for (std::uint32_t d = 0;
+         d < static_cast<std::uint32_t>(cfg.fleet.size()); ++d)
+        cap += 1.0 /
+               ticksToSeconds(gen.serviceEstimate(d));
+    return cap;
+}
+
+RunResult
+runPoint(const serve::ServeConfig &base, double capacity,
+         const SweepPoint &point)
+{
+    serve::ServeConfig cfg = base;
+    cfg.profile.aggregateRatePerSec = capacity * point.factor;
+    if (point.controlled) {
+        cfg.leastLoadedRouting = true;
+        cfg.admission.enabled = true;
+        // Per-tenant sustained admit rate: 120% of the fair share
+        // of capacity, so a 1.0x offered load passes untouched and
+        // 3.0x sheds roughly two thirds at the bucket.
+        cfg.admission.tokenRatePerSec =
+            1.2 * capacity / cfg.tenants;
+        cfg.admission.tokenBurst = 4.0;
+        cfg.admission.maxQueueDepth = 3;
+        cfg.admission.deadlineShedding = true;
+        cfg.retry.enabled = true;
+        cfg.retry.maxAttempts = 3;
+        cfg.retry.baseBackoff = 20 * kTicksPerMs;
+        cfg.retry.maxBackoff = 500 * kTicksPerMs;
+        cfg.healthProbeInterval = 100 * kTicksPerMs;
+    }
+    if (point.chaos) {
+        cfg.chaos.enabled = true;
+        // Mean two crashes over the horizon: the jittered schedule
+        // places the first one in [0.25, 0.75] of the horizon for
+        // every seed, so a crash always lands mid-serving.
+        cfg.chaos.xpuCrashesPerSec =
+            2.0 / ticksToSeconds(cfg.horizon);
+    }
+
+    sim::System sys;
+    serve::LoadGenerator gen(sys, "serve_chaos", cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    gen.start();
+    sys.eventq().run();
+
+    RunResult r;
+    r.point = point;
+    r.offeredPerSec = cfg.profile.aggregateRatePerSec;
+    r.wallSeconds = wallSince(t0);
+    r.report = gen.report();
+    r.dispatched = sys.eventq().statDispatched();
+
+    // SLO-miss burst inside the recovery window of each crash: from
+    // the crash tick until the victim has rejoined and the rerouted
+    // backlog cleared (reset + re-attest + one deadline).
+    const Tick window = cfg.chaos.resetTicks +
+                        cfg.chaos.reattestTicks +
+                        cfg.profile.sloDeadline;
+    for (Tick crash : gen.crashTicks())
+        for (Tick miss : gen.missTicks())
+            if (miss >= crash && miss < crash + window)
+                ++r.recoveryWindowMisses;
+
+    sim::MetricsSnapshotInfo info;
+    info.source = "serve_chaos";
+    info.seed = cfg.seed;
+    info.secure = cfg.secure;
+    r.metricsJson = sim::exportMetricsSnapshot(sys, info);
+    return r;
+}
+
+bool
+sameLedger(const serve::ServeReport &a, const serve::ServeReport &b)
+{
+    return a.issued == b.issued && a.arrivals == b.arrivals &&
+           a.admitted == b.admitted && a.completed == b.completed &&
+           a.sloMisses == b.sloMisses &&
+           a.shedOnAdmit == b.shedOnAdmit &&
+           a.shedOnDeadline == b.shedOnDeadline &&
+           a.retries == b.retries && a.rerouted == b.rerouted &&
+           a.crashes == b.crashes;
+}
+
+void
+emitRow(obs::JsonEmitter &json, const RunResult &r)
+{
+    const serve::ServeReport &rep = r.report;
+    json.beginObject();
+    json.field("overload_factor", r.point.factor);
+    json.field("controlled", r.point.controlled);
+    json.field("chaos", r.point.chaos);
+    json.field("offered_per_sec", r.offeredPerSec);
+    json.field("issued", rep.issued);
+    json.field("arrivals", rep.arrivals);
+    json.field("admitted", rep.admitted);
+    json.field("completed", rep.completed);
+    json.field("slo_misses", rep.sloMisses);
+    json.field("shed_on_admit", rep.shedOnAdmit);
+    json.field("shed_on_deadline", rep.shedOnDeadline);
+    json.field("shed_rate", rep.shedRate);
+    json.field("shed_queue_full", rep.shedQueueFull);
+    json.field("shed_no_device", rep.shedNoDevice);
+    json.field("retries", rep.retries);
+    json.field("retries_exhausted", rep.retriesExhausted);
+    json.field("rerouted", rep.rerouted);
+    json.field("crashes", rep.crashes);
+    json.field("recovery_window_slo_misses",
+               r.recoveryWindowMisses);
+    // Retry amplification: admission attempts per unique request.
+    json.field("retry_amplification",
+               rep.arrivals > 0
+                   ? static_cast<double>(rep.issued) /
+                         static_cast<double>(rep.arrivals)
+                   : 0.0);
+    json.field("goodput_per_sec", rep.goodputPerSec);
+    json.field("sim_seconds", rep.simSeconds);
+    json.field("ttft_p50_s", rep.ttftP50);
+    json.field("ttft_p95_s", rep.ttftP95);
+    json.field("ttft_p99_s", rep.ttftP99);
+    json.field("e2e_p50_s", rep.e2eP50);
+    json.field("e2e_p95_s", rep.e2eP95);
+    json.field("e2e_p99_s", rep.e2eP99);
+    json.field("events_dispatched", r.dispatched);
+    json.field("wall_seconds", r.wallSeconds);
+    json.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--json") == 0 &&
+                 i + 1 < argc)
+            jsonPath = argv[++i];
+    }
+    sim::applySeedFlag(argc, argv);
+    const backend::Kind backendKind =
+        bench::parseBackendFlag(argc, argv);
+    if (jsonPath.empty())
+        jsonPath = bench::benchOutputPath("BENCH_serve_chaos.json",
+                                          backendKind);
+    const std::uint64_t seed = sim::resolveSeed(0xc4a05u);
+
+    serve::ServeConfig base =
+        baseConfig(quick, seed, backendKind);
+    const double capacity = fleetCapacityPerSec(base);
+    std::printf("fleet capacity: %.1f req/s (%zu devices, %s)\n",
+                capacity, base.fleet.size(),
+                backend::kindName(backendKind));
+
+    const double factors[] = {0.8, 1.0, 1.5, 3.0};
+    std::vector<RunResult> rows;
+    std::printf("%-6s %-11s %-6s %8s %8s %8s %8s %8s %9s %9s\n",
+                "load", "plane", "chaos", "arrive", "admit",
+                "done", "shed", "miss", "goodput", "ttft_p99");
+    for (double f : factors) {
+        for (bool controlled : {true, false}) {
+            for (bool chaos : {false, true}) {
+                // Chaos only contrasts against the controlled
+                // plane; the unbounded plane has no router to
+                // drain a crashed device through.
+                if (chaos && !controlled)
+                    continue;
+                RunResult r = runPoint(
+                    base, capacity, {f, controlled, chaos});
+                const serve::ServeReport &rep = r.report;
+                std::printf("%-6.1f %-11s %-6s %8llu %8llu %8llu "
+                            "%8llu %8llu %8.1f/s %8.3fs\n",
+                            f,
+                            controlled ? "controlled" : "unbounded",
+                            chaos ? "yes" : "no",
+                            (unsigned long long)rep.arrivals,
+                            (unsigned long long)rep.admitted,
+                            (unsigned long long)rep.completed,
+                            (unsigned long long)(rep.shedOnAdmit +
+                                                 rep.shedOnDeadline),
+                            (unsigned long long)rep.sloMisses,
+                            rep.goodputPerSec, rep.ttftP99);
+                rows.push_back(std::move(r));
+            }
+        }
+    }
+
+    auto find = [&](double f, bool controlled,
+                    bool chaos) -> const RunResult & {
+        for (const RunResult &r : rows)
+            if (r.point.factor == f &&
+                r.point.controlled == controlled &&
+                r.point.chaos == chaos)
+                return r;
+        std::fprintf(stderr, "missing sweep point\n");
+        std::exit(1);
+    };
+
+    const RunResult &calm = find(0.8, true, false);
+    const RunResult &nominal = find(1.0, true, false);
+    const RunResult &overload = find(3.0, true, false);
+    const RunResult &overloadRaw = find(3.0, false, false);
+
+    const bool goodputOk =
+        overload.report.goodputPerSec >=
+        0.9 * nominal.report.goodputPerSec;
+    const bool ttftOk =
+        overload.report.ttftP99 <= 2.0 * calm.report.ttftP99;
+    const bool collapseShown =
+        overloadRaw.report.ttftP99 > overload.report.ttftP99;
+
+    bool zeroLost = true;
+    std::uint64_t totalCrashes = 0;
+    std::uint64_t totalRerouted = 0;
+    for (const RunResult &r : rows) {
+        if (!r.point.chaos)
+            continue;
+        totalCrashes += r.report.crashes;
+        totalRerouted += r.report.rerouted;
+        if (r.report.admitted !=
+            r.report.completed + r.report.shedOnDeadline)
+            zeroLost = false;
+    }
+    // The injector targets busy devices, so across the whole chaos
+    // sweep at least one crash must have displaced live work.
+    if (totalCrashes == 0 || totalRerouted == 0)
+        zeroLost = false;
+
+    // Same-seed replay of the hardest point: fresh System, fresh
+    // generator, identical ledger and byte-identical metrics.
+    RunResult replay = runPoint(base, capacity, {3.0, true, true});
+    const RunResult &original = find(3.0, true, true);
+    const bool replayIdentical =
+        sameLedger(replay.report, original.report) &&
+        replay.metricsJson == original.metricsJson;
+
+    std::printf("\ngoodput 3.0x/1.0x: %.1f/%.1f req/s (%s)\n",
+                overload.report.goodputPerSec,
+                nominal.report.goodputPerSec,
+                goodputOk ? "ok" : "FAIL");
+    std::printf("ttft p99 3.0x vs 0.8x: %.3fs vs %.3fs (%s)\n",
+                overload.report.ttftP99, calm.report.ttftP99,
+                ttftOk ? "ok" : "FAIL");
+    std::printf("unbounded p99 at 3.0x: %.3fs (collapse %s)\n",
+                overloadRaw.report.ttftP99,
+                collapseShown ? "shown" : "NOT SHOWN");
+    std::printf("chaos: %llu crashes, zero lost %s, replay %s\n",
+                (unsigned long long)totalCrashes,
+                zeroLost ? "ok" : "FAIL",
+                replayIdentical ? "identical" : "DIVERGED");
+
+    {
+        bench::BenchJson out(jsonPath, "serve_chaos");
+        auto &json = out.json();
+        json.field("backend",
+                   backend::kindName(backendKind));
+        json.field("quick", quick);
+        json.field("seed", seed);
+        json.field("tenants", std::uint64_t(base.tenants));
+        json.field("devices",
+                   std::uint64_t(base.fleet.size()));
+        json.field("capacity_per_sec", capacity);
+        json.field("goodput_retention_ok", goodputOk);
+        json.field("ttft_bounded_ok", ttftOk);
+        json.field("unbounded_collapse_shown", collapseShown);
+        json.field("zero_lost_ok", zeroLost);
+        json.field("replay_identical", replayIdentical);
+        json.key("sweep");
+        json.beginArray();
+        for (const RunResult &r : rows)
+            emitRow(json, r);
+        json.endArray();
+        if (!out.ok()) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+    }
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+
+    return (goodputOk && ttftOk && collapseShown && zeroLost &&
+            replayIdentical)
+               ? 0
+               : 1;
+}

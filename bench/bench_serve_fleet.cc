@@ -17,6 +17,11 @@
  * arrivals from {100, 1k, 10k} tenants over a heterogeneous xPU
  * fleet, reporting simulated TTFT/TPS/E2E percentiles and the
  * wall-clock events/sec the wheel kernel sustains end-to-end.
+ * Latency percentiles cover admitted requests only; the ledger
+ * columns (arrivals/admitted/shed_*) document the denominator.
+ * --chaos layers the overload control plane plus seeded xPU crash
+ * injection onto the sweep (see bench_serve_chaos for the dedicated
+ * overload/crash gates).
  *
  * Emits BENCH_serve.json.
  */
@@ -197,7 +202,7 @@ struct ServeRow
 };
 
 ServeRow
-runServe(std::uint32_t tenants, bool quick,
+runServe(std::uint32_t tenants, bool quick, bool chaos,
          ccai::backend::Kind protection)
 {
     sim::System sys;
@@ -223,6 +228,19 @@ runServe(std::uint32_t tenants, bool quick,
         cfg.fleet.insert(cfg.fleet.end(), specs.begin(),
                          specs.end());
 
+    if (chaos) {
+        // Chaos mode: the full control plane plus one injected xPU
+        // crash per 10 simulated seconds; crash drain re-routes the
+        // victim's queue through the least-loaded router.
+        cfg.admission.enabled = true;
+        cfg.admission.tokenRatePerSec = 2.0 * perTenantRate;
+        cfg.admission.tokenBurst = 4.0;
+        cfg.admission.maxQueueDepth = 8;
+        cfg.retry.enabled = true;
+        cfg.chaos.enabled = true;
+        cfg.chaos.xpuCrashesPerSec = 0.1;
+    }
+
     serve::LoadGenerator gen(sys, "serve", cfg);
     auto t0 = std::chrono::steady_clock::now();
     gen.start();
@@ -241,10 +259,13 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
+    bool chaos = false;
     std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strcmp(argv[i], "--chaos") == 0)
+            chaos = true;
         else if (std::strcmp(argv[i], "--json") == 0 &&
                  i + 1 < argc)
             jsonPath = argv[++i];
@@ -301,14 +322,15 @@ main(int argc, char **argv)
         gate.push_back({t, lg, wh});
     }
 
-    std::printf("\nServe SLO sweep (%s)\n",
-                quick ? "quick" : "full");
+    std::printf("\nServe SLO sweep (%s%s)\n",
+                quick ? "quick" : "full",
+                chaos ? ", chaos" : "");
     std::printf("%-8s %9s %9s %8s %9s %9s %9s %10s\n", "tenants",
                 "issued", "done", "misses", "ttft_p50", "ttft_p99",
                 "e2e_p95", "ev/s");
     std::vector<ServeRow> rows;
     for (std::uint32_t t : tenantCounts) {
-        ServeRow row = runServe(t, quick, backendKind);
+        ServeRow row = runServe(t, quick, chaos, backendKind);
         std::printf("%-8u %9llu %9llu %8llu %8.3fs %8.3fs %8.3fs "
                     "%10.0f\n",
                     t, (unsigned long long)row.report.issued,
@@ -324,6 +346,10 @@ main(int argc, char **argv)
     if (backendKind != backend::Kind::CcaiSc)
         json.field("backend", backend::kindName(backendKind));
     json.field("quick", quick);
+    json.field("chaos", chaos);
+    // Latency percentiles below are over admitted requests that
+    // completed; shed requests never enter the samples.
+    json.field("latency_denominator", "admitted_completed");
     json.field("speedup_10k", speedup10k);
     json.key("kernel_gate");
     json.beginArray();
@@ -350,8 +376,16 @@ main(int argc, char **argv)
         json.beginObject();
         json.field("tenants", std::uint64_t(row.tenants));
         json.field("issued", row.report.issued);
+        json.field("arrivals", row.report.arrivals);
+        json.field("admitted", row.report.admitted);
         json.field("completed", row.report.completed);
         json.field("slo_misses", row.report.sloMisses);
+        json.field("shed_on_admit", row.report.shedOnAdmit);
+        json.field("shed_on_deadline", row.report.shedOnDeadline);
+        json.field("retries", row.report.retries);
+        json.field("rerouted", row.report.rerouted);
+        json.field("crashes", row.report.crashes);
+        json.field("goodput_per_sec", row.report.goodputPerSec);
         json.field("sim_seconds", row.report.simSeconds);
         json.field("ttft_p50_s", row.report.ttftP50);
         json.field("ttft_p95_s", row.report.ttftP95);

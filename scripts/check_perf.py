@@ -37,6 +37,23 @@ metric "serve_fleet" (bench_serve_fleet)
          percent of the baseline (default 40%, because wall-clock
          throughput is noisy on shared CI runners).
 
+metric "serve_chaos" (bench_serve_chaos)
+    Two gates:
+
+      1. Determinism: for every (overload_factor, controlled, chaos)
+         row in the baseline, the request ledger (issued / arrivals /
+         admitted / completed / slo_misses / shed_on_admit /
+         shed_on_deadline / retries / rerouted / crashes /
+         events_dispatched) must match exactly when the current run
+         used the same seed. Skipped row-by-row when the seeds
+         differ (the CI rotating-seed run exercises the invariant
+         checks in validate_obs.py instead).
+      2. Goodput retention: the controlled no-chaos goodput at 1.5x
+         overload must stay within --tolerance percent (default 15%)
+         of the baseline's. This is the headline robustness number —
+         admission + shedding holding goodput at capacity while the
+         offered load is 50% over it.
+
 Improvements are reported but never fail the gate — refresh the
 baseline by copying the new bench JSON over it when a speedup should
 become the new floor. Exits non-zero listing every regressed cell.
@@ -181,9 +198,110 @@ def check_serve(current, baseline, _tolerance, floor):
     return regressions
 
 
+CHAOS_EXACT = (
+    "issued",
+    "arrivals",
+    "admitted",
+    "completed",
+    "slo_misses",
+    "shed_on_admit",
+    "shed_on_deadline",
+    "retries",
+    "rerouted",
+    "crashes",
+    "events_dispatched",
+)
+
+
+def check_serve_chaos(current, baseline, tolerance, _floor):
+    regressions = []
+
+    def by_point(bench, path):
+        rows = bench.get("sweep", [])
+        if not rows:
+            raise ValueError(f"{path}: no sweep rows")
+        return {
+            (row["overload_factor"], row["controlled"], row["chaos"]): row
+            for row in rows
+        }
+
+    cur_rows = by_point(current, "current")
+    base_rows = by_point(baseline, "baseline")
+
+    same_seed = current.get("seed") == baseline.get("seed")
+    if not same_seed:
+        print(
+            f"seeds differ (current {current.get('seed')}, baseline "
+            f"{baseline.get('seed')}): skipping exact ledger "
+            "comparison, goodput gate only"
+        )
+
+    for point, base_row in sorted(base_rows.items()):
+        cur_row = cur_rows.get(point)
+        if cur_row is None:
+            raise ValueError(
+                f"sweep point {point} in baseline but missing from "
+                "current run"
+            )
+        if not same_seed:
+            continue
+        for key in CHAOS_EXACT:
+            if cur_row[key] != base_row[key]:
+                factor, controlled, chaos = point
+                regressions.append(
+                    f"sweep {factor}x"
+                    f"{' ctl' if controlled else ' raw'}"
+                    f"{' chaos' if chaos else ''}: {key} drifted "
+                    f"({cur_row[key]!r} != baseline {base_row[key]!r}) "
+                    "— deterministic sim output changed"
+                )
+
+    # Headline goodput gate at 1.5x overload, controlled, no chaos.
+    point = (1.5, True, False)
+    base_row = base_rows.get(point)
+    cur_row = cur_rows.get(point)
+    if base_row is None or cur_row is None:
+        raise ValueError(
+            "sweep is missing the 1.5x controlled no-chaos point "
+            "the goodput gate keys on"
+        )
+    base = base_row["goodput_per_sec"]
+    cur = cur_row["goodput_per_sec"]
+    delta = (cur - base) / base if base > 0 else 0.0
+    print(
+        f"goodput at 1.5x overload (controlled): {cur:.2f} req/s "
+        f"(baseline {base:.2f}, {delta * 100:+.2f}%, tolerance "
+        f"{tolerance * 100:.0f}%)"
+    )
+    if cur < base * (1.0 - tolerance):
+        regressions.append(
+            f"goodput at 1.5x overload {cur:.2f} req/s fell more "
+            f"than {tolerance * 100:.0f}% below baseline {base:.2f}"
+        )
+
+    for gate in (
+        "goodput_retention_ok",
+        "ttft_bounded_ok",
+        "unbounded_collapse_shown",
+        "zero_lost_ok",
+        "replay_identical",
+    ):
+        if current.get(gate) is not True:
+            regressions.append(f"gate '{gate}' is not true")
+
+    if not regressions:
+        print(
+            f"perf ok: serve_chaos gate passed for {len(base_rows)} "
+            "sweep points"
+            + ("" if same_seed else " (goodput-only, seeds differ)")
+        )
+    return regressions
+
+
 CHECKERS = {
     "fig8-llama2-transfer-mix": check_pipeline,
     "serve_fleet": check_serve,
+    "serve_chaos": check_serve_chaos,
 }
 
 

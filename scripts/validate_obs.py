@@ -6,6 +6,7 @@ Usage:
     validate_obs.py --bench BENCH_recovery.json
     validate_obs.py --bench-pipeline BENCH_pipeline.json
     validate_obs.py --bench-serve BENCH_serve.json
+    validate_obs.py --bench-serve-chaos BENCH_serve_chaos.json
     validate_obs.py --bench-backends BENCH_backends.json
 
 Checks (default mode):
@@ -34,6 +35,17 @@ Checks (--bench-serve mode, for bench_serve_fleet output):
   count, and every serve row internally consistent: completions do
   not exceed issues, SLO misses do not exceed issues, and the
   TTFT / end-to-end percentiles are monotonically ordered.
+
+Checks (--bench-serve-chaos mode, for bench_serve_chaos output):
+  Validates against schemas/bench_serve_chaos.schema.json (resolved
+  relative to this script), then checks the request ledger of every
+  sweep row balances seed-independently: arrivals = admitted +
+  shed_on_admit, issued = arrivals + retries, and admitted =
+  completed + shed_on_deadline (the zero-lost guarantee — every
+  admitted request either completes or is explicitly shed, even when
+  an xPU crashes mid-run). Percentiles must be ordered, every chaos
+  row must have injected at least one crash and rerouted displaced
+  work, and all five robustness gate booleans must be true.
 
 Checks (--bench-backends mode, for bench_backends output):
   Validates against schemas/bench_backends.schema.json (resolved
@@ -89,11 +101,33 @@ def fallback_validate(instance, schema, path="$"):
             f"{path}: expected const {schema['const']!r}, "
             f"got {instance!r}"
         )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise ValueError(
+            f"{path}: {instance!r} not in enum {schema['enum']}"
+        )
     if "minimum" in schema and isinstance(instance, (int, float)):
         if instance < schema["minimum"]:
             raise ValueError(
                 f"{path}: {instance} < minimum {schema['minimum']}"
             )
+    if "exclusiveMinimum" in schema and isinstance(
+        instance, (int, float)
+    ):
+        if instance <= schema["exclusiveMinimum"]:
+            raise ValueError(
+                f"{path}: {instance} <= exclusiveMinimum "
+                f"{schema['exclusiveMinimum']}"
+            )
+    if isinstance(instance, list):
+        if len(instance) < schema.get("minItems", 0):
+            raise ValueError(
+                f"{path}: {len(instance)} items < minItems "
+                f"{schema['minItems']}"
+            )
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(instance):
+                fallback_validate(value, items, f"{path}[{i}]")
     if isinstance(instance, dict):
         for req in schema.get("required", []):
             if req not in instance:
@@ -398,6 +432,110 @@ def check_bench_serve(bench_path):
     )
 
 
+def check_bench_serve_chaos(bench_path):
+    import os
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    schema_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "..",
+        "schemas",
+        "bench_serve_chaos.schema.json",
+    )
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        import jsonschema
+
+        jsonschema.validate(bench, schema)
+        how = "jsonschema"
+    except ImportError:
+        fallback_validate(bench, schema)
+        how = "builtin validator"
+
+    rows = bench["sweep"]
+    chaos_rows = 0
+    for row in rows:
+        label = (
+            f"bench sweep[{row['overload_factor']}x "
+            f"{'ctl' if row['controlled'] else 'raw'}"
+            f"{'+chaos' if row['chaos'] else ''}]"
+        )
+        # The request ledger must balance regardless of seed: these
+        # are conservation laws of the admission/retry/shed pipeline,
+        # not tuning-dependent outcomes.
+        if row["arrivals"] != row["admitted"] + row["shed_on_admit"]:
+            raise ValueError(
+                f"{label}: arrivals {row['arrivals']} != admitted "
+                f"{row['admitted']} + shed_on_admit "
+                f"{row['shed_on_admit']}"
+            )
+        if row["issued"] != row["arrivals"] + row["retries"]:
+            raise ValueError(
+                f"{label}: issued {row['issued']} != arrivals "
+                f"{row['arrivals']} + retries {row['retries']}"
+            )
+        if row["admitted"] != (
+            row["completed"] + row["shed_on_deadline"]
+        ):
+            raise ValueError(
+                f"{label}: admitted {row['admitted']} != completed "
+                f"{row['completed']} + shed_on_deadline "
+                f"{row['shed_on_deadline']} — an admitted request "
+                "was lost"
+            )
+        if row["slo_misses"] > row["completed"]:
+            raise ValueError(
+                f"{label}: slo_misses {row['slo_misses']} > "
+                f"completed {row['completed']}"
+            )
+        for prefix in ("ttft", "e2e"):
+            p50 = row[f"{prefix}_p50_s"]
+            p95 = row[f"{prefix}_p95_s"]
+            p99 = row[f"{prefix}_p99_s"]
+            if not 0 <= p50 <= p95 <= p99:
+                raise ValueError(
+                    f"{label}: {prefix} percentiles out of order "
+                    f"(p50={p50} p95={p95} p99={p99})"
+                )
+        if row["chaos"]:
+            chaos_rows += 1
+            if row["crashes"] < 1:
+                raise ValueError(
+                    f"{label}: chaos row injected no crash"
+                )
+            if row["rerouted"] < 1:
+                raise ValueError(
+                    f"{label}: chaos row displaced no work — the "
+                    "crash landed on an idle device and the "
+                    "re-route path was never exercised"
+                )
+        elif row["crashes"] != 0:
+            raise ValueError(
+                f"{label}: non-chaos row reports "
+                f"{row['crashes']} crashes"
+            )
+    if chaos_rows == 0:
+        raise ValueError("bench: no chaos rows in sweep")
+    for gate in (
+        "goodput_retention_ok",
+        "ttft_bounded_ok",
+        "unbounded_collapse_shown",
+        "zero_lost_ok",
+        "replay_identical",
+    ):
+        if bench.get(gate) is not True:
+            raise ValueError(f"bench: gate '{gate}' is not true")
+    print(
+        f"bench ok ({how}): {len(rows)} sweep rows "
+        f"({chaos_rows} with chaos, "
+        f"{sum(r['crashes'] for r in rows)} crashes, "
+        f"{sum(r['rerouted'] for r in rows)} rerouted), ledger "
+        "balanced, all 5 gates true"
+    )
+
+
 def check_bench_backends(bench_path):
     import os
 
@@ -486,6 +624,18 @@ def main(argv):
     if len(argv) == 3 and argv[1] == "--bench-backends":
         try:
             check_bench_backends(argv[2])
+        except (
+            ValueError,
+            KeyError,
+            OSError,
+            json.JSONDecodeError,
+        ) as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
+        return 0
+    if len(argv) == 3 and argv[1] == "--bench-serve-chaos":
+        try:
+            check_bench_serve_chaos(argv[2])
         except (
             ValueError,
             KeyError,

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crash-injection primitives: domain/state names and the seeded
+ * replayable crash schedule generator.
+ */
+
+#include "ccai/chaos.hh"
+
+#include <algorithm>
+
+#include "sim/rng.hh"
+
+namespace ccai
+{
+
+const char *
+faultDomainName(FaultDomain domain)
+{
+    switch (domain) {
+      case FaultDomain::PcieSc:
+        return "pcie_sc";
+      case FaultDomain::Xpu:
+        return "xpu";
+      case FaultDomain::Hrot:
+        return "hrot";
+    }
+    return "unknown";
+}
+
+const char *
+recoveryStateName(RecoveryState state)
+{
+    switch (state) {
+      case RecoveryState::Healthy:
+        return "Healthy";
+      case RecoveryState::Suspect:
+        return "Suspect";
+      case RecoveryState::Resetting:
+        return "Resetting";
+      case RecoveryState::ReAttesting:
+        return "ReAttesting";
+      case RecoveryState::Resuming:
+        return "Resuming";
+      case RecoveryState::Quarantined:
+        return "Quarantined";
+    }
+    return "unknown";
+}
+
+void
+CrashInjector::configure(const CrashConfig &config)
+{
+    config_ = config;
+    schedule_.clear();
+
+    const struct
+    {
+        FaultDomain domain;
+        double rate;
+    } streams[] = {
+        {FaultDomain::PcieSc, config.pcieScPerSec},
+        {FaultDomain::Xpu, config.xpuPerSec},
+        {FaultDomain::Hrot, config.hrotPerSec},
+    };
+
+    // One independent Rng per domain (fault-injector idiom): adding
+    // or re-rating one domain never perturbs another's draw stream.
+    for (const auto &stream : streams) {
+        if (stream.rate <= 0.0)
+            continue;
+        sim::Rng rng(config.seed ^
+                     sim::seedHash(faultDomainName(stream.domain)));
+        double t = 0.0;
+        const double horizonSec = ticksToSeconds(config.horizon);
+        while (true) {
+            // Jittered inter-arrival around the mean period; never
+            // zero, so two crashes of one domain can't coincide.
+            t += (0.5 + rng.uniform01()) / stream.rate;
+            if (t >= horizonSec)
+                break;
+            schedule_.push_back(
+                {secondsToTicks(t), stream.domain});
+        }
+    }
+
+    std::sort(schedule_.begin(), schedule_.end(),
+              [](const CrashEvent &a, const CrashEvent &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  return static_cast<int>(a.domain) <
+                         static_cast<int>(b.domain);
+              });
+}
+
+} // namespace ccai

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fault-domain and crash-injection primitives shared by the crash
+ * RecoveryManager (ccai/recovery) and the serving control plane
+ * (serve/router, serve/load_generator): which hardware components
+ * fail independently, the recovery state machine their owners walk,
+ * and a seeded, replayable crash schedule generator.
+ *
+ * These live below the RecoveryManager so the serving layer can
+ * consume fault-domain state (health-aware routing keys off
+ * RecoveryState) and drive the same CrashInjector without linking
+ * the whole platform library.
+ */
+
+#ifndef CCAI_CCAI_CHAOS_HH
+#define CCAI_CCAI_CHAOS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccai
+{
+
+/** Independently-failing hardware components. */
+enum class FaultDomain
+{
+    PcieSc = 0, ///< security-controller firmware hang
+    Xpu = 1,    ///< device wedge / surprise link-down (drops all TLPs)
+    Hrot = 2,   ///< HRoT-Blade reboot (attestation key lost)
+};
+
+constexpr int kFaultDomainCount = 3;
+
+const char *faultDomainName(FaultDomain domain);
+
+/** Recovery state machine states (platform-wide and per tenant). */
+enum class RecoveryState
+{
+    Healthy,
+    Suspect,
+    Resetting,
+    ReAttesting,
+    Resuming,
+    Quarantined,
+};
+
+const char *recoveryStateName(RecoveryState state);
+
+/** Crash-injection schedule parameters. */
+struct CrashConfig
+{
+    std::uint64_t seed = 0x5EED;
+    /** Mean crash rates per simulated second, per domain. */
+    double pcieScPerSec = 0.0;
+    double xpuPerSec = 0.0;
+    double hrotPerSec = 0.0;
+    /** Crashes are generated in [0, horizon) ticks. */
+    Tick horizon = 0;
+};
+
+/** One scheduled crash. */
+struct CrashEvent
+{
+    Tick when = 0;
+    FaultDomain domain = FaultDomain::PcieSc;
+
+    bool operator==(const CrashEvent &) const = default;
+};
+
+/**
+ * Deterministic component-crash schedule, in the spirit of
+ * pcie::FaultInjector: each domain draws its inter-arrival stream
+ * from Rng(seed ^ seedHash(domainName)) in a fixed order, so the same
+ * seed always produces the identical schedule and reconfiguring with
+ * the same CrashConfig replays it exactly.
+ */
+class CrashInjector
+{
+  public:
+    /** (Re)generate the schedule for @p config. */
+    void configure(const CrashConfig &config);
+
+    const CrashConfig &config() const { return config_; }
+
+    /** The merged schedule, ordered by (when, domain). */
+    const std::vector<CrashEvent> &schedule() const
+    {
+        return schedule_;
+    }
+
+  private:
+    CrashConfig config_;
+    std::vector<CrashEvent> schedule_;
+};
+
+} // namespace ccai
+
+#endif // CCAI_CCAI_CHAOS_HH

@@ -9,6 +9,7 @@
 #include "obs/json.hh"
 #include "sc/ccai_sc_backend.hh"
 #include "sim/event_queue.hh"
+#include "sim/metrics_snapshot.hh"
 #include "sim/rng.hh"
 
 namespace ccai
@@ -758,120 +759,93 @@ Platform::installRecoveryHooks()
 std::string
 Platform::exportMetricsJson(bool includeWall)
 {
-    std::ostringstream os;
-    obs::JsonEmitter json(os);
-    json.beginObject();
-    json.field("schema_version", 3);
-    json.field("seed", effectiveSeed_);
-    json.field("sim_now_ticks", sys_.now());
-    json.field("secure", config_.secure);
-
-    // Event-core rollup from the timer-wheel kernel. Deterministic:
-    // schedule/dispatch/cancel counts depend only on the seeded sim,
-    // never on wall clock, so the section lives outside "wall".
-    {
-        const sim::EventQueue::Stats eq = sys_.eventq().snapshotStats();
-        json.key("event_core");
-        json.beginObject();
-        json.field("scheduled", eq.scheduled);
-        json.field("dispatched", eq.dispatched);
-        json.field("cancelled", eq.cancelled);
-        json.field("cascades", eq.cascades);
-        json.field("pending", eq.pending);
-        json.field("max_pending", eq.maxPending);
-        json.field("overflow_high_watermark", eq.overflowHwm);
-        json.field("one_shot_capacity", eq.oneShotCapacity);
-        json.field("one_shot_live", eq.oneShotLive);
-        json.key("level_high_watermarks");
-        json.beginArray();
-        for (std::uint64_t hwm : eq.levelHwm)
-            json.value(hwm);
-        json.endArray();
-        json.endObject();
-    }
-
-    json.key("groups");
-    sys_.metrics().writeJson(json, /*withBuckets=*/false);
+    sim::MetricsSnapshotInfo info;
+    info.source = "platform";
+    info.seed = effectiveSeed_;
+    info.secure = config_.secure;
 
     // Per-tenant traffic rollups, derived from each Adaptor's
     // counters. Cold path: the string-keyed lookups are fine here.
-    json.key("tenants");
-    json.beginObject();
-    auto rollup = [&](const std::string &label, tvm::Adaptor &ad) {
-        const auto &counters = ad.stats().counters();
-        auto get = [&](const char *name) -> std::uint64_t {
-            auto it = counters.find(name);
-            return it != counters.end() ? it->second.value() : 0;
+    auto tenants = [this](obs::JsonEmitter &json) {
+        auto rollup = [&](const std::string &label,
+                          tvm::Adaptor &ad) {
+            const auto &counters = ad.stats().counters();
+            auto get = [&](const char *name) -> std::uint64_t {
+                auto it = counters.find(name);
+                return it != counters.end() ? it->second.value() : 0;
+            };
+            json.key(label);
+            json.beginObject();
+            json.field("h2d_bytes", get("h2d_bytes"));
+            json.field("d2h_bytes", get("d2h_bytes"));
+            json.field("h2d_chunks", get("h2d_chunks"));
+            json.field("d2h_integrity_failures",
+                       get("d2h_integrity_failures"));
+            json.field("d2h_chunk_retries",
+                       get("d2h_chunk_retries"));
+            json.field("transport_retransmits",
+                       get("transport_retransmits"));
+            json.endObject();
         };
-        json.key(label);
-        json.beginObject();
-        json.field("h2d_bytes", get("h2d_bytes"));
-        json.field("d2h_bytes", get("d2h_bytes"));
-        json.field("h2d_chunks", get("h2d_chunks"));
-        json.field("d2h_integrity_failures",
-                   get("d2h_integrity_failures"));
-        json.field("d2h_chunk_retries", get("d2h_chunk_retries"));
-        json.field("transport_retransmits",
-                   get("transport_retransmits"));
-        json.endObject();
+        if (adaptor_)
+            rollup("owner", *adaptor_);
+        for (std::size_t i = 0; i < tenants_.size(); ++i)
+            rollup("tenant" + std::to_string(i + 1),
+                   *tenants_[i]->adaptor);
     };
-    if (adaptor_)
-        rollup("owner", *adaptor_);
-    for (std::size_t i = 0; i < tenants_.size(); ++i)
-        rollup("tenant" + std::to_string(i + 1),
-               *tenants_[i]->adaptor);
-    json.endObject();
 
+    sim::SnapshotSectionWriter extra;
     if (includeWall) {
         // Wall-clock data lives in its own section: it varies run to
         // run and across hosts, unlike every sim-time section above.
-        crypto::WorkerPool &pool = crypto::WorkerPool::shared();
-        json.key("wall");
-        json.beginObject();
-        json.key("worker_pool");
-        json.beginObject();
-        json.field("max_workers", pool.maxWorkers());
-        json.field("spawned_workers", pool.spawnedWorkers());
-        json.field("parallel_batches", pool.parallelBatches());
-        json.field("inline_batches", pool.inlineBatches());
-        json.field("worker_ranges", pool.workerRanges());
-        json.field("job_batches", pool.jobBatches());
-        json.field("jobs_executed", pool.jobsExecuted());
-        json.field("completion_high_watermark",
-                   pool.completionHighWatermark());
-        json.key("ring_occupancy");
-        pool.ringOccupancyHistogram().writeJson(
-            json, /*withBuckets=*/false);
-        json.key("queue_wait_ns");
-        pool.queueWaitHistogram().writeJson(json,
-                                            /*withBuckets=*/false);
-        json.endObject();
+        extra = [](obs::JsonEmitter &json) {
+            crypto::WorkerPool &pool = crypto::WorkerPool::shared();
+            json.key("wall");
+            json.beginObject();
+            json.key("worker_pool");
+            json.beginObject();
+            json.field("max_workers", pool.maxWorkers());
+            json.field("spawned_workers", pool.spawnedWorkers());
+            json.field("parallel_batches", pool.parallelBatches());
+            json.field("inline_batches", pool.inlineBatches());
+            json.field("worker_ranges", pool.workerRanges());
+            json.field("job_batches", pool.jobBatches());
+            json.field("jobs_executed", pool.jobsExecuted());
+            json.field("completion_high_watermark",
+                       pool.completionHighWatermark());
+            json.key("ring_occupancy");
+            pool.ringOccupancyHistogram().writeJson(
+                json, /*withBuckets=*/false);
+            json.key("queue_wait_ns");
+            pool.queueWaitHistogram().writeJson(
+                json, /*withBuckets=*/false);
+            json.endObject();
 
-        // Buffer-pool recycling efficiency for the staged fallback
-        // paths and TLP payload copies. Counts depend on worker
-        // interleaving, hence wall-section placement.
-        BufferPool &bufs = BufferPool::global();
-        json.key("buffer_pool");
-        json.beginObject();
-        json.field("hits", bufs.hits());
-        json.field("misses", bufs.misses());
-        json.field("outstanding", bufs.outstanding());
-        json.field("outstanding_high_watermark",
-                   bufs.outstandingHighWatermark());
-        json.field("free_buffers",
-                   static_cast<std::uint64_t>(bufs.freeBuffers()));
-        json.key("class_high_watermarks");
-        json.beginArray();
-        for (std::uint64_t hw : bufs.classHighWatermarks())
-            json.value(hw);
-        json.endArray();
-        json.endObject();
-        json.endObject();
+            // Buffer-pool recycling efficiency for the staged
+            // fallback paths and TLP payload copies. Counts depend
+            // on worker interleaving, hence wall-section placement.
+            BufferPool &bufs = BufferPool::global();
+            json.key("buffer_pool");
+            json.beginObject();
+            json.field("hits", bufs.hits());
+            json.field("misses", bufs.misses());
+            json.field("outstanding", bufs.outstanding());
+            json.field("outstanding_high_watermark",
+                       bufs.outstandingHighWatermark());
+            json.field(
+                "free_buffers",
+                static_cast<std::uint64_t>(bufs.freeBuffers()));
+            json.key("class_high_watermarks");
+            json.beginArray();
+            for (std::uint64_t hw : bufs.classHighWatermarks())
+                json.value(hw);
+            json.endArray();
+            json.endObject();
+            json.endObject();
+        };
     }
 
-    json.endObject();
-    os << "\n";
-    return os.str();
+    return sim::exportMetricsSnapshot(sys_, info, tenants, extra);
 }
 
 bool

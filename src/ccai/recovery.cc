@@ -16,85 +16,6 @@
 namespace ccai
 {
 
-const char *
-faultDomainName(FaultDomain domain)
-{
-    switch (domain) {
-      case FaultDomain::PcieSc:
-        return "pcie_sc";
-      case FaultDomain::Xpu:
-        return "xpu";
-      case FaultDomain::Hrot:
-        return "hrot";
-    }
-    return "unknown";
-}
-
-const char *
-recoveryStateName(RecoveryState state)
-{
-    switch (state) {
-      case RecoveryState::Healthy:
-        return "Healthy";
-      case RecoveryState::Suspect:
-        return "Suspect";
-      case RecoveryState::Resetting:
-        return "Resetting";
-      case RecoveryState::ReAttesting:
-        return "ReAttesting";
-      case RecoveryState::Resuming:
-        return "Resuming";
-      case RecoveryState::Quarantined:
-        return "Quarantined";
-    }
-    return "unknown";
-}
-
-void
-CrashInjector::configure(const CrashConfig &config)
-{
-    config_ = config;
-    schedule_.clear();
-
-    const struct
-    {
-        FaultDomain domain;
-        double rate;
-    } streams[] = {
-        {FaultDomain::PcieSc, config.pcieScPerSec},
-        {FaultDomain::Xpu, config.xpuPerSec},
-        {FaultDomain::Hrot, config.hrotPerSec},
-    };
-
-    // One independent Rng per domain (fault-injector idiom): adding
-    // or re-rating one domain never perturbs another's draw stream.
-    for (const auto &stream : streams) {
-        if (stream.rate <= 0.0)
-            continue;
-        sim::Rng rng(config.seed ^
-                     sim::seedHash(faultDomainName(stream.domain)));
-        double t = 0.0;
-        const double horizonSec = ticksToSeconds(config.horizon);
-        while (true) {
-            // Jittered inter-arrival around the mean period; never
-            // zero, so two crashes of one domain can't coincide.
-            t += (0.5 + rng.uniform01()) / stream.rate;
-            if (t >= horizonSec)
-                break;
-            schedule_.push_back(
-                {secondsToTicks(t), stream.domain});
-        }
-    }
-
-    std::sort(schedule_.begin(), schedule_.end(),
-              [](const CrashEvent &a, const CrashEvent &b) {
-                  if (a.when != b.when)
-                      return a.when < b.when;
-                  return static_cast<int>(a.domain) <
-                         static_cast<int>(b.domain);
-              });
-}
-
 RecoveryManager::Handles::Handles(sim::StatGroup &g)
     : crashesInjected(g.counterHandle("crashes_injected")),
       crashesPcieSc(g.counterHandle("crashes_injected_pcie_sc")),
@@ -407,6 +328,11 @@ RecoveryManager::beginEpisode(FaultDomain domain)
                    std::string("episode.") + faultDomainName(domain),
                    curTick());
 
+    // Let the serving layer drain queued work off the failed
+    // component before the reset discards it.
+    if (hooks_.onDomainDown)
+        hooks_.onDomainDown(domain);
+
     // In-flight guarded work is invalid: sessions are about to be
     // torn down. Mark heads for replay under the new epoch.
     for (auto &[slot, tenant] : tenants_) {
@@ -550,6 +476,10 @@ RecoveryManager::finishEpisode()
             tenant.state = RecoveryState::Healthy;
     }
     setState(RecoveryState::Healthy);
+
+    // The component re-attested and may take placements again.
+    if (hooks_.onDomainUp)
+        hooks_.onDomainUp(ep.domain);
 
     // Reissue journaled work under the fresh sessions.
     for (auto &[slot, tenant] : tenants_) {

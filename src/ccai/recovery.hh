@@ -30,84 +30,13 @@
 #include <set>
 #include <vector>
 
+#include "ccai/chaos.hh"
 #include "obs/trace.hh"
 #include "sim/rng.hh"
 #include "sim/sim_object.hh"
 
 namespace ccai
 {
-
-/** Independently-failing hardware components. */
-enum class FaultDomain
-{
-    PcieSc = 0, ///< security-controller firmware hang
-    Xpu = 1,    ///< device wedge / surprise link-down (drops all TLPs)
-    Hrot = 2,   ///< HRoT-Blade reboot (attestation key lost)
-};
-
-constexpr int kFaultDomainCount = 3;
-
-const char *faultDomainName(FaultDomain domain);
-
-/** Recovery state machine states (platform-wide and per tenant). */
-enum class RecoveryState
-{
-    Healthy,
-    Suspect,
-    Resetting,
-    ReAttesting,
-    Resuming,
-    Quarantined,
-};
-
-const char *recoveryStateName(RecoveryState state);
-
-/** Crash-injection schedule parameters. */
-struct CrashConfig
-{
-    std::uint64_t seed = 0x5EED;
-    /** Mean crash rates per simulated second, per domain. */
-    double pcieScPerSec = 0.0;
-    double xpuPerSec = 0.0;
-    double hrotPerSec = 0.0;
-    /** Crashes are generated in [0, horizon) ticks. */
-    Tick horizon = 0;
-};
-
-/** One scheduled crash. */
-struct CrashEvent
-{
-    Tick when = 0;
-    FaultDomain domain = FaultDomain::PcieSc;
-
-    bool operator==(const CrashEvent &) const = default;
-};
-
-/**
- * Deterministic component-crash schedule, in the spirit of
- * pcie::FaultInjector: each domain draws its inter-arrival stream
- * from Rng(seed ^ seedHash(domainName)) in a fixed order, so the same
- * seed always produces the identical schedule and reconfiguring with
- * the same CrashConfig replays it exactly.
- */
-class CrashInjector
-{
-  public:
-    /** (Re)generate the schedule for @p config. */
-    void configure(const CrashConfig &config);
-
-    const CrashConfig &config() const { return config_; }
-
-    /** The merged schedule, ordered by (when, domain). */
-    const std::vector<CrashEvent> &schedule() const
-    {
-        return schedule_;
-    }
-
-  private:
-    CrashConfig config_;
-    std::vector<CrashEvent> schedule_;
-};
 
 /** Watchdog / recovery tuning. */
 struct RecoveryConfig
@@ -198,6 +127,16 @@ class RecoveryManager : public sim::SimObject
             issueKernel;
         /** Optional notification when a slot is quarantined. */
         std::function<void(std::uint32_t slot)> onQuarantine;
+        /**
+         * Serving-layer drain hooks. onDomainDown fires when an
+         * episode begins (the blamed component is about to be reset):
+         * a scheduler above the platform should drain queued work off
+         * the affected component and re-route it to healthy peers.
+         * onDomainUp fires when the episode resolves and the
+         * component has re-attested — it may take placements again.
+         */
+        std::function<void(FaultDomain)> onDomainDown;
+        std::function<void(FaultDomain)> onDomainUp;
     };
 
     /** One detected crash and its recovery, for replay assertions. */

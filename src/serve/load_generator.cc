@@ -29,24 +29,50 @@ percentile(std::vector<double> values, double p)
     return values[idx];
 }
 
+ServeConfig
+normalized(ServeConfig config)
+{
+    if (config.fleet.empty())
+        config.fleet.push_back(xpu::XpuSpec::a100());
+    // Crash drain re-places work through the router; static pinning
+    // would strand a crashed device's tenants.
+    if (config.chaos.enabled)
+        config.leastLoadedRouting = true;
+    return config;
+}
+
 } // namespace
 
 LoadGenerator::Handles::Handles(sim::StatGroup &g)
     : issued(g.counterHandle("requests_issued")),
+      arrivals(g.counterHandle("requests_arrived")),
+      admitted(g.counterHandle("requests_admitted")),
       completed(g.counterHandle("requests_completed")),
       sloMisses(g.counterHandle("slo_misses")),
+      shedOnAdmit(g.counterHandle("shed_on_admit")),
+      shedOnDeadline(g.counterHandle("shed_on_deadline")),
+      shedRate(g.counterHandle("shed_rate")),
+      shedQueueFull(g.counterHandle("shed_queue_full")),
+      shedNoDevice(g.counterHandle("shed_no_device")),
+      retries(g.counterHandle("retries")),
+      rerouted(g.counterHandle("rerouted")),
+      crashes(g.counterHandle("crashes")),
       ttftTicks(g.histogramHandle("ttft_ticks")),
-      e2eTicks(g.histogramHandle("e2e_ticks"))
+      e2eTicks(g.histogramHandle("e2e_ticks")),
+      backoffTicks(g.histogramHandle("backoff_ticks")),
+      queueDepth(g.histogramHandle("queue_depth")),
+      healthyDevices(g.histogramHandle("healthy_devices"))
 {}
 
 LoadGenerator::LoadGenerator(sim::System &sys, std::string name,
                              const ServeConfig &config)
-    : sim::SimObject(sys, std::move(name)), config_(config),
-      cost_(backend::costModelFor(config.protection)),
+    : sim::SimObject(sys, std::move(name)),
+      config_(normalized(config)),
+      cost_(backend::costModelFor(config_.protection)),
+      admission_(config_.admission, config_.tenants),
+      router_(static_cast<std::uint32_t>(config_.fleet.size())),
       stats_(sys.metrics(), this->name()), s_(stats_)
 {
-    if (config_.fleet.empty())
-        config_.fleet.push_back(xpu::XpuSpec::a100());
     if (config_.tenants == 0)
         panic("serve: tenant count must be positive");
 
@@ -63,6 +89,11 @@ LoadGenerator::LoadGenerator(sim::System &sys, std::string name,
                 onDeviceStep(static_cast<std::uint32_t>(d));
             },
             "serve-device-step");
+        dev->recoveryTimer.setCallback(
+            [this, d] {
+                onRecoveryStep(static_cast<std::uint32_t>(d));
+            },
+            "serve-device-recovery");
         devices_.push_back(std::move(dev));
     }
 
@@ -76,14 +107,47 @@ LoadGenerator::LoadGenerator(sim::System &sys, std::string name,
             config_.seed ^
             sim::seedHash(this->name() + "/tenant/" +
                           std::to_string(i));
-        auto t = std::make_unique<TenantState>(seed,
-                                               std::move(arrivals));
+        // Separate jitter stream: enabling retries must not perturb
+        // the tenant's arrival draws.
+        std::uint64_t retrySeed =
+            config_.seed ^
+            sim::seedHash(this->name() + "/tenant/" +
+                          std::to_string(i) + "/retry");
+        auto t = std::make_unique<TenantState>(
+            seed, retrySeed, std::move(arrivals));
         t->device = i % static_cast<std::uint32_t>(devices_.size());
         t->arrivalTimer.setCallback([this, i] { onArrival(i); },
                                     "serve-arrival");
-        t->deadlineTimer.setCallback([this, i] { onDeadline(i); },
-                                     "serve-slo-deadline");
+        t->retryTimer.setCallback([this, i] { onRetryDue(i); },
+                                  "serve-retry");
         tenants_.push_back(std::move(t));
+    }
+
+    chaosSeed_ =
+        config_.seed ^ sim::seedHash(this->name() + "/chaos");
+    chaosRng_ = sim::Rng(chaosSeed_);
+    chaosTimer_.setCallback([this] { onCrash(); },
+                            "serve-chaos-crash");
+    probeTimer_.setCallback([this] { onHealthProbe(); },
+                            "serve-health-probe");
+    if (config_.chaos.enabled) {
+        if (!config_.chaos.crashAt.empty()) {
+            for (Tick at : config_.chaos.crashAt)
+                if (at < config_.horizon)
+                    crashSchedule_.push_back(
+                        {at, FaultDomain::Xpu});
+            std::sort(crashSchedule_.begin(), crashSchedule_.end(),
+                      [](const CrashEvent &a, const CrashEvent &b) {
+                          return a.when < b.when;
+                      });
+        } else {
+            CrashConfig cc;
+            cc.seed = chaosSeed_;
+            cc.xpuPerSec = config_.chaos.xpuCrashesPerSec;
+            cc.horizon = config_.horizon;
+            crashInjector_.configure(cc);
+            crashSchedule_ = crashInjector_.schedule();
+        }
     }
 }
 
@@ -95,6 +159,15 @@ LoadGenerator::start()
         if (curTick() + gap < config_.horizon)
             eventq().rescheduleIn(&t->arrivalTimer, gap);
     }
+    if (!crashSchedule_.empty() &&
+        nextCrash_ < crashSchedule_.size())
+        eventq().rescheduleIn(&chaosTimer_,
+                              crashSchedule_[nextCrash_].when -
+                                  curTick());
+    if (config_.healthProbeInterval > 0 &&
+        curTick() + config_.healthProbeInterval < config_.horizon)
+        eventq().rescheduleIn(&probeTimer_,
+                              config_.healthProbeInterval);
 }
 
 Tick
@@ -140,6 +213,20 @@ LoadGenerator::decodeStepTicks(const DeviceState &dev,
     return secureScaled(t);
 }
 
+Tick
+LoadGenerator::serviceEstimate(std::uint32_t device) const
+{
+    // Whole-request roofline estimate on this device: prefill plus
+    // genTokens decode steps at the mid-sequence length. Used for
+    // routing scores, backlog accounting and deadline feasibility.
+    const DeviceState &dev = *devices_[device];
+    return prefillTicks(dev) +
+           static_cast<Tick>(config_.profile.genTokens) *
+               decodeStepTicks(dev, config_.profile.promptTokens +
+                                        config_.profile.genTokens /
+                                            2);
+}
+
 void
 LoadGenerator::onArrival(std::uint32_t tenant)
 {
@@ -149,21 +236,13 @@ LoadGenerator::onArrival(std::uint32_t tenant)
 
     Request req;
     req.tenant = tenant;
-    req.arrival = curTick();
-    DeviceState &dev = *devices_[t.device];
-    dev.queue.push_back(req);
+    req.id = nextRequestId_++;
+    req.firstArrival = curTick();
+    req.deadline = curTick() + config_.profile.sloDeadline;
     ++t.issued;
-    ++t.outstanding;
-    ++issued_;
-    s_.issued.inc();
-    if (!dev.busy)
-        startNext(t.device);
-
-    // The most recent request must complete within the deadline; a
-    // completion that empties the tenant's outstanding set disarms
-    // the timer in O(1).
-    eventq().rescheduleIn(&t.deadlineTimer,
-                          config_.profile.sloDeadline);
+    ++arrivals_;
+    s_.arrivals.inc();
+    attemptAdmit(std::move(req), /*rerouted=*/false);
 
     if (t.arrivals.done())
         return;
@@ -176,28 +255,186 @@ LoadGenerator::onArrival(std::uint32_t tenant)
 }
 
 void
-LoadGenerator::onDeadline(std::uint32_t tenant)
+LoadGenerator::attemptAdmit(Request req, bool rerouted)
+{
+    ++attempts_;
+    s_.issued.inc();
+
+    std::optional<std::uint32_t> device;
+    if (config_.leastLoadedRouting) {
+        device = router_.pick([this, &req](std::uint32_t d) {
+            return serviceEstimate(d) + req.extraSetup;
+        });
+    } else if (router_.healthy(tenants_[req.tenant]->device)) {
+        device = tenants_[req.tenant]->device;
+    }
+
+    AdmitContext ctx;
+    ctx.tenant = req.tenant;
+    ctx.now = curTick();
+    ctx.deviceAvailable = device.has_value();
+    ctx.deadline = req.deadline;
+    ctx.rerouted = rerouted;
+    if (device) {
+        const DeviceStatus &st = router_.device(*device);
+        ctx.queueDepth = st.queueDepth;
+        ctx.estimatedCompletion = curTick() + st.backlogTicks +
+                                  serviceEstimate(*device) +
+                                  req.extraSetup;
+    }
+
+    AdmitDecision decision = admission_.decide(ctx);
+    if (decision == AdmitDecision::Admit) {
+        ++admitted_;
+        s_.admitted.inc();
+        enqueue(std::move(req), *device);
+        return;
+    }
+    recordShedAttempt(decision);
+    scheduleRetryOrGiveUp(std::move(req), decision);
+}
+
+void
+LoadGenerator::recordShedAttempt(AdmitDecision decision)
+{
+    // Per-attempt reason counters: one request can be rate-shed
+    // several times across its retries, so these sum to shed
+    // attempts, not to finally-shed requests (shedOnAdmit_).
+    switch (decision) {
+      case AdmitDecision::ShedRate:
+        ++shedRate_;
+        s_.shedRate.inc();
+        break;
+      case AdmitDecision::ShedQueueFull:
+        ++shedQueueFull_;
+        s_.shedQueueFull.inc();
+        break;
+      case AdmitDecision::ShedDeadline:
+        ++shedDeadlineAdmit_;
+        break;
+      case AdmitDecision::ShedNoDevice:
+        ++shedNoDevice_;
+        s_.shedNoDevice.inc();
+        break;
+      case AdmitDecision::Admit:
+        break;
+    }
+}
+
+void
+LoadGenerator::scheduleRetryOrGiveUp(Request req,
+                                     AdmitDecision decision)
+{
+    const RetryConfig &rc = config_.retry;
+    const bool transient = retryable(decision);
+    if (rc.enabled && transient &&
+        req.attempts < rc.maxAttempts) {
+        TenantState &t = *tenants_[req.tenant];
+        // Capped exponential backoff with jitter in [b/2, b]; the
+        // jitter comes from the tenant's dedicated retry stream.
+        Tick backoff = rc.baseBackoff;
+        for (std::uint32_t i = 1;
+             i < req.attempts && backoff < rc.maxBackoff; ++i)
+            backoff *= 2;
+        backoff = std::min(backoff, rc.maxBackoff);
+        Tick half = backoff / 2;
+        Tick jitter =
+            half + static_cast<Tick>(
+                       t.retryRng.uniform01() *
+                       static_cast<double>(backoff - half));
+        jitter = std::max<Tick>(jitter, 1);
+        s_.backoffTicks.sample(jitter);
+        t.pendingRetries.emplace(
+            std::make_pair(curTick() + jitter, req.id),
+            std::move(req));
+        armRetryTimer(t);
+        return;
+    }
+
+    if (rc.enabled && transient && req.attempts >= rc.maxAttempts)
+        ++retriesExhausted_;
+    ++shedOnAdmit_;
+    s_.shedOnAdmit.inc();
+}
+
+void
+LoadGenerator::armRetryTimer(TenantState &t)
+{
+    if (t.pendingRetries.empty()) {
+        if (t.retryTimer.scheduled())
+            eventq().deschedule(&t.retryTimer);
+        return;
+    }
+    Tick due = t.pendingRetries.begin()->first.first;
+    Tick delay = due > curTick() ? due - curTick() : 0;
+    eventq().rescheduleIn(&t.retryTimer, delay);
+}
+
+void
+LoadGenerator::onRetryDue(std::uint32_t tenant)
 {
     TenantState &t = *tenants_[tenant];
-    if (t.outstanding == 0)
-        return;
-    ++sloMisses_;
-    s_.sloMisses.inc();
+    std::vector<Request> due;
+    while (!t.pendingRetries.empty() &&
+           t.pendingRetries.begin()->first.first <= curTick()) {
+        due.push_back(std::move(t.pendingRetries.begin()->second));
+        t.pendingRetries.erase(t.pendingRetries.begin());
+    }
+    for (Request &req : due) {
+        ++req.attempts;
+        ++retries_;
+        s_.retries.inc();
+        attemptAdmit(std::move(req), /*rerouted=*/false);
+    }
+    armRetryTimer(t);
+}
+
+void
+LoadGenerator::enqueue(Request req, std::uint32_t device)
+{
+    DeviceState &dev = *devices_[device];
+    req.estimate = serviceEstimate(device) + req.extraSetup;
+    DeviceStatus &st = router_.device(device);
+    st.backlogTicks += req.estimate;
+    dev.queue.push_back(std::move(req));
+    st.queueDepth = static_cast<std::uint32_t>(dev.queue.size());
+    if (!dev.busy && router_.healthy(device))
+        startNext(device);
 }
 
 void
 LoadGenerator::startNext(std::uint32_t device)
 {
     DeviceState &dev = *devices_[device];
-    if (dev.queue.empty()) {
-        dev.busy = false;
+    DeviceStatus &st = router_.device(device);
+    while (true) {
+        if (dev.queue.empty()) {
+            dev.busy = false;
+            return;
+        }
+        Request req = std::move(dev.queue.front());
+        dev.queue.pop_front();
+        st.queueDepth =
+            static_cast<std::uint32_t>(dev.queue.size());
+        // Second deadline gate at dispatch: the admission-time
+        // estimate can be stale after crashes or queue churn.
+        if (admission_.config().enabled &&
+            admission_.config().deadlineShedding &&
+            curTick() + req.estimate > req.deadline) {
+            st.backlogTicks -=
+                std::min(st.backlogTicks, req.estimate);
+            ++shedOnDeadline_;
+            s_.shedOnDeadline.inc();
+            continue;
+        }
+        dev.busy = true;
+        dev.prefilling = true;
+        Tick setup = req.extraSetup;
+        dev.active = std::move(req);
+        eventq().rescheduleIn(&dev.stepTimer,
+                              prefillTicks(dev) + setup);
         return;
     }
-    dev.busy = true;
-    dev.active = dev.queue.front();
-    dev.queue.pop_front();
-    dev.prefilling = true;
-    eventq().rescheduleIn(&dev.stepTimer, prefillTicks(dev));
 }
 
 void
@@ -209,9 +446,15 @@ LoadGenerator::onDeviceStep(std::uint32_t device)
     if (dev.prefilling) {
         dev.prefilling = false;
         req.ttftTick = curTick();
-        double ttft = ticksToSeconds(curTick() - req.arrival);
-        ttftSeconds_.push_back(ttft);
-        s_.ttftTicks.sample(curTick() - req.arrival);
+        if (!req.ttftRecorded) {
+            // Sampled once per request: a crash-forced re-prefill
+            // extends this first TTFT, it does not resample it.
+            req.ttftRecorded = true;
+            double ttft =
+                ticksToSeconds(curTick() - req.firstArrival);
+            ttftSeconds_.push_back(ttft);
+            s_.ttftTicks.sample(curTick() - req.firstArrival);
+        }
         eventq().rescheduleIn(
             &dev.stepTimer,
             decodeStepTicks(dev, config_.profile.promptTokens));
@@ -227,8 +470,16 @@ LoadGenerator::onDeviceStep(std::uint32_t device)
         return;
     }
 
-    // Request complete.
-    Tick e2eTicksV = curTick() - req.arrival;
+    finishRequest(device);
+}
+
+void
+LoadGenerator::finishRequest(std::uint32_t device)
+{
+    DeviceState &dev = *devices_[device];
+    Request &req = dev.active;
+
+    Tick e2eTicksV = curTick() - req.firstArrival;
     double e2e = ticksToSeconds(e2eTicksV);
     e2eSeconds_.push_back(e2e);
     s_.e2eTicks.sample(e2eTicksV);
@@ -240,23 +491,169 @@ LoadGenerator::onDeviceStep(std::uint32_t device)
     ++completed_;
     s_.completed.inc();
 
-    TenantState &t = *tenants_[req.tenant];
-    ccai_assert(t.outstanding > 0);
-    --t.outstanding;
-    if (t.outstanding == 0 && t.deadlineTimer.scheduled())
-        eventq().deschedule(&t.deadlineTimer);
+    // Per-request deadline accounting: a miss is charged exactly
+    // when this request completed late — never the old shared
+    // per-tenant timer, which undercounted under queueing.
+    if (curTick() > req.deadline) {
+        ++sloMisses_;
+        s_.sloMisses.inc();
+        missTicks_.push_back(curTick());
+    }
+
+    DeviceStatus &st = router_.device(device);
+    st.backlogTicks -= std::min(st.backlogTicks, req.estimate);
 
     startNext(device);
+}
+
+void
+LoadGenerator::onCrash()
+{
+    ccai_assert(nextCrash_ < crashSchedule_.size());
+    ++nextCrash_;
+
+    // Victim pool: healthy devices with work in flight, so a crash
+    // lands mid-serving and exercises the drain path (a fleet with
+    // routing concentrates load — a uniform pick would mostly kill
+    // idle stragglers). Falls back to any healthy device.
+    std::vector<std::uint32_t> healthy;
+    for (std::uint32_t d = 0; d < router_.deviceCount(); ++d)
+        if (router_.healthy(d) && (devices_[d]->busy ||
+                                   !devices_[d]->queue.empty()))
+            healthy.push_back(d);
+    if (healthy.empty())
+        for (std::uint32_t d = 0; d < router_.deviceCount(); ++d)
+            if (router_.healthy(d))
+                healthy.push_back(d);
+    if (!healthy.empty()) {
+        std::uint32_t victim = healthy[chaosRng_.uniform(
+            0, healthy.size() - 1)];
+        ++crashes_;
+        s_.crashes.inc();
+        crashTicks_.push_back(curTick());
+
+        DeviceState &dev = *devices_[victim];
+        DeviceStatus &st = router_.device(victim);
+        st.state = RecoveryState::Resetting;
+        st.backlogTicks = 0;
+        st.queueDepth = 0;
+
+        // Displace in-flight then queued work, in order. The KV
+        // cache died with the device, so progress resets and the
+        // re-placement pays session establishment again.
+        std::vector<Request> displaced;
+        if (dev.busy) {
+            if (dev.stepTimer.scheduled())
+                eventq().deschedule(&dev.stepTimer);
+            dev.active.stepsDone = 0;
+            displaced.push_back(std::move(dev.active));
+            dev.busy = false;
+            dev.prefilling = false;
+        }
+        for (Request &r : dev.queue)
+            displaced.push_back(std::move(r));
+        dev.queue.clear();
+
+        eventq().rescheduleIn(&dev.recoveryTimer,
+                              config_.chaos.resetTicks);
+        for (Request &r : displaced)
+            reroute(std::move(r));
+    }
+
+    if (nextCrash_ < crashSchedule_.size())
+        eventq().rescheduleIn(&chaosTimer_,
+                              crashSchedule_[nextCrash_].when -
+                                  curTick());
+}
+
+void
+LoadGenerator::reroute(Request req)
+{
+    req.stepsDone = 0;
+    std::optional<std::uint32_t> device =
+        router_.pick([this, &req](std::uint32_t d) {
+            return serviceEstimate(d) + req.extraSetup;
+        });
+    if (!device) {
+        // Whole fleet down: park the request; it re-places when the
+        // first device rejoins. Never dropped — the zero-loss
+        // ledger (admitted = completed + shedOnDeadline) holds.
+        orphans_.push_back(std::move(req));
+        return;
+    }
+    if (config_.secure)
+        req.extraSetup += cost_.sessionEstablishTicks;
+    ++rerouted_;
+    s_.rerouted.inc();
+    enqueue(std::move(req), *device);
+}
+
+void
+LoadGenerator::drainOrphans()
+{
+    while (!orphans_.empty() && router_.healthyCount() > 0) {
+        Request req = std::move(orphans_.front());
+        orphans_.pop_front();
+        reroute(std::move(req));
+    }
+}
+
+void
+LoadGenerator::onRecoveryStep(std::uint32_t device)
+{
+    DeviceStatus &st = router_.device(device);
+    if (st.state == RecoveryState::Resetting) {
+        st.state = RecoveryState::ReAttesting;
+        eventq().rescheduleIn(&devices_[device]->recoveryTimer,
+                              config_.chaos.reattestTicks);
+        return;
+    }
+    ccai_assert(st.state == RecoveryState::ReAttesting);
+    st.state = RecoveryState::Healthy;
+    drainOrphans();
+    DeviceState &dev = *devices_[device];
+    if (!dev.busy && !dev.queue.empty())
+        startNext(device);
+}
+
+void
+LoadGenerator::onHealthProbe()
+{
+    s_.healthyDevices.sample(router_.healthyCount());
+    for (std::uint32_t d = 0; d < router_.deviceCount(); ++d)
+        s_.queueDepth.sample(router_.device(d).queueDepth);
+    if (curTick() + config_.healthProbeInterval < config_.horizon)
+        eventq().rescheduleIn(&probeTimer_,
+                              config_.healthProbeInterval);
 }
 
 ServeReport
 LoadGenerator::report() const
 {
     ServeReport r;
-    r.issued = issued_;
+    r.issued = attempts_;
+    r.arrivals = arrivals_;
+    r.admitted = admitted_;
     r.completed = completed_;
     r.sloMisses = sloMisses_;
+    r.shedOnAdmit = shedOnAdmit_;
+    r.shedOnDeadline = shedOnDeadline_;
+    r.shedRate = shedRate_;
+    r.shedQueueFull = shedQueueFull_;
+    r.shedDeadlineAdmit = shedDeadlineAdmit_;
+    r.shedNoDevice = shedNoDevice_;
+    r.retries = retries_;
+    r.retriesExhausted = retriesExhausted_;
+    r.rerouted = rerouted_;
+    r.crashes = crashes_;
     r.simSeconds = ticksToSeconds(curTick());
+    // Goodput normalizes by the offered-load horizon, not the drain
+    // tail, so overload factors compare like for like.
+    double horizonSec = ticksToSeconds(config_.horizon);
+    if (horizonSec > 0)
+        r.goodputPerSec =
+            static_cast<double>(completed_ - sloMisses_) /
+            horizonSec;
     r.ttftP50 = percentile(ttftSeconds_, 50.0);
     r.ttftP95 = percentile(ttftSeconds_, 95.0);
     r.ttftP99 = percentile(ttftSeconds_, 99.0);
@@ -274,24 +671,45 @@ LoadGenerator::reset()
     for (auto &t : tenants_) {
         if (t->arrivalTimer.scheduled())
             eventq().deschedule(&t->arrivalTimer);
-        if (t->deadlineTimer.scheduled())
-            eventq().deschedule(&t->deadlineTimer);
+        if (t->retryTimer.scheduled())
+            eventq().deschedule(&t->retryTimer);
+        t->pendingRetries.clear();
         t->issued = 0;
-        t->outstanding = 0;
         t->rng = sim::Rng(t->seed);
+        t->retryRng = sim::Rng(t->retrySeed);
         t->arrivals.restart();
     }
     for (auto &d : devices_) {
         if (d->stepTimer.scheduled())
             eventq().deschedule(&d->stepTimer);
+        if (d->recoveryTimer.scheduled())
+            eventq().deschedule(&d->recoveryTimer);
         d->queue.clear();
         d->busy = false;
         d->prefilling = false;
     }
-    issued_ = completed_ = sloMisses_ = 0;
+    if (chaosTimer_.scheduled())
+        eventq().deschedule(&chaosTimer_);
+    if (probeTimer_.scheduled())
+        eventq().deschedule(&probeTimer_);
+    nextCrash_ = 0;
+    chaosRng_ = sim::Rng(chaosSeed_);
+    router_.reset();
+    admission_.reset();
+    orphans_.clear();
+
+    nextRequestId_ = 0;
+    attempts_ = arrivals_ = admitted_ = completed_ = 0;
+    sloMisses_ = 0;
+    shedOnAdmit_ = shedOnDeadline_ = 0;
+    shedRate_ = shedQueueFull_ = shedDeadlineAdmit_ = 0;
+    shedNoDevice_ = 0;
+    retries_ = retriesExhausted_ = rerouted_ = crashes_ = 0;
     ttftSeconds_.clear();
     tpsValues_.clear();
     e2eSeconds_.clear();
+    missTicks_.clear();
+    crashTicks_.clear();
     stats_.reset();
 }
 

@@ -1,0 +1,41 @@
+#include "serve/router.hh"
+
+namespace ccai::serve
+{
+
+std::uint32_t
+FleetRouter::healthyCount() const
+{
+    std::uint32_t n = 0;
+    for (const DeviceStatus &dev : devices_)
+        if (dev.state == RecoveryState::Healthy)
+            ++n;
+    return n;
+}
+
+std::optional<std::uint32_t>
+FleetRouter::pick(
+    const std::function<Tick(std::uint32_t)> &serviceEstimate) const
+{
+    std::optional<std::uint32_t> best;
+    Tick bestScore = 0;
+    for (std::uint32_t d = 0; d < deviceCount(); ++d) {
+        std::optional<Tick> s = score(d, serviceEstimate(d));
+        if (!s)
+            continue;
+        if (!best || *s < bestScore) {
+            best = d;
+            bestScore = *s;
+        }
+    }
+    return best;
+}
+
+void
+FleetRouter::reset()
+{
+    for (DeviceStatus &dev : devices_)
+        dev = DeviceStatus{};
+}
+
+} // namespace ccai::serve

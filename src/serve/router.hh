@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Health-aware least-loaded fleet router. Replaces the static
+ * tenant->device pinning of the original load generator: each
+ * request is placed on the Healthy device with the earliest
+ * estimated completion (its queued backlog plus this request's
+ * roofline service estimate there), so a slow or crashed device
+ * stops attracting work instead of stalling its pinned tenants.
+ *
+ * The router mirrors fleet state the load generator owns — queue
+ * depth, backlog ticks, the ccai::RecoveryState each device is in
+ * (Healthy serves; Resetting/ReAttesting devices are crash victims
+ * walking reset -> re-attest -> rejoin). Ties break on the lowest
+ * device index, keeping placement deterministic under replay.
+ */
+
+#ifndef CCAI_SERVE_ROUTER_HH
+#define CCAI_SERVE_ROUTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ccai/chaos.hh"
+#include "common/types.hh"
+
+namespace ccai::serve
+{
+
+/** Routing-relevant view of one fleet device. */
+struct DeviceStatus
+{
+    RecoveryState state = RecoveryState::Healthy;
+    /** Queued requests (excluding the active one). */
+    std::uint32_t queueDepth = 0;
+    /** Roofline estimate of all queued + in-flight work (ticks). */
+    Tick backlogTicks = 0;
+};
+
+class FleetRouter
+{
+  public:
+    explicit FleetRouter(std::uint32_t deviceCount)
+        : devices_(deviceCount)
+    {}
+
+    DeviceStatus &device(std::uint32_t d) { return devices_[d]; }
+    const DeviceStatus &device(std::uint32_t d) const
+    {
+        return devices_[d];
+    }
+
+    std::uint32_t deviceCount() const
+    {
+        return static_cast<std::uint32_t>(devices_.size());
+    }
+
+    bool healthy(std::uint32_t d) const
+    {
+        return devices_[d].state == RecoveryState::Healthy;
+    }
+
+    std::uint32_t healthyCount() const;
+
+    /**
+     * Health score of one device for @p serviceEstimate ticks of new
+     * work: its estimated completion delay. Lower is better;
+     * non-Healthy devices score unplaceable (nullopt).
+     */
+    std::optional<Tick> score(std::uint32_t d,
+                              Tick serviceEstimate) const
+    {
+        if (!healthy(d))
+            return std::nullopt;
+        return devices_[d].backlogTicks + serviceEstimate;
+    }
+
+    /**
+     * Least-loaded Healthy device for a request whose per-device
+     * service estimate is @p serviceEstimate(d); nullopt when the
+     * whole fleet is down. Ties pick the lowest index.
+     */
+    std::optional<std::uint32_t>
+    pick(const std::function<Tick(std::uint32_t)> &serviceEstimate)
+        const;
+
+    /** All devices Healthy with empty books (reset-replay). */
+    void reset();
+
+  private:
+    std::vector<DeviceStatus> devices_;
+};
+
+} // namespace ccai::serve
+
+#endif // CCAI_SERVE_ROUTER_HH

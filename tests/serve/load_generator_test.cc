@@ -91,6 +91,16 @@ TEST(LoadGenerator, DrainsEveryAdmittedRequest)
     EXPECT_GT(r.report.issued, 0u);
     EXPECT_EQ(r.report.completed, r.report.issued);
     EXPECT_LE(r.report.sloMisses, r.report.issued);
+    // With the control plane off, every arrival is admitted and the
+    // ledger is trivial: no sheds, no retries, no crashes.
+    EXPECT_EQ(r.report.arrivals, r.report.issued);
+    EXPECT_EQ(r.report.admitted, r.report.arrivals);
+    EXPECT_EQ(r.report.shedOnAdmit, 0u);
+    EXPECT_EQ(r.report.shedOnDeadline, 0u);
+    EXPECT_EQ(r.report.retries, 0u);
+    EXPECT_EQ(r.report.rerouted, 0u);
+    EXPECT_EQ(r.report.crashes, 0u);
+    EXPECT_GT(r.report.goodputPerSec, 0.0);
     EXPECT_GT(r.report.simSeconds, 0.0);
     // Percentiles are ordered.
     EXPECT_LE(r.report.ttftP50, r.report.ttftP95);
@@ -114,6 +124,33 @@ TEST(LoadGenerator, SloDeadlineAccounting)
     loose.profile.sloDeadline = 3600 * kTicksPerSec;
     const RunResult l = runOnce(loose);
     EXPECT_EQ(l.report.sloMisses, 0u);
+}
+
+TEST(LoadGenerator, EveryLateRequestIsCounted)
+{
+    // Regression for the shared per-tenant deadline timer: with one
+    // timer per tenant, a second arrival re-armed (or lost) the
+    // first one's deadline, undercounting misses. Deadlines are now
+    // carried per request, so back-to-back arrivals from ONE tenant
+    // that both finish late are both charged.
+    ServeConfig cfg = smallConfig();
+    cfg.tenants = 1;
+    cfg.fleet.assign(1, xpu::XpuSpec::a100());
+
+    sim::System probeSys;
+    LoadGenerator probe(probeSys, "probe", cfg);
+    const Tick est = probe.serviceEstimate(0);
+    ASSERT_GT(est, 0u);
+
+    // Three near-simultaneous arrivals on one device: request k
+    // completes around (k+1)*est. A deadline of 1.5*est lets the
+    // first finish in time and flags the queued two.
+    cfg.profile.traceGaps = {10, 10, 10, 100 * kTicksPerSec};
+    cfg.profile.sloDeadline = est + est / 2;
+    const RunResult r = runOnce(cfg);
+    EXPECT_EQ(r.report.issued, 3u);
+    EXPECT_EQ(r.report.completed, 3u);
+    EXPECT_EQ(r.report.sloMisses, 2u);
 }
 
 TEST(LoadGenerator, SecureModeCostsMore)

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fleet-router tests: least-loaded placement with per-device service
+ * estimates, deterministic tie-breaking, exclusion of crash victims
+ * walking the recovery ladder, the whole-fleet-down case, and
+ * reset-replay of the routing books.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/router.hh"
+
+using namespace ccai;
+using namespace ccai::serve;
+
+namespace
+{
+
+std::function<Tick(std::uint32_t)>
+uniformEstimate(Tick est)
+{
+    return [est](std::uint32_t) { return est; };
+}
+
+} // namespace
+
+TEST(FleetRouter, PicksLeastLoadedDevice)
+{
+    FleetRouter router(3);
+    router.device(0).backlogTicks = 300;
+    router.device(1).backlogTicks = 100;
+    router.device(2).backlogTicks = 200;
+    const auto pick = router.pick(uniformEstimate(50));
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1u);
+}
+
+TEST(FleetRouter, PerDeviceEstimateCanFlipThePick)
+{
+    // Device 1 has the smaller backlog, but this request runs so
+    // much slower there (heterogeneous fleet) that device 0's
+    // completion is still earlier.
+    FleetRouter router(2);
+    router.device(0).backlogTicks = 200;
+    router.device(1).backlogTicks = 100;
+    const auto pick = router.pick(
+        [](std::uint32_t d) { return d == 0 ? Tick{10} : Tick{500}; });
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 0u);
+}
+
+TEST(FleetRouter, TiesBreakOnLowestIndex)
+{
+    FleetRouter router(4);
+    for (std::uint32_t d = 0; d < 4; ++d)
+        router.device(d).backlogTicks = 77;
+    const auto pick = router.pick(uniformEstimate(1));
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 0u);
+}
+
+TEST(FleetRouter, UnhealthyDevicesAttractNoWork)
+{
+    FleetRouter router(3);
+    router.device(0).state = RecoveryState::Resetting;
+    router.device(1).backlogTicks = 900;
+    router.device(2).state = RecoveryState::ReAttesting;
+    EXPECT_EQ(router.healthyCount(), 1u);
+    EXPECT_FALSE(router.score(0, 1).has_value());
+    EXPECT_FALSE(router.score(2, 1).has_value());
+    const auto pick = router.pick(uniformEstimate(1));
+    ASSERT_TRUE(pick.has_value());
+    // The idle crash victims are skipped for the loaded survivor.
+    EXPECT_EQ(*pick, 1u);
+}
+
+TEST(FleetRouter, WholeFleetDownPicksNothing)
+{
+    FleetRouter router(2);
+    router.device(0).state = RecoveryState::Resetting;
+    router.device(1).state = RecoveryState::Quarantined;
+    EXPECT_EQ(router.healthyCount(), 0u);
+    EXPECT_FALSE(router.pick(uniformEstimate(1)).has_value());
+}
+
+TEST(FleetRouter, ScoreIsBacklogPlusEstimate)
+{
+    FleetRouter router(1);
+    router.device(0).backlogTicks = 40;
+    const auto score = router.score(0, 2);
+    ASSERT_TRUE(score.has_value());
+    EXPECT_EQ(*score, 42u);
+}
+
+TEST(FleetRouter, ResetRestoresHealthyEmptyBooks)
+{
+    FleetRouter router(2);
+    router.device(0).state = RecoveryState::Resetting;
+    router.device(0).queueDepth = 9;
+    router.device(0).backlogTicks = 1234;
+    router.device(1).backlogTicks = 5;
+    router.reset();
+    EXPECT_EQ(router.healthyCount(), 2u);
+    for (std::uint32_t d = 0; d < 2; ++d) {
+        EXPECT_EQ(router.device(d).queueDepth, 0u);
+        EXPECT_EQ(router.device(d).backlogTicks, 0u);
+        EXPECT_EQ(router.device(d).state, RecoveryState::Healthy);
+    }
+}
